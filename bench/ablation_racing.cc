@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation (DESIGN.md): why racing? Compare iterated racing against
+ * uniform random search and a pure elite-less sweep at the same
+ * experiment budget, on the A53 tuning task.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/rng.hh"
+#include "stats/descriptive.hh"
+#include "ubench/ubench.hh"
+
+int
+main()
+{
+    using namespace raceval;
+    setQuiet(true);
+    bench::header("Ablation: iterated racing vs random search at "
+                  "equal budget");
+
+    validate::FlowOptions opts = bench::benchFlowOptions();
+    opts.budget = bench::budgetFromEnv(2400);
+    validate::ValidationFlow flow(false, opts);
+    validate::FlowReport report = flow.run();
+    const auto &sspace = flow.paramSpace();
+    const core::CoreParams &base = report.publicModel;
+    size_t num_ubench = ubench::all().size();
+
+    // Random search: spend the same budget on uniform configurations,
+    // each evaluated on a fixed subset of instances (budget/instances
+    // candidates on all instances).
+    Rng rng(opts.seed + 17);
+    uint64_t num_random = opts.budget / num_ubench;
+    double best_random = 1e100;
+    for (uint64_t c = 0; c < num_random; ++c) {
+        tuner::Configuration config(sspace.space().size());
+        for (size_t i = 0; i < sspace.space().size(); ++i) {
+            config[i] = static_cast<uint16_t>(
+                rng.nextBelow(sspace.space().at(i).cardinality()));
+        }
+        double err = flow.ubenchError(sspace.apply(config, base));
+        best_random = std::min(best_random, err);
+    }
+
+    std::printf("budget: %llu experiments, %zu raced parameters\n",
+                static_cast<unsigned long long>(opts.budget),
+                sspace.space().size());
+    std::printf("%-40s %10.1f%%\n", "untuned (public info) error",
+                100.0 * report.untunedUbenchAvg);
+    std::printf("%-40s %10.1f%%\n", "random search best error",
+                100.0 * best_random);
+    std::printf("%-40s %10.1f%%\n", "iterated racing error",
+                100.0 * report.tunedUbenchAvg);
+    bench::note("\nshape check: racing < random search < untuned.");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench harnesses.
+ */
+
+#ifndef RACEVAL_BENCH_COMMON_HH
+#define RACEVAL_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+#include "validate/flow.hh"
+
+namespace raceval::bench
+{
+
+/** Racing budget: RACEVAL_BUDGET env overrides the scaled default. */
+inline uint64_t
+budgetFromEnv(uint64_t fallback = 6000)
+{
+    if (const char *env = std::getenv("RACEVAL_BUDGET"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
+
+/** Standard flow options for benches. */
+inline validate::FlowOptions
+benchFlowOptions()
+{
+    validate::FlowOptions opts;
+    opts.budget = budgetFromEnv();
+    opts.threads = 0; // all hardware threads
+    opts.verbose = false;
+    return opts;
+}
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+inline void
+paperVsMeasured(const char *metric, double paper, double measured)
+{
+    std::printf("%-44s paper %8.2f | measured %8.2f\n", metric, paper,
+                measured);
+}
+
+} // namespace raceval::bench
+
+#endif // RACEVAL_BENCH_COMMON_HH

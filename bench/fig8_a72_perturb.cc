@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 8 reproduction: impact of close-to-optimum but inaccurate
+ * parameter settings on the A72 model.
+ *
+ * Paper reference: average error grows from 15% to about 45% (3x).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "stats/descriptive.hh"
+#include "validate/perturb.hh"
+#include "workload/workload.hh"
+
+int
+main()
+{
+    using namespace raceval;
+    setQuiet(true);
+    bench::header("Fig. 8: near-optimum perturbation, A72");
+
+    validate::ValidationFlow flow(true, bench::benchFlowOptions());
+    validate::FlowReport report = flow.run();
+    const auto &sspace = flow.paramSpace();
+    const core::CoreParams &base = report.publicModel;
+
+    auto error_fn = [&](const tuner::Configuration &config) {
+        return flow.ubenchError(sspace.apply(config, base));
+    };
+    validate::PerturbResult worst = validate::worstNearOptimum(
+        sspace, report.race.best, error_fn, 12);
+    core::CoreParams worst_model = sspace.apply(worst.worst, base);
+
+    std::printf("%-11s %10s %10s %10s %10s\n", "benchmark", "hw CPI",
+                "tunedErr", "worstCPI", "worstErr");
+    std::vector<double> tuned_err, worst_err;
+    for (const auto &info : workload::all()) {
+        isa::Program prog = workload::build(info);
+        validate::BenchError tuned =
+            flow.evaluateOn(report.tunedModel, prog);
+        validate::BenchError bad = flow.evaluateOn(worst_model, prog);
+        tuned_err.push_back(tuned.error());
+        worst_err.push_back(bad.error());
+        std::printf("%-11s %10.3f %9.1f%% %10.3f %9.1f%%\n",
+                    info.name, tuned.hwCpi, 100.0 * tuned.error(),
+                    bad.simCpi, 100.0 * bad.error());
+    }
+    std::printf("\n");
+    bench::paperVsMeasured("tuned average SPEC error (%)", 15.0,
+                           100.0 * stats::mean(tuned_err));
+    bench::paperVsMeasured("near-optimum worst average (%)", 45.0,
+                           100.0 * stats::mean(worst_err));
+    std::printf("search: %u evaluations (greedy + randomized; the "
+                "paper searches exhaustively)\n", worst.evaluations);
+    return 0;
+}

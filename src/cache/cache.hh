@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Set-associative cache tag array with configurable set-index hashing,
+ * replacement policy and an optional victim buffer.
+ *
+ * This is a *timing* structure: it tracks which lines are resident, not
+ * their contents (functional data lives in vm::SparseMemory). Both the
+ * abstract Sniper-like models and the detailed hardware model build
+ * their hierarchies from this class.
+ */
+
+#ifndef RACEVAL_CACHE_CACHE_HH
+#define RACEVAL_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/params.hh"
+#include "common/rng.hh"
+
+namespace raceval::cache
+{
+
+/** Per-cache counters. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t victimHits = 0;
+    uint64_t prefetchIssued = 0;
+    uint64_t prefetchUseful = 0; //!< demand hits on prefetched lines
+    uint64_t writebacks = 0;
+
+    /** @return demand miss rate in [0, 1]. */
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses)
+            / static_cast<double>(accesses) : 0.0;
+    }
+};
+
+/** Outcome of a single lookup. */
+struct LookupResult
+{
+    bool hit = false;
+    /** Hit was served by the victim buffer (costs one extra cycle). */
+    bool victimHit = false;
+    /** Hit landed on a line brought in by a prefetcher. */
+    bool prefetchedLine = false;
+};
+
+/**
+ * One cache level.
+ *
+ * Lookup and fill are separate so callers can model miss handling:
+ * a demand miss first looks up, then (after the lower level responds)
+ * fills. Evictions of dirty lines are reported via the fill result so
+ * the caller can charge writeback bandwidth.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params, uint64_t rng_seed = 12345);
+
+    /**
+     * Look up a line; updates replacement state and dirty bits on hit.
+     *
+     * @param line_addr byte address / line size.
+     * @param is_write marks the line dirty on hit.
+     */
+    LookupResult lookup(uint64_t line_addr, bool is_write);
+
+    /** Result of a fill: did we evict a dirty line? */
+    struct FillResult
+    {
+        bool evictedDirty = false;
+        bool evictedValid = false;
+        uint64_t evictedLine = 0;
+    };
+
+    /**
+     * Install a line (after a miss was serviced below).
+     *
+     * @param line_addr line to install.
+     * @param prefetched marks the line as prefetcher-brought.
+     * @param is_write install dirty (write-allocate).
+     */
+    FillResult fill(uint64_t line_addr, bool prefetched, bool is_write);
+
+    /** @return true when the line is resident (no state update). */
+    bool probe(uint64_t line_addr) const;
+
+    /**
+     * Mark a resident line dirty (dirty writeback arriving from the
+     * level above); installs the line dirty when absent.
+     */
+    void writebackInto(uint64_t line_addr);
+
+    /** Invalidate everything and zero statistics. */
+    void reset();
+
+    /** @return accumulated counters. */
+    const CacheStats &stats() const { return cstats; }
+
+    /** @return the active parameters. */
+    const CacheParams &params() const { return cparams; }
+
+    /** @return the set index for a line (exposed for tests). */
+    unsigned setIndex(uint64_t line_addr) const;
+
+  private:
+    struct Line
+    {
+        uint64_t lineAddr = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    /** Replacement bookkeeping per set. */
+    struct SetMeta
+    {
+        std::vector<uint32_t> lruStamp; //!< LRU / FIFO ordering
+        uint32_t treeBits = 0;          //!< tree-PLRU state
+    };
+
+    unsigned victimFind(uint64_t line_addr) const;
+    unsigned chooseVictimWay(unsigned set);
+    void touch(unsigned set, unsigned way);
+
+    CacheParams cparams;
+    unsigned sets;
+    unsigned indexablesets; //!< Mersenne hashing maps into [0, prime)
+    std::vector<Line> lines;      //!< sets x assoc
+    std::vector<SetMeta> meta;
+    std::vector<Line> victim;     //!< fully associative victim buffer
+    std::vector<uint32_t> victimStamp;
+    uint32_t clock = 0;
+    Rng rng;
+    CacheStats cstats;
+};
+
+/** @return largest prime <= n (used by Mersenne-modulo indexing). */
+unsigned largestPrimeAtMost(unsigned n);
+
+} // namespace raceval::cache
+
+#endif // RACEVAL_CACHE_CACHE_HH

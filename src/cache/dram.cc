@@ -1,0 +1,2 @@
+// DramModel is header-only; this translation unit anchors the library.
+#include "cache/dram.hh"

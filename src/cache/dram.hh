@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Abstract main memory: flat latency plus a single-channel bandwidth
+ * queue, which is what makes the paper's ML2_BW_* bandwidth
+ * micro-benchmarks meaningful.
+ */
+
+#ifndef RACEVAL_CACHE_DRAM_HH
+#define RACEVAL_CACHE_DRAM_HH
+
+#include <cstdint>
+
+#include "cache/params.hh"
+
+namespace raceval::cache
+{
+
+/**
+ * DRAM channel. Line fetches are serialized at cyclesPerLine; a fetch
+ * issued while the channel is busy waits for its turn, so its observed
+ * latency is queueing delay + flat latency.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramParams &params) : dparams(params) {}
+
+    /**
+     * Issue a demand line fetch.
+     *
+     * @param now current core cycle.
+     * @return total cycles until the line arrives.
+     */
+    unsigned
+    access(uint64_t now)
+    {
+        uint64_t start = now > nextFree ? now : nextFree;
+        nextFree = start + dparams.cyclesPerLine;
+        ++reads;
+        return static_cast<unsigned>(start - now) + dparams.latency;
+    }
+
+    /** Charge channel occupancy for a writeback (nobody waits on it). */
+    void
+    writeback(uint64_t now)
+    {
+        uint64_t start = now > nextFree ? now : nextFree;
+        nextFree = start + dparams.cyclesPerLine;
+        ++writes;
+    }
+
+    /** Forget queue state and counters. */
+    void
+    reset()
+    {
+        nextFree = 0;
+        reads = 0;
+        writes = 0;
+    }
+
+    uint64_t readCount() const { return reads; }
+    uint64_t writeCount() const { return writes; }
+    const DramParams &params() const { return dparams; }
+
+  private:
+    DramParams dparams;
+    uint64_t nextFree = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+} // namespace raceval::cache
+
+#endif // RACEVAL_CACHE_DRAM_HH

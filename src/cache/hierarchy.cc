@@ -1,0 +1,142 @@
+#include "cache/hierarchy.hh"
+
+#include "common/log.hh"
+
+namespace raceval::cache
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params,
+                                 uint64_t rng_seed)
+    : hparams(params),
+      l1iCache(params.l1i, rng_seed + 1),
+      l1dCache(params.l1d, rng_seed + 2),
+      l2Cache(params.l2, rng_seed + 3),
+      dramModel(params.dram),
+      l1dPrefetcher(makePrefetcher(params.l1d)),
+      l1iPrefetcher(makePrefetcher(params.l1i)),
+      l2Prefetcher(makePrefetcher(params.l2))
+{
+    hparams.validate();
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1iCache.reset();
+    l1dCache.reset();
+    l2Cache.reset();
+    dramModel.reset();
+    if (l1dPrefetcher)
+        l1dPrefetcher->reset();
+    if (l1iPrefetcher)
+        l1iPrefetcher->reset();
+    if (l2Prefetcher)
+        l2Prefetcher->reset();
+    inFlight.clear();
+}
+
+void
+MemoryHierarchy::runPrefetcher(Prefetcher *prefetcher, Cache &level1,
+                               uint64_t pc, uint64_t line, bool miss,
+                               uint64_t now)
+{
+    if (!prefetcher)
+        return;
+    prefetchScratch.clear();
+    prefetcher->observe(pc, line, miss, prefetchScratch);
+    for (uint64_t pf_line : prefetchScratch) {
+        if (level1.probe(pf_line))
+            continue;
+        // Determine the fill source for timing/bandwidth accounting.
+        bool in_l2 = l2Cache.probe(pf_line);
+        uint64_t ready = now + (in_l2 ? hparams.l2.latency
+                                      : hparams.dram.latency);
+        if (!in_l2) {
+            if (hparams.prefetchConsumesBandwidth)
+                dramModel.writeback(now); // occupies the channel
+            l2Cache.fill(pf_line, true, false);
+        }
+        Cache::FillResult fill = level1.fill(pf_line, true, false);
+        if (fill.evictedDirty)
+            l2Cache.writebackInto(fill.evictedLine);
+        if (hparams.timedPrefetch)
+            inFlight[pf_line] = ready;
+    }
+}
+
+AccessResult
+MemoryHierarchy::access(uint64_t pc, uint64_t addr, bool is_store,
+                        bool is_inst, uint64_t now)
+{
+    uint64_t line = addr / lineBytes();
+    Cache &level1 = is_inst ? l1iCache : l1dCache;
+    const CacheParams &l1p = is_inst ? hparams.l1i : hparams.l1d;
+    Prefetcher *l1pf = is_inst ? l1iPrefetcher.get() : l1dPrefetcher.get();
+
+    AccessResult result;
+    result.latency = l1p.latency + (l1p.serialTagData ? 1 : 0);
+
+    LookupResult l1 = level1.lookup(line, is_store);
+    runPrefetcher(l1pf, level1, pc, line, !l1.hit, now);
+
+    if (l1.hit) {
+        result.servedBy = ServedBy::L1;
+        result.victimHit = l1.victimHit;
+        if (l1.victimHit)
+            result.latency += 1;
+        if (hparams.timedPrefetch && l1.prefetchedLine) {
+            auto it = inFlight.find(line);
+            if (it != inFlight.end()) {
+                if (it->second > now) {
+                    // Demand caught up with an in-flight prefetch: wait
+                    // for the remaining fill time.
+                    unsigned wait =
+                        static_cast<unsigned>(it->second - now);
+                    result.latency += wait;
+                }
+                inFlight.erase(it);
+            }
+        }
+        return result;
+    }
+
+    // L1 miss -> L2.
+    result.latency += hparams.l2.latency
+        + (hparams.l2.serialTagData ? 1 : 0);
+    LookupResult l2 = l2Cache.lookup(line, false);
+    runPrefetcher(l2Prefetcher.get(), l2Cache, pc, line, !l2.hit, now);
+
+    if (!l2.hit) {
+        // L2 miss -> DRAM.
+        result.latency += dramModel.access(now);
+        result.servedBy = ServedBy::Memory;
+        Cache::FillResult l2fill = l2Cache.fill(line, false, false);
+        if (l2fill.evictedDirty)
+            dramModel.writeback(now);
+    } else {
+        result.servedBy = ServedBy::L2;
+        if (l2.victimHit)
+            result.latency += 1;
+        if (hparams.timedPrefetch && l2.prefetchedLine) {
+            auto it = inFlight.find(line);
+            if (it != inFlight.end()) {
+                if (it->second > now)
+                    result.latency +=
+                        static_cast<unsigned>(it->second - now);
+                inFlight.erase(it);
+            }
+        }
+    }
+
+    Cache::FillResult l1fill = level1.fill(line, false, is_store);
+    if (l1fill.evictedDirty)
+        l2Cache.writebackInto(l1fill.evictedLine);
+
+    // Keep the in-flight map bounded: stale entries are prefetches that
+    // were evicted before use.
+    if (inFlight.size() > 4096)
+        inFlight.clear();
+    return result;
+}
+
+} // namespace raceval::cache

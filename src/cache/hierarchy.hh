@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The single-core memory hierarchy (L1I + L1D + shared L2 + DRAM) that
+ * both the abstract Sniper-like core models and the detailed hardware
+ * model instantiate.
+ */
+
+#ifndef RACEVAL_CACHE_HIERARCHY_HH
+#define RACEVAL_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/cache.hh"
+#include "cache/dram.hh"
+#include "cache/prefetch.hh"
+
+namespace raceval::cache
+{
+
+/** Where an access was served from. */
+enum class ServedBy : uint8_t { L1, L2, Memory };
+
+/** Outcome of one demand access through the hierarchy. */
+struct AccessResult
+{
+    /** Total load-to-use cycles. */
+    unsigned latency = 0;
+    ServedBy servedBy = ServedBy::L1;
+    bool victimHit = false;
+};
+
+/**
+ * Orchestrates lookups, fills, writebacks and prefetch across the
+ * three cache levels and the DRAM channel.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyParams &params,
+                             uint64_t rng_seed = 99);
+
+    /**
+     * One demand access.
+     *
+     * @param pc the accessing instruction (trains prefetchers).
+     * @param addr byte address.
+     * @param is_store write access (write-allocate).
+     * @param is_inst instruction fetch (routes to L1I).
+     * @param now current core cycle (DRAM queueing, prefetch timing).
+     */
+    AccessResult access(uint64_t pc, uint64_t addr, bool is_store,
+                        bool is_inst, uint64_t now);
+
+    /** Invalidate all levels, reset prefetchers and counters. */
+    void reset();
+
+    const Cache &l1i() const { return l1iCache; }
+    const Cache &l1d() const { return l1dCache; }
+    const Cache &l2() const { return l2Cache; }
+    const DramModel &dram() const { return dramModel; }
+    const HierarchyParams &params() const { return hparams; }
+
+    /** @return line size shared by all levels. */
+    unsigned lineBytes() const { return hparams.l1d.lineBytes; }
+
+  private:
+    void runPrefetcher(Prefetcher *prefetcher, Cache &level1,
+                       uint64_t pc, uint64_t line, bool miss,
+                       uint64_t now);
+
+    HierarchyParams hparams;
+    Cache l1iCache;
+    Cache l1dCache;
+    Cache l2Cache;
+    DramModel dramModel;
+    std::unique_ptr<Prefetcher> l1dPrefetcher;
+    std::unique_ptr<Prefetcher> l1iPrefetcher;
+    std::unique_ptr<Prefetcher> l2Prefetcher;
+    std::vector<uint64_t> prefetchScratch;
+
+    /** In-flight prefetch arrival times (timedPrefetch only). */
+    std::unordered_map<uint64_t, uint64_t> inFlight;
+};
+
+} // namespace raceval::cache
+
+#endif // RACEVAL_CACHE_HIERARCHY_HH

@@ -1,0 +1,74 @@
+#include "cache/params.hh"
+
+#include "common/log.hh"
+
+namespace raceval::cache
+{
+
+const char *
+hashKindName(HashKind kind)
+{
+    switch (kind) {
+      case HashKind::Mask: return "mask";
+      case HashKind::Xor: return "xor";
+      case HashKind::Mersenne: return "mersenne";
+      default: panic("bad hash kind %d", static_cast<int>(kind));
+    }
+}
+
+const char *
+replKindName(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::LRU: return "lru";
+      case ReplKind::TreePLRU: return "tree-plru";
+      case ReplKind::Random: return "random";
+      case ReplKind::FIFO: return "fifo";
+      default: panic("bad repl kind %d", static_cast<int>(kind));
+    }
+}
+
+const char *
+prefetchKindName(PrefetchKind kind)
+{
+    switch (kind) {
+      case PrefetchKind::None: return "none";
+      case PrefetchKind::NextLine: return "next-line";
+      case PrefetchKind::Stride: return "stride";
+      case PrefetchKind::Ghb: return "ghb";
+      default: panic("bad prefetch kind %d", static_cast<int>(kind));
+    }
+}
+
+void
+CacheParams::validate() const
+{
+    if (!isPowerOfTwo(lineBytes) || lineBytes < 8)
+        fatal("cache %s: bad line size %u", name.c_str(), lineBytes);
+    if (assoc == 0 || sizeBytes % (assoc * lineBytes) != 0)
+        fatal("cache %s: size %llu not divisible by assoc*line",
+              name.c_str(), static_cast<unsigned long long>(sizeBytes));
+    if (!isPowerOfTwo(numSets()))
+        fatal("cache %s: set count %u not a power of two",
+              name.c_str(), numSets());
+    if (latency == 0)
+        fatal("cache %s: zero latency", name.c_str());
+    if (mshrs == 0)
+        fatal("cache %s: zero mshrs", name.c_str());
+    if (portsPerCycle == 0)
+        fatal("cache %s: zero ports", name.c_str());
+}
+
+void
+HierarchyParams::validate() const
+{
+    l1i.validate();
+    l1d.validate();
+    l2.validate();
+    if (l2.lineBytes != l1d.lineBytes || l1i.lineBytes != l1d.lineBytes)
+        fatal("hierarchy: all levels must share one line size");
+    if (dram.latency == 0)
+        fatal("hierarchy: zero dram latency");
+}
+
+} // namespace raceval::cache

@@ -1,0 +1,148 @@
+#include "common/rng.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace raceval
+{
+
+namespace
+{
+
+/** SplitMix64 step, used for seeding only. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+    : cachedGaussian(0.0), hasCachedGaussian(false)
+{
+    uint64_t x = seed;
+    for (auto &word : s)
+        word = splitmix64(x);
+    // All-zero state is the one invalid xoshiro state.
+    if (!(s[0] | s[1] | s[2] | s[3]))
+        s[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    RV_ASSERT(bound > 0, "nextBelow(0)");
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    RV_ASSERT(lo <= hi, "nextRange(%ld, %ld)", lo, hi);
+    return lo + static_cast<int64_t>(
+        nextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian) {
+        hasCachedGaussian = false;
+        return cachedGaussian;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    u2 = nextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedGaussian = r * std::sin(theta);
+    hasCachedGaussian = true;
+    return r * std::cos(theta);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    RV_ASSERT(total > 0.0, "nextWeighted with non-positive total weight");
+    double x = nextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (x < acc)
+            return i;
+    }
+    // Floating point accumulation can land exactly on the upper edge.
+    for (size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    panic("nextWeighted: no positive weight");
+}
+
+std::vector<size_t>
+Rng::permutation(size_t n)
+{
+    std::vector<size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    for (size_t i = n; i > 1; --i) {
+        size_t j = nextBelow(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xdeadbeefcafef00dull);
+}
+
+} // namespace raceval

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic component in the library (trace generators, the racing
+ * tuner, hardware measurement noise) draws from an explicitly seeded Rng so
+ * that whole experiments replay bit-identically from a single seed.
+ */
+
+#ifndef RACEVAL_COMMON_RNG_HH
+#define RACEVAL_COMMON_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace raceval
+{
+
+/**
+ * xoshiro256** generator with convenience draws.
+ *
+ * Not thread-safe; give each thread or component its own instance (use
+ * split() to derive decorrelated children from a parent stream).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (SplitMix64-expanded to 256 bits). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return next raw 64-bit draw. */
+    uint64_t next();
+
+    /** @return uniform integer in [0, bound) without modulo bias. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return standard normal draw (Box-Muller, cached pair). */
+    double nextGaussian();
+
+    /** @return true with probability p. */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * Sample an index from an unnormalized non-negative weight vector.
+     *
+     * @param weights unnormalized weights; at least one must be positive.
+     * @return index drawn proportionally to weight.
+     */
+    size_t nextWeighted(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of an index permutation [0, n). */
+    std::vector<size_t> permutation(size_t n);
+
+    /** Derive a decorrelated child generator. */
+    Rng split();
+
+  private:
+    uint64_t s[4];
+    double cachedGaussian;
+    bool hasCachedGaussian;
+};
+
+} // namespace raceval
+
+#endif // RACEVAL_COMMON_RNG_HH

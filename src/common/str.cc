@@ -1,0 +1,51 @@
+#include "common/str.hh"
+
+#include <cctype>
+#include <sstream>
+
+namespace raceval
+{
+
+std::vector<std::string>
+split(const std::string &str, char delim)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream stream(str);
+    while (std::getline(stream, part, delim))
+        parts.push_back(part);
+    if (!str.empty() && str.back() == delim)
+        parts.push_back("");
+    return parts;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+padTo(const std::string &str, size_t width)
+{
+    if (str.size() >= width)
+        return str.substr(0, width);
+    return str + std::string(width - str.size(), ' ');
+}
+
+std::string
+toLower(const std::string &str)
+{
+    std::string out = str;
+    for (auto &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace raceval

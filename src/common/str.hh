@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small string and bit-manipulation helpers shared across modules.
+ */
+
+#ifndef RACEVAL_COMMON_STR_HH
+#define RACEVAL_COMMON_STR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raceval
+{
+
+/** Kibibyte/mebibyte multipliers for configuration literals. */
+constexpr uint64_t KiB = 1024;
+constexpr uint64_t MiB = 1024 * 1024;
+
+/** @return true when x is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** @return floor(log2(x)); x must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t x)
+{
+    unsigned result = 0;
+    while (x >>= 1)
+        ++result;
+    return result;
+}
+
+/** Split a string on a delimiter character, keeping empty fields. */
+std::vector<std::string> split(const std::string &str, char delim);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Left-pad or truncate a string to an exact width (for table output). */
+std::string padTo(const std::string &str, size_t width);
+
+/** @return lower-cased copy (ASCII). */
+std::string toLower(const std::string &str);
+
+} // namespace raceval
+
+#endif // RACEVAL_COMMON_STR_HH

@@ -1,0 +1,93 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+
+namespace raceval
+{
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 2;
+    }
+    workers.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wakeWorker.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wakeWorker.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (stopping && queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (--inFlight == 0)
+                batchDone.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runAll(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        inFlight += tasks.size();
+        for (auto &task : tasks)
+            queue.push_back(std::move(task));
+    }
+    wakeWorker.notify_all();
+    std::unique_lock<std::mutex> lock(mutex);
+    batchDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+    auto counter = std::make_shared<std::atomic<size_t>>(0);
+    size_t num_tasks = std::min(n, workers.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_tasks);
+    for (size_t t = 0; t < num_tasks; ++t) {
+        tasks.emplace_back([counter, n, &body] {
+            for (;;) {
+                size_t i = counter->fetch_add(1);
+                if (i >= n)
+                    return;
+                body(i);
+            }
+        });
+    }
+    runAll(std::move(tasks));
+}
+
+} // namespace raceval

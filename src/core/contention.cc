@@ -1,0 +1,105 @@
+#include "core/contention.hh"
+
+#include "common/log.hh"
+
+namespace raceval::core
+{
+
+using isa::OpClass;
+
+ContentionModel::ContentionModel(const CoreParams &params)
+    : latency(params.latency)
+{
+    for (size_t pool = 0; pool < numFuPools; ++pool) {
+        unsigned units = params.poolSize(static_cast<FuPool>(pool));
+        pools[pool].units = units;
+        pools[pool].freeAt.assign(units, 0);
+        pools[pool].cycleStamp.assign(rateWindow, ~0ull);
+        pools[pool].startedInCycle.assign(rateWindow, 0);
+    }
+    pipelined.fill(true);
+    pipelined[static_cast<size_t>(OpClass::IntDiv)] =
+        params.intDivPipelined;
+    pipelined[static_cast<size_t>(OpClass::FpDiv)] = params.fpDivPipelined;
+    pipelined[static_cast<size_t>(OpClass::FpSqrt)] =
+        params.fpDivPipelined;
+}
+
+uint64_t
+ContentionModel::reserve(OpClass cls, uint64_t ready)
+{
+    Pool &pool = pools[static_cast<size_t>(poolOf(cls))];
+
+    if (pipelined[static_cast<size_t>(cls)]) {
+        // Pipelined units accept one op per unit per cycle. Model the
+        // pool as a per-cycle start-rate limit rather than per-unit
+        // next-free times: reservations are made in *program* order,
+        // but the machine issues out of order, so an op that becomes
+        // ready late must never block an earlier-ready younger op
+        // (which a future-timestamped unit booking would do).
+        uint64_t t = ready;
+        for (;;) {
+            size_t slot = static_cast<size_t>(t % rateWindow);
+            if (pool.cycleStamp[slot] != t) {
+                pool.cycleStamp[slot] = t;
+                pool.startedInCycle[slot] = 0;
+            }
+            if (pool.startedInCycle[slot] < pool.units) {
+                ++pool.startedInCycle[slot];
+                return t;
+            }
+            ++t;
+        }
+    }
+
+    // Iterative units (divide/sqrt) genuinely occupy a unit for the
+    // full latency; per-unit next-free tracking stays appropriate.
+    size_t best = 0;
+    for (size_t i = 1; i < pool.freeAt.size(); ++i) {
+        if (pool.freeAt[i] < pool.freeAt[best])
+            best = i;
+    }
+    uint64_t start = ready > pool.freeAt[best] ? ready
+                                               : pool.freeAt[best];
+    pool.freeAt[best] = start + latency[static_cast<size_t>(cls)];
+    return start;
+}
+
+uint64_t
+ContentionModel::earliestFree(OpClass cls) const
+{
+    const Pool &pool = pools[static_cast<size_t>(poolOf(cls))];
+    if (pipelined[static_cast<size_t>(cls)])
+        return 0; // rate-limited pools accept new ops every cycle
+    uint64_t best = pool.freeAt[0];
+    for (size_t i = 1; i < pool.freeAt.size(); ++i) {
+        if (pool.freeAt[i] < best)
+            best = pool.freeAt[i];
+    }
+    return best;
+}
+
+bool
+ContentionModel::canStartAt(OpClass cls, uint64_t cycle) const
+{
+    const Pool &pool = pools[static_cast<size_t>(poolOf(cls))];
+    if (pipelined[static_cast<size_t>(cls)]) {
+        size_t slot = static_cast<size_t>(cycle % rateWindow);
+        return pool.cycleStamp[slot] != cycle
+            || pool.startedInCycle[slot] < pool.units;
+    }
+    return earliestFree(cls) <= cycle;
+}
+
+void
+ContentionModel::reset()
+{
+    for (auto &pool : pools) {
+        std::fill(pool.freeAt.begin(), pool.freeAt.end(), 0);
+        std::fill(pool.cycleStamp.begin(), pool.cycleStamp.end(), ~0ull);
+        std::fill(pool.startedInCycle.begin(),
+                  pool.startedInCycle.end(), uint8_t{0});
+    }
+}
+
+} // namespace raceval::core

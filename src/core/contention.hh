@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Functional-unit contention model (paper §IV-A): owns the mapping of
+ * instructions to functional units, tracks per-unit availability, and
+ * enforces issue-slot compatibility (e.g. dual-issue restrictions fall
+ * out of the per-pool unit counts).
+ */
+
+#ifndef RACEVAL_CORE_CONTENTION_HH
+#define RACEVAL_CORE_CONTENTION_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hh"
+
+namespace raceval::core
+{
+
+/**
+ * Tracks when each functional unit next becomes free.
+ *
+ * Pipelined units accept a new instruction every cycle (initiation
+ * interval 1); iterative units (divides by default) are busy for the
+ * full operation latency.
+ */
+class ContentionModel
+{
+  public:
+    explicit ContentionModel(const CoreParams &params);
+
+    /**
+     * Reserve a unit for one instruction.
+     *
+     * @param cls timing class of the instruction.
+     * @param ready earliest cycle its operands allow it to start.
+     * @return the cycle the instruction actually starts executing
+     *         (>= ready; later when all units of the pool are busy).
+     */
+    uint64_t reserve(isa::OpClass cls, uint64_t ready);
+
+    /**
+     * @return the earliest cycle a unit of the class's pool is free,
+     * without reserving it (cycle-by-cycle models peek first and only
+     * reserve when they actually issue). Pipelined pools report 0
+     * (use canStartAt for a per-cycle check).
+     */
+    uint64_t earliestFree(isa::OpClass cls) const;
+
+    /** @return true when an op of cls could start at `cycle`. */
+    bool canStartAt(isa::OpClass cls, uint64_t cycle) const;
+
+    /** @return operation latency for a class (loads return 0). */
+    unsigned
+    latencyOf(isa::OpClass cls) const
+    {
+        return latency[static_cast<size_t>(cls)];
+    }
+
+    /** Clear all unit reservations. */
+    void reset();
+
+  private:
+    /** Ring window for per-cycle start-rate accounting. */
+    static constexpr size_t rateWindow = 1024;
+
+    struct Pool
+    {
+        unsigned units = 1;
+        /** Iterative units: next-free cycle per unit. */
+        std::vector<uint64_t> freeAt;
+        /** Pipelined pools: starts per cycle (ring keyed by cycle). */
+        std::vector<uint64_t> cycleStamp;
+        std::vector<uint8_t> startedInCycle;
+    };
+
+    std::array<Pool, numFuPools> pools;
+    LatencyTable latency;
+    std::array<bool, isa::numOpClasses> pipelined;
+};
+
+} // namespace raceval::core
+
+#endif // RACEVAL_CORE_CONTENTION_HH

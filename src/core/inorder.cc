@@ -1,0 +1,220 @@
+#include "core/inorder.hh"
+
+#include "common/log.hh"
+
+namespace raceval::core
+{
+
+using isa::OpClass;
+
+InOrderCore::InOrderCore(const CoreParams &params)
+    : cparams(params), mem(params.mem), bp(params.bp),
+      contention(params)
+{
+    cparams.validate();
+    regReady.assign(isa::numIntRegs + isa::numFpRegs, 0);
+    mshrFree.assign(cparams.mem.l1d.mshrs, 0);
+    storeBufFree.assign(cparams.storeBufferEntries, 0);
+    pendingStores.assign(8, PendingStore{});
+}
+
+void
+InOrderCore::resetState()
+{
+    mem.reset();
+    bp.reset();
+    contention.reset();
+    cycle = 0;
+    issuedThisCycle = 0;
+    fetchReadyAt = 0;
+    lastFetchLine = ~0ull;
+    maxDone = 0;
+    std::fill(regReady.begin(), regReady.end(), 0);
+    std::fill(mshrFree.begin(), mshrFree.end(), 0);
+    std::fill(storeBufFree.begin(), storeBufFree.end(), 0);
+    std::fill(pendingStores.begin(), pendingStores.end(), PendingStore{});
+    pendingStoreHead = 0;
+    lastDrain = 0;
+}
+
+void
+InOrderCore::stallUntil(uint64_t target)
+{
+    if (target > cycle) {
+        cycle = target;
+        issuedThisCycle = 0;
+    }
+}
+
+void
+InOrderCore::advanceSlot()
+{
+    if (++issuedThisCycle >= cparams.dispatchWidth) {
+        ++cycle;
+        issuedThisCycle = 0;
+    }
+}
+
+void
+InOrderCore::frontend(const vm::DynInst &dyn)
+{
+    uint64_t line = dyn.pc / mem.lineBytes();
+    if (line == lastFetchLine)
+        return;
+    lastFetchLine = line;
+    cache::AccessResult fetch =
+        mem.access(dyn.pc, dyn.pc, false, true, cycle);
+    if (fetch.servedBy != cache::ServedBy::L1) {
+        // A pipelined front-end hides hit latency; only the beyond-L1
+        // cycles show up as a fetch bubble.
+        uint64_t bubble = fetch.latency - cparams.mem.l1i.latency;
+        if (cycle + bubble > fetchReadyAt)
+            fetchReadyAt = cycle + bubble;
+    }
+}
+
+bool
+InOrderCore::forwardedFromStore(uint64_t addr, unsigned size,
+                                uint64_t now) const
+{
+    for (const PendingStore &st : pendingStores) {
+        if (st.size == 0 || st.drainAt <= now)
+            continue; // empty slot or already drained to the cache
+        if (addr >= st.addr && addr + size <= st.addr + st.size)
+            return true;
+    }
+    return false;
+}
+
+CoreStats
+InOrderCore::run(vm::TraceSource &source)
+{
+    resetState();
+    source.reset();
+
+    CoreStats stats;
+    vm::DynInst dyn;
+    while (source.next(dyn)) {
+        ++stats.instructions;
+        frontend(dyn);
+
+        const isa::DecodedInst &inst = dyn.inst;
+        OpClass cls = inst.cls;
+
+        // Operand readiness (in-order: also bounded by the front end).
+        uint64_t ready = cycle > fetchReadyAt ? cycle : fetchReadyAt;
+        for (unsigned i = 0; i < inst.numSrcs; ++i) {
+            uint64_t at = regReady[inst.src[i]];
+            if (at > ready)
+                ready = at;
+        }
+
+        // Structural hazard: wait for a unit of the right pool.
+        uint64_t start = contention.reserve(cls, ready);
+        stallUntil(start);
+
+        uint64_t done = cycle + contention.latencyOf(cls);
+
+        switch (cls) {
+          case OpClass::Load: {
+            unsigned lat;
+            if (cparams.forwarding
+                && forwardedFromStore(dyn.memAddr, inst.memSize, cycle)) {
+                lat = cparams.forwardLatency;
+                // The cache still sees the access (tag energy, MSHR
+                // pressure are not modeled for forwarded hits).
+                mem.access(dyn.pc, dyn.memAddr, false, false, cycle);
+            } else {
+                // An L1 miss needs an MSHR before it can leave the
+                // core, which also spaces out DRAM arrivals (limited
+                // hit-under-miss).
+                uint64_t access_at = cycle;
+                size_t slot = mshrFree.size();
+                if (!mem.l1d().probe(dyn.memAddr / mem.lineBytes())) {
+                    slot = 0;
+                    for (size_t i = 1; i < mshrFree.size(); ++i) {
+                        if (mshrFree[i] < mshrFree[slot])
+                            slot = i;
+                    }
+                    if (mshrFree[slot] > access_at)
+                        access_at = mshrFree[slot];
+                }
+                cache::AccessResult res =
+                    mem.access(dyn.pc, dyn.memAddr, false, false,
+                               access_at);
+                lat = static_cast<unsigned>(access_at - cycle)
+                    + res.latency;
+                if (slot != mshrFree.size())
+                    mshrFree[slot] = access_at + res.latency;
+            }
+            done = cycle + lat;
+            break;
+          }
+
+          case OpClass::Store: {
+            // Claim a store buffer slot; a full buffer stalls issue.
+            size_t slot = 0;
+            for (size_t i = 1; i < storeBufFree.size(); ++i) {
+                if (storeBufFree[i] < storeBufFree[slot])
+                    slot = i;
+            }
+            stallUntil(storeBufFree[slot]);
+            cache::AccessResult res =
+                mem.access(dyn.pc, dyn.memAddr, true, false, cycle);
+            uint64_t drain_start =
+                cycle > lastDrain ? cycle : lastDrain;
+            uint64_t drain_done = drain_start + res.latency;
+            lastDrain = drain_done;
+            storeBufFree[slot] = drain_done;
+            pendingStores[pendingStoreHead] =
+                PendingStore{dyn.memAddr, inst.memSize, drain_done};
+            pendingStoreHead =
+                (pendingStoreHead + 1) % pendingStores.size();
+            done = cycle + contention.latencyOf(cls);
+            break;
+          }
+
+          case OpClass::BranchCond:
+          case OpClass::BranchUncond:
+          case OpClass::BranchIndirect:
+          case OpClass::BranchCall:
+          case OpClass::BranchRet: {
+            bool mispredict = bp.predict(dyn);
+            if (mispredict) {
+                uint64_t redirect = done + cparams.mispredictPenalty;
+                if (redirect > fetchReadyAt)
+                    fetchReadyAt = redirect;
+                lastFetchLine = ~0ull;
+            } else if (dyn.taken && cparams.takenBranchBubble) {
+                uint64_t bubble = cycle + cparams.takenBranchBubble;
+                if (bubble > fetchReadyAt)
+                    fetchReadyAt = bubble;
+            }
+            break;
+          }
+
+          default:
+            break;
+        }
+
+        if (inst.hasDst())
+            regReady[inst.dst] = done;
+        if (done > maxDone)
+            maxDone = done;
+        advanceSlot();
+    }
+
+    uint64_t end = cycle > maxDone ? cycle : maxDone;
+    if (lastDrain > end)
+        end = lastDrain;
+    stats.cycles = end;
+    stats.branch = bp.stats();
+    stats.l1iMisses = mem.l1i().stats().misses;
+    stats.l1dAccesses = mem.l1d().stats().accesses;
+    stats.l1dMisses = mem.l1d().stats().misses;
+    stats.l2Misses = mem.l2().stats().misses;
+    stats.dramReads = mem.dram().readCount();
+    return stats;
+}
+
+} // namespace raceval::core

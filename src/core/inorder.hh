@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Abstract in-order core timing model (the "Sniper-ARM in-order model"
+ * validated against the Cortex-A53 in the paper).
+ *
+ * Like Sniper, this is cycle *accounting*, not cycle-by-cycle
+ * simulation: the model walks the dynamic instruction stream once,
+ * carrying per-register readiness, functional-unit reservations, store
+ * buffer and MSHR occupancy, and front-end (icache / branch) stall
+ * state. That keeps it an order of magnitude faster than the detailed
+ * hardware model while modeling every first-order contention effect.
+ */
+
+#ifndef RACEVAL_CORE_INORDER_HH
+#define RACEVAL_CORE_INORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "core/contention.hh"
+#include "core/params.hh"
+#include "core/stats.hh"
+#include "vm/trace.hh"
+
+namespace raceval::core
+{
+
+/**
+ * Dual-issue (configurable width) in-order, stall-on-use pipeline model
+ * with a store buffer, limited hit-under-miss (MSHRs) and
+ * store-to-load forwarding.
+ */
+class InOrderCore
+{
+  public:
+    explicit InOrderCore(const CoreParams &params);
+
+    /**
+     * Simulate one full trace from a clean machine state.
+     *
+     * @param source dynamic instruction stream (reset() is called).
+     * @return run statistics (CPI etc.).
+     */
+    CoreStats run(vm::TraceSource &source);
+
+    /** @return the active configuration. */
+    const CoreParams &params() const { return cparams; }
+
+  private:
+    CoreParams cparams;
+    cache::MemoryHierarchy mem;
+    branch::BranchUnit bp;
+    ContentionModel contention;
+
+    // --- per-run scoreboard state ---------------------------------------
+    uint64_t cycle = 0;
+    unsigned issuedThisCycle = 0;
+    uint64_t fetchReadyAt = 0;
+    uint64_t lastFetchLine = ~0ull;
+    uint64_t maxDone = 0;
+    std::vector<uint64_t> regReady;
+    std::vector<uint64_t> mshrFree;
+    std::vector<uint64_t> storeBufFree;
+    uint64_t lastDrain = 0;
+
+    /** Recent stores for forwarding checks. */
+    struct PendingStore
+    {
+        uint64_t addr = 0;
+        unsigned size = 0;
+        uint64_t drainAt = 0;
+    };
+    std::vector<PendingStore> pendingStores;
+    size_t pendingStoreHead = 0;
+
+    void resetState();
+    void frontend(const vm::DynInst &dyn);
+    void advanceSlot();
+
+    /** Stall issue until at least target (resets the slot counter). */
+    void stallUntil(uint64_t target);
+
+    /** @return forwarding hit for a load fully covered by a store
+     *  still sitting in the store buffer at cycle now. */
+    bool forwardedFromStore(uint64_t addr, unsigned size,
+                            uint64_t now) const;
+};
+
+} // namespace raceval::core
+
+#endif // RACEVAL_CORE_INORDER_HH

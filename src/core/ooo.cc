@@ -1,0 +1,235 @@
+#include "core/ooo.hh"
+
+#include "common/log.hh"
+
+namespace raceval::core
+{
+
+using isa::OpClass;
+
+OooCore::OooCore(const CoreParams &params)
+    : cparams(params), mem(params.mem), bp(params.bp), contention(params)
+{
+    cparams.validate();
+    regReady.assign(isa::numIntRegs + isa::numFpRegs, 0);
+    robFreeAt.assign(cparams.robEntries, 0);
+    iqFreeAt.assign(cparams.iqEntries, 0);
+    lqFreeAt.assign(cparams.lqEntries, 0);
+    sqFreeAt.assign(cparams.sqEntries, 0);
+    retireRing.assign(cparams.commitWidth, 0);
+    mshrFree.assign(cparams.mem.l1d.mshrs, 0);
+    pendingStores.assign(16, PendingStore{});
+}
+
+void
+OooCore::resetState()
+{
+    mem.reset();
+    bp.reset();
+    contention.reset();
+    dispatchCycle = 0;
+    dispatchedThisCycle = 0;
+    fetchReadyAt = 0;
+    lastFetchLine = ~0ull;
+    lastRetire = 0;
+    seq = 0;
+    loadSeq = 0;
+    storeSeq = 0;
+    lastDrain = 0;
+    std::fill(regReady.begin(), regReady.end(), 0);
+    std::fill(robFreeAt.begin(), robFreeAt.end(), 0);
+    std::fill(iqFreeAt.begin(), iqFreeAt.end(), 0);
+    std::fill(lqFreeAt.begin(), lqFreeAt.end(), 0);
+    std::fill(sqFreeAt.begin(), sqFreeAt.end(), 0);
+    std::fill(retireRing.begin(), retireRing.end(), 0);
+    std::fill(mshrFree.begin(), mshrFree.end(), 0);
+    std::fill(pendingStores.begin(), pendingStores.end(), PendingStore{});
+    pendingStoreHead = 0;
+}
+
+void
+OooCore::frontend(const vm::DynInst &dyn)
+{
+    uint64_t line = dyn.pc / mem.lineBytes();
+    if (line == lastFetchLine)
+        return;
+    lastFetchLine = line;
+    cache::AccessResult fetch =
+        mem.access(dyn.pc, dyn.pc, false, true, dispatchCycle);
+    if (fetch.servedBy != cache::ServedBy::L1) {
+        uint64_t bubble = fetch.latency - cparams.mem.l1i.latency;
+        if (dispatchCycle + bubble > fetchReadyAt)
+            fetchReadyAt = dispatchCycle + bubble;
+    }
+}
+
+bool
+OooCore::forwardedFromStore(uint64_t addr, unsigned size,
+                            uint64_t now) const
+{
+    for (const PendingStore &st : pendingStores) {
+        if (st.size == 0 || st.drainAt <= now)
+            continue;
+        if (addr >= st.addr && addr + size <= st.addr + st.size)
+            return true;
+    }
+    return false;
+}
+
+CoreStats
+OooCore::run(vm::TraceSource &source)
+{
+    resetState();
+    source.reset();
+
+    CoreStats stats;
+    vm::DynInst dyn;
+    while (source.next(dyn)) {
+        ++stats.instructions;
+        frontend(dyn);
+
+        const isa::DecodedInst &inst = dyn.inst;
+        OpClass cls = inst.cls;
+        bool is_load = cls == OpClass::Load;
+        bool is_store = cls == OpClass::Store;
+
+        // --- dispatch: in-order, gated by window resources -------------
+        uint64_t dready = dispatchCycle > fetchReadyAt
+            ? dispatchCycle : fetchReadyAt;
+        uint64_t rob_free = robFreeAt[seq % robFreeAt.size()];
+        if (rob_free > dready)
+            dready = rob_free;
+        uint64_t iq_free = iqFreeAt[seq % iqFreeAt.size()];
+        if (iq_free > dready)
+            dready = iq_free;
+        if (is_load) {
+            uint64_t lq_free = lqFreeAt[loadSeq % lqFreeAt.size()];
+            if (lq_free > dready)
+                dready = lq_free;
+        }
+        if (is_store) {
+            uint64_t sq_free = sqFreeAt[storeSeq % sqFreeAt.size()];
+            if (sq_free > dready)
+                dready = sq_free;
+        }
+        if (dready > dispatchCycle) {
+            dispatchCycle = dready;
+            dispatchedThisCycle = 0;
+        }
+
+        // --- issue: out-of-order on operand readiness + FU -------------
+        uint64_t ready = dispatchCycle;
+        for (unsigned i = 0; i < inst.numSrcs; ++i) {
+            uint64_t at = regReady[inst.src[i]];
+            if (at > ready)
+                ready = at;
+        }
+        uint64_t start = contention.reserve(cls, ready);
+        uint64_t complete = start + contention.latencyOf(cls);
+
+        if (is_load) {
+            unsigned lat;
+            if (cparams.forwarding
+                && forwardedFromStore(dyn.memAddr, inst.memSize, start)) {
+                lat = cparams.forwardLatency;
+                mem.access(dyn.pc, dyn.memAddr, false, false, start);
+            } else {
+                // Memory-level parallelism is capped by the MSHRs: a
+                // miss leaves the core only when an MSHR frees up,
+                // which also spaces out its DRAM arrival time.
+                uint64_t access_at = start;
+                size_t slot = mshrFree.size();
+                if (!mem.l1d().probe(dyn.memAddr / mem.lineBytes())) {
+                    slot = 0;
+                    for (size_t i = 1; i < mshrFree.size(); ++i) {
+                        if (mshrFree[i] < mshrFree[slot])
+                            slot = i;
+                    }
+                    if (mshrFree[slot] > access_at)
+                        access_at = mshrFree[slot];
+                }
+                cache::AccessResult res =
+                    mem.access(dyn.pc, dyn.memAddr, false, false,
+                               access_at);
+                lat = static_cast<unsigned>(access_at - start)
+                    + res.latency;
+                if (slot != mshrFree.size())
+                    mshrFree[slot] = access_at + res.latency;
+            }
+            complete = start + lat;
+        }
+
+        bool mispredict = false;
+        if (inst.isBranch) {
+            mispredict = bp.predict(dyn);
+            if (mispredict) {
+                // The front end restarts only once the branch resolves.
+                uint64_t redirect = complete + cparams.mispredictPenalty;
+                if (redirect > fetchReadyAt)
+                    fetchReadyAt = redirect;
+                lastFetchLine = ~0ull;
+            } else if (dyn.taken && cparams.takenBranchBubble) {
+                uint64_t bubble =
+                    dispatchCycle + cparams.takenBranchBubble;
+                if (bubble > fetchReadyAt)
+                    fetchReadyAt = bubble;
+            }
+        }
+
+        // --- retire: in-order, commitWidth per cycle --------------------
+        uint64_t retire = complete;
+        uint64_t window = retireRing[seq % retireRing.size()] + 1;
+        if (window > retire)
+            retire = window;
+        if (lastRetire > retire)
+            retire = lastRetire;
+        retireRing[seq % retireRing.size()] = retire;
+        lastRetire = retire;
+
+        if (is_store) {
+            // Stores drain to the cache after retiring; the SQ entry is
+            // pinned until the drain completes.
+            cache::AccessResult res =
+                mem.access(dyn.pc, dyn.memAddr, true, false, retire);
+            uint64_t drain_start =
+                retire > lastDrain ? retire : lastDrain;
+            uint64_t drain_done = drain_start + res.latency;
+            lastDrain = drain_done;
+            sqFreeAt[storeSeq % sqFreeAt.size()] = drain_done;
+            pendingStores[pendingStoreHead] =
+                PendingStore{dyn.memAddr, inst.memSize, drain_done};
+            pendingStoreHead =
+                (pendingStoreHead + 1) % pendingStores.size();
+            ++storeSeq;
+        }
+        if (is_load) {
+            lqFreeAt[loadSeq % lqFreeAt.size()] = retire;
+            ++loadSeq;
+        }
+
+        if (inst.hasDst())
+            regReady[inst.dst] = complete;
+        robFreeAt[seq % robFreeAt.size()] = retire;
+        iqFreeAt[seq % iqFreeAt.size()] = start;
+        ++seq;
+
+        if (++dispatchedThisCycle >= cparams.dispatchWidth) {
+            ++dispatchCycle;
+            dispatchedThisCycle = 0;
+        }
+    }
+
+    uint64_t end = lastRetire > dispatchCycle ? lastRetire : dispatchCycle;
+    if (lastDrain > end)
+        end = lastDrain;
+    stats.cycles = end;
+    stats.branch = bp.stats();
+    stats.l1iMisses = mem.l1i().stats().misses;
+    stats.l1dAccesses = mem.l1d().stats().accesses;
+    stats.l1dMisses = mem.l1d().stats().misses;
+    stats.l2Misses = mem.l2().stats().misses;
+    stats.dramReads = mem.dram().readCount();
+    return stats;
+}
+
+} // namespace raceval::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Abstract out-of-order core timing model (the "Sniper-ARM
+ * out-of-order model" validated against the Cortex-A72 in the paper).
+ *
+ * Interval-style cycle accounting: a single in-order walk over the
+ * dynamic stream carrying the reorder-buffer / issue-queue / load-
+ * store-queue occupancy as rings of event times, register readiness
+ * for true dependencies (renaming removes the false ones), functional
+ * unit reservations and front-end stalls. Dispatch is the in-order
+ * bottleneck; everything downstream floats on event times, which is
+ * what gives the model out-of-order overlap without a cycle loop.
+ */
+
+#ifndef RACEVAL_CORE_OOO_HH
+#define RACEVAL_CORE_OOO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "core/contention.hh"
+#include "core/params.hh"
+#include "core/stats.hh"
+#include "vm/trace.hh"
+
+namespace raceval::core
+{
+
+/** Out-of-order core model (ROB + IQ + LQ/SQ + FU contention). */
+class OooCore
+{
+  public:
+    explicit OooCore(const CoreParams &params);
+
+    /**
+     * Simulate one full trace from a clean machine state.
+     *
+     * @param source dynamic instruction stream (reset() is called).
+     * @return run statistics (CPI etc.).
+     */
+    CoreStats run(vm::TraceSource &source);
+
+    /** @return the active configuration. */
+    const CoreParams &params() const { return cparams; }
+
+  private:
+    CoreParams cparams;
+    cache::MemoryHierarchy mem;
+    branch::BranchUnit bp;
+    ContentionModel contention;
+
+    // --- per-run scoreboard state ---------------------------------------
+    uint64_t dispatchCycle = 0;
+    unsigned dispatchedThisCycle = 0;
+    uint64_t fetchReadyAt = 0;
+    uint64_t lastFetchLine = ~0ull;
+    uint64_t lastRetire = 0;
+    uint64_t seq = 0;       //!< instruction sequence number
+    uint64_t loadSeq = 0;
+    uint64_t storeSeq = 0;
+    uint64_t lastDrain = 0;
+
+    std::vector<uint64_t> regReady;
+    std::vector<uint64_t> robFreeAt;    //!< retire time ring, robEntries
+    std::vector<uint64_t> iqFreeAt;     //!< issue time ring, iqEntries
+    std::vector<uint64_t> lqFreeAt;     //!< load retire ring
+    std::vector<uint64_t> sqFreeAt;     //!< store drain ring
+    std::vector<uint64_t> retireRing;   //!< last commitWidth retires
+    std::vector<uint64_t> mshrFree;
+
+    struct PendingStore
+    {
+        uint64_t addr = 0;
+        unsigned size = 0;
+        uint64_t drainAt = 0;
+    };
+    std::vector<PendingStore> pendingStores;
+    size_t pendingStoreHead = 0;
+
+    void resetState();
+    void frontend(const vm::DynInst &dyn);
+    bool forwardedFromStore(uint64_t addr, unsigned size,
+                            uint64_t now) const;
+};
+
+} // namespace raceval::core
+
+#endif // RACEVAL_CORE_OOO_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Aggregated outcome of one timing-model run.
+ */
+
+#ifndef RACEVAL_CORE_STATS_HH
+#define RACEVAL_CORE_STATS_HH
+
+#include <cstdint>
+
+#include "branch/predictor.hh"
+
+namespace raceval::core
+{
+
+/**
+ * Counters produced by a timing run. The same struct is produced by
+ * the abstract models and the detailed hardware stand-in, so cost
+ * functions can mix CPI with component-level metrics (e.g. branch
+ * misprediction rate, as the paper's step #5 recommends).
+ */
+struct CoreStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    branch::BranchStats branch;
+
+    uint64_t l1iMisses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t dramReads = 0;
+
+    /** @return cycles per instruction. */
+    double
+    cpi() const
+    {
+        return instructions
+            ? static_cast<double>(cycles) / static_cast<double>(instructions)
+            : 0.0;
+    }
+
+    /** @return L1D misses per kilo-instruction. */
+    double
+    l1dMpki() const
+    {
+        return instructions
+            ? 1000.0 * static_cast<double>(l1dMisses)
+                / static_cast<double>(instructions)
+            : 0.0;
+    }
+};
+
+} // namespace raceval::core
+
+#endif // RACEVAL_CORE_STATS_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The hidden ground-truth configurations of the two "boards".
+ *
+ * These play the role of the physical Cortex-A53 / Cortex-A72 silicon:
+ * the validation flow may *measure* machines built from them but never
+ * reads the parameter values. They deliberately differ from the
+ * public-information models (core::publicInfoA53/A72) exactly on the
+ * parameters ARM does not disclose -- branch predictor organization,
+ * prefetchers, store buffering, hashing, penalties, window sizes --
+ * which is the specification gap the racing tuner has to close.
+ */
+
+#include "hw/machine.hh"
+
+#include "common/str.hh"
+
+namespace raceval::hw
+{
+
+using namespace raceval::core;
+using raceval::cache::HashKind;
+using raceval::cache::PrefetchKind;
+using raceval::cache::ReplKind;
+using raceval::branch::PredictorKind;
+
+HwParams
+secretA53()
+{
+    HwParams hw;
+    CoreParams &p = hw.core;
+    p.name = "a53-secret";
+    // Public facts stay as documented (dual-issue in-order, cache
+    // geometry from the RK3399 datasheet).
+    p.fetchWidth = 2;
+    p.dispatchWidth = 2;
+    p.commitWidth = 2;
+    p.numIntAlu = 2;
+    p.numIntMul = 1;
+    p.numFpSimd = 1;
+    p.numLoadPorts = 1;
+    p.numStorePorts = 1;
+    p.numBranch = 1;
+
+    // Undisclosed truth the tuner must recover.
+    p.mispredictPenalty = 8;
+    p.takenBranchBubble = 1;
+    p.storeBufferEntries = 6;
+    p.forwarding = true;
+    p.forwardLatency = 1;
+    auto &lat = p.latency;
+    lat[static_cast<size_t>(isa::OpClass::IntMul)] = 3;
+    lat[static_cast<size_t>(isa::OpClass::IntDiv)] = 10;
+    lat[static_cast<size_t>(isa::OpClass::FpAdd)] = 4;
+    lat[static_cast<size_t>(isa::OpClass::FpMul)] = 4;
+    lat[static_cast<size_t>(isa::OpClass::FpDiv)] = 11;
+    lat[static_cast<size_t>(isa::OpClass::FpSqrt)] = 12;
+    lat[static_cast<size_t>(isa::OpClass::FpCvt)] = 2;
+    lat[static_cast<size_t>(isa::OpClass::FpMov)] = 1;
+    lat[static_cast<size_t>(isa::OpClass::SimdAdd)] = 3;
+    lat[static_cast<size_t>(isa::OpClass::SimdMul)] = 4;
+
+    // Memory hierarchy: RK3399 'little' cluster.
+    p.mem.l1i.name = "l1i";
+    p.mem.l1i.sizeBytes = 32 * KiB;
+    p.mem.l1i.assoc = 2;
+    p.mem.l1i.latency = 1;
+    p.mem.l1d.name = "l1d";
+    p.mem.l1d.sizeBytes = 32 * KiB;
+    p.mem.l1d.assoc = 4;
+    p.mem.l1d.latency = 3;
+    p.mem.l1d.mshrs = 3;
+    p.mem.l1d.hash = HashKind::Xor;
+    p.mem.l1d.repl = ReplKind::TreePLRU;
+    p.mem.l1d.prefetch = PrefetchKind::Stride;
+    p.mem.l1d.prefetchDegree = 2;
+    p.mem.l1d.strideEntries = 32;
+    p.mem.l2.name = "l2";
+    p.mem.l2.sizeBytes = 512 * KiB;
+    p.mem.l2.assoc = 16;
+    p.mem.l2.latency = 13;
+    p.mem.l2.mshrs = 8;
+    p.mem.l2.prefetch = PrefetchKind::Stride;
+    p.mem.l2.prefetchDegree = 2;
+    p.mem.l2.serialTagData = true;
+    p.mem.dram.latency = 150;
+    p.mem.dram.cyclesPerLine = 6;
+
+    // Branch unit: tournament with indirect support (the CS1 story).
+    p.bp.kind = PredictorKind::Tournament;
+    p.bp.tableBits = 12;
+    p.bp.historyBits = 8;
+    p.bp.btbBits = 9;
+    p.bp.rasEntries = 8;
+    p.bp.indirect = true;
+    p.bp.indirectBits = 9;
+    p.bp.indirectHistory = 8;
+
+    // Hardware-only effects (abstraction gap).
+    hw.zeroPageReads = true;
+    hw.pageWalkPenalty = 22;
+    hw.partialForwardPenalty = 6;
+    hw.noiseStdDev = 0.012;
+    return hw;
+}
+
+HwParams
+secretA72()
+{
+    HwParams hw;
+    CoreParams &p = hw.core;
+    p.name = "a72-secret";
+    // Public facts: 3-wide decode, out-of-order, 'big' cluster caches.
+    p.fetchWidth = 3;
+    p.dispatchWidth = 3;
+    p.commitWidth = 3;
+    p.numIntAlu = 2;
+    p.numIntMul = 1;
+    p.numFpSimd = 2;
+    p.numLoadPorts = 1;
+    p.numStorePorts = 1;
+    p.numBranch = 1;
+
+    // Undisclosed truth.
+    p.mispredictPenalty = 14;
+    p.takenBranchBubble = 0;
+    p.robEntries = 128;
+    p.iqEntries = 48;
+    p.lqEntries = 32;
+    p.sqEntries = 20;
+    p.storeBufferEntries = 6; // unused by the OoO pipe, kept coherent
+    p.forwarding = true;
+    p.forwardLatency = 1;
+    auto &lat = p.latency;
+    lat[static_cast<size_t>(isa::OpClass::IntMul)] = 3;
+    lat[static_cast<size_t>(isa::OpClass::IntDiv)] = 9;
+    lat[static_cast<size_t>(isa::OpClass::FpAdd)] = 4;
+    lat[static_cast<size_t>(isa::OpClass::FpMul)] = 4;
+    lat[static_cast<size_t>(isa::OpClass::FpDiv)] = 10;
+    lat[static_cast<size_t>(isa::OpClass::FpSqrt)] = 12;
+    lat[static_cast<size_t>(isa::OpClass::FpCvt)] = 2;
+    lat[static_cast<size_t>(isa::OpClass::FpMov)] = 1;
+    lat[static_cast<size_t>(isa::OpClass::SimdAdd)] = 3;
+    lat[static_cast<size_t>(isa::OpClass::SimdMul)] = 4;
+
+    p.mem.l1i.name = "l1i";
+    p.mem.l1i.sizeBytes = 48 * KiB;
+    p.mem.l1i.assoc = 3;
+    p.mem.l1i.latency = 1;
+    p.mem.l1d.name = "l1d";
+    p.mem.l1d.sizeBytes = 32 * KiB;
+    p.mem.l1d.assoc = 4;
+    p.mem.l1d.latency = 4;
+    p.mem.l1d.mshrs = 6;
+    p.mem.l1d.hash = HashKind::Xor;
+    p.mem.l1d.repl = ReplKind::LRU;
+    p.mem.l1d.prefetch = PrefetchKind::Stride;
+    p.mem.l1d.prefetchDegree = 4;
+    p.mem.l1d.strideEntries = 64;
+    p.mem.l2.name = "l2";
+    p.mem.l2.sizeBytes = 1 * MiB;
+    p.mem.l2.assoc = 16;
+    p.mem.l2.latency = 14;
+    p.mem.l2.mshrs = 10;
+    p.mem.l2.prefetch = PrefetchKind::Ghb;
+    p.mem.l2.prefetchDegree = 2;
+    p.mem.l2.ghbEntries = 256;
+    p.mem.dram.latency = 160;
+    p.mem.dram.cyclesPerLine = 4;
+
+    p.bp.kind = PredictorKind::Tournament;
+    p.bp.tableBits = 13;
+    p.bp.historyBits = 10;
+    p.bp.btbBits = 11;
+    p.bp.rasEntries = 16;
+    p.bp.indirect = true;
+    p.bp.indirectBits = 10;
+    p.bp.indirectHistory = 8;
+
+    hw.zeroPageReads = true;
+    hw.pageWalkPenalty = 26;
+    hw.partialForwardPenalty = 5;
+    hw.noiseStdDev = 0.015;
+    return hw;
+}
+
+} // namespace raceval::hw

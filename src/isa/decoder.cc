@@ -1,0 +1,297 @@
+#include "isa/decoder.hh"
+
+#include "common/log.hh"
+
+namespace raceval::isa
+{
+
+namespace
+{
+
+constexpr uint32_t opcodeShift = 26;
+constexpr uint32_t regMask = 0x1f;
+
+uint32_t
+opBits(Opcode op)
+{
+    return static_cast<uint32_t>(op) << opcodeShift;
+}
+
+/** Sign-extend the low n bits of x. */
+int64_t
+signExtend(uint32_t x, unsigned n)
+{
+    uint64_t value = x & ((1ull << n) - 1);
+    uint64_t sign_bit = 1ull << (n - 1);
+    return static_cast<int64_t>((value ^ sign_bit) - sign_bit);
+}
+
+void
+checkReg(uint8_t reg)
+{
+    RV_ASSERT(reg < 32, "register field %d out of range", reg);
+}
+
+} // namespace
+
+uint32_t
+encodeR(Opcode op, uint8_t rd, uint8_t rn, uint8_t rm, uint8_t ra)
+{
+    // FP opcodes take fp register *names* (0..31); flatting to ids
+    // [32, 64) happens at decode so the encoding stays 5 bits wide.
+    checkReg(rd & regMask);
+    return opBits(op) | (rd & regMask) | ((rn & regMask) << 5)
+        | ((rm & regMask) << 10) | ((ra & regMask) << 15);
+}
+
+uint32_t
+encodeI(Opcode op, uint8_t rd, uint8_t rn, int16_t imm16)
+{
+    checkReg(rd);
+    checkReg(rn);
+    return opBits(op) | rd | (static_cast<uint32_t>(rn) << 5)
+        | ((static_cast<uint32_t>(imm16) & 0xffff) << 10);
+}
+
+uint32_t
+encodeWide(Opcode op, uint8_t rd, uint8_t hw, uint16_t imm16)
+{
+    checkReg(rd);
+    RV_ASSERT(hw < 4, "movz/movk hw field %d out of range", hw);
+    return opBits(op) | rd | (static_cast<uint32_t>(hw) << 5)
+        | (static_cast<uint32_t>(imm16) << 10);
+}
+
+uint32_t
+encodeMemImm(Opcode op, uint8_t rt, uint8_t rn, uint8_t size_log2,
+             int16_t imm14)
+{
+    checkReg(rt);
+    checkReg(rn);
+    RV_ASSERT(size_log2 < 4, "mem size_log2 %d out of range", size_log2);
+    RV_ASSERT(imm14 >= -8192 && imm14 < 8192,
+              "imm14 %d out of range", imm14);
+    return opBits(op) | rt | (static_cast<uint32_t>(rn) << 5)
+        | (static_cast<uint32_t>(size_log2) << 10)
+        | ((static_cast<uint32_t>(imm14) & 0x3fff) << 12);
+}
+
+uint32_t
+encodeMemReg(Opcode op, uint8_t rt, uint8_t rn, uint8_t rm,
+             uint8_t size_log2)
+{
+    checkReg(rt);
+    checkReg(rn);
+    checkReg(rm);
+    RV_ASSERT(size_log2 < 4, "mem size_log2 %d out of range", size_log2);
+    return opBits(op) | rt | (static_cast<uint32_t>(rn) << 5)
+        | (static_cast<uint32_t>(rm) << 10)
+        | (static_cast<uint32_t>(size_log2) << 15);
+}
+
+uint32_t
+encodeB26(Opcode op, int32_t imm26)
+{
+    RV_ASSERT(imm26 >= -(1 << 25) && imm26 < (1 << 25),
+              "imm26 %d out of range", imm26);
+    return opBits(op) | (static_cast<uint32_t>(imm26) & 0x3ffffff);
+}
+
+uint32_t
+encodeCB(Opcode op, uint8_t ra, uint8_t rb, int16_t imm16)
+{
+    checkReg(ra);
+    checkReg(rb);
+    return opBits(op) | ra | (static_cast<uint32_t>(rb) << 5)
+        | ((static_cast<uint32_t>(imm16) & 0xffff) << 10);
+}
+
+uint32_t
+encodeRJump(Opcode op, uint8_t rn)
+{
+    checkReg(rn);
+    return opBits(op) | (static_cast<uint32_t>(rn) << 5);
+}
+
+uint32_t
+encodeNone(Opcode op)
+{
+    return opBits(op);
+}
+
+bool
+Decoder::decode(uint32_t word, DecodedInst &out) const
+{
+    uint32_t op_field = word >> opcodeShift;
+    if (op_field >= numOpcodes)
+        return false;
+
+    out = DecodedInst{};
+    out.op = static_cast<Opcode>(op_field);
+    out.cls = opClassOf(out.op);
+    out.isBranch = isBranchClass(out.cls);
+    bool fp_regs = isFpClass(out.cls);
+    auto flat = [fp_regs](uint8_t reg) -> uint8_t {
+        return fp_regs ? static_cast<uint8_t>(reg + fpRegBase) : reg;
+    };
+    // The integer zero register never participates in dependencies.
+    auto src_or_none = [fp_regs](uint8_t flat_reg) -> uint8_t {
+        return (!fp_regs && flat_reg == regZero) ? noReg : flat_reg;
+    };
+
+    uint8_t f0 = word & regMask;
+    uint8_t f1 = (word >> 5) & regMask;
+    uint8_t f2 = (word >> 10) & regMask;
+    uint8_t f3 = (word >> 15) & regMask;
+
+    auto add_src = [&out](uint8_t reg) {
+        if (reg != noReg)
+            out.src[out.numSrcs++] = reg;
+    };
+
+    switch (formatOf(out.op)) {
+      case Format::R:
+        out.dst = flat(f0);
+        add_src(src_or_none(flat(f1)));
+        // Fsqrt/Fcvt/Fmov are unary: rm is ignored by convention of the
+        // assembler (encoded as register 31), but decode it anyway so
+        // round-trip tests stay exact.
+        if (out.op == Opcode::Fsqrt || out.op == Opcode::Fcvt
+            || out.op == Opcode::Fmov) {
+            // unary: single source.
+        } else {
+            add_src(src_or_none(flat(f2)));
+        }
+        if (out.op == Opcode::Madd || out.op == Opcode::Fmadd
+            || out.op == Opcode::Vfma) {
+            if (!opts.dropAccumulatorDep)
+                add_src(src_or_none(flat(f3)));
+        }
+        // Fclt compares two FP regs but writes an *integer* register.
+        if (out.op == Opcode::Fclt)
+            out.dst = f0;
+        break;
+
+      case Format::I:
+        out.dst = f0;
+        add_src(src_or_none(f1));
+        out.imm = signExtend(word >> 10, 16);
+        break;
+
+      case Format::Wide:
+        out.dst = f0;
+        out.hw = f1 & 0x3;
+        out.imm = (word >> 10) & 0xffff;
+        // MOVK preserves the other bits of rd: it is also a source.
+        if (out.op == Opcode::Movk)
+            add_src(src_or_none(f0));
+        break;
+
+      case Format::MemImm:
+        out.memSize = static_cast<uint8_t>(1u << ((word >> 10) & 0x3));
+        out.imm = signExtend(word >> 12, 14);
+        if (out.op == Opcode::Ldr || out.op == Opcode::Ldrf) {
+            out.isLoad = true;
+            out.dst = (out.op == Opcode::Ldrf)
+                ? static_cast<uint8_t>(f0 + fpRegBase) : f0;
+            add_src(src_or_none(f1)); // base
+        } else {
+            out.isStore = true;
+            add_src(src_or_none(f1)); // base address first
+            uint8_t data_reg = (out.op == Opcode::Strf)
+                ? static_cast<uint8_t>(f0 + fpRegBase) : f0;
+            add_src(out.op == Opcode::Strf
+                    ? data_reg : src_or_none(data_reg));
+        }
+        break;
+
+      case Format::MemReg:
+        out.memSize = static_cast<uint8_t>(1u << ((word >> 15) & 0x3));
+        if (out.op == Opcode::Ldx) {
+            out.isLoad = true;
+            out.dst = f0;
+            add_src(src_or_none(f1)); // base
+            add_src(src_or_none(f2)); // offset
+        } else {
+            out.isStore = true;
+            add_src(src_or_none(f1)); // base
+            add_src(src_or_none(f2)); // offset
+            add_src(src_or_none(f0)); // data
+        }
+        break;
+
+      case Format::B26:
+        out.imm = signExtend(word, 26);
+        if (out.op == Opcode::Bl)
+            out.dst = regLink;
+        break;
+
+      case Format::CB:
+        add_src(src_or_none(f0));
+        if (out.op != Opcode::Cbz && out.op != Opcode::Cbnz)
+            add_src(src_or_none(f1));
+        out.imm = signExtend(word >> 10, 16);
+        break;
+
+      case Format::RJump:
+        add_src(src_or_none(f1));
+        break;
+
+      case Format::None:
+        break;
+    }
+
+    // Writes to the integer zero register are architectural no-ops.
+    if (out.dst == regZero)
+        out.dst = noReg;
+    return true;
+}
+
+std::string
+disassemble(uint32_t word)
+{
+    Decoder decoder;
+    DecodedInst inst;
+    if (!decoder.decode(word, inst))
+        return strprintf(".word 0x%08x", word);
+
+    std::string srcs;
+    for (unsigned i = 0; i < inst.numSrcs; ++i)
+        srcs += strprintf("%s%s", i ? ", " : "",
+                          regName(inst.src[i]).c_str());
+
+    switch (formatOf(inst.op)) {
+      case Format::R:
+        return strprintf("%s %s, %s", opcodeName(inst.op),
+                         regName(inst.dst).c_str(), srcs.c_str());
+      case Format::I:
+        return strprintf("%s %s, %s, #%lld", opcodeName(inst.op),
+                         regName(inst.dst).c_str(),
+                         regName(inst.src[0]).c_str(),
+                         static_cast<long long>(inst.imm));
+      case Format::Wide:
+        return strprintf("%s %s, #%lld, lsl #%d", opcodeName(inst.op),
+                         regName(inst.dst).c_str(),
+                         static_cast<long long>(inst.imm), inst.hw * 16);
+      case Format::MemImm:
+      case Format::MemReg:
+        if (inst.isLoad) {
+            return strprintf("%s %s, [%s] sz=%d", opcodeName(inst.op),
+                             regName(inst.dst).c_str(), srcs.c_str(),
+                             inst.memSize);
+        }
+        return strprintf("%s [%s] sz=%d", opcodeName(inst.op),
+                         srcs.c_str(), inst.memSize);
+      case Format::B26:
+      case Format::CB:
+        return strprintf("%s %s off=%lld", opcodeName(inst.op),
+                         srcs.c_str(), static_cast<long long>(inst.imm));
+      case Format::RJump:
+        return strprintf("%s %s", opcodeName(inst.op), srcs.c_str());
+      case Format::None:
+      default:
+        return opcodeName(inst.op);
+    }
+}
+
+} // namespace raceval::isa

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Instruction word encoding and decoding for AArch64-lite.
+ *
+ * This is the reproduction's counterpart of the Capstone decoder library
+ * the paper integrates into Sniper's ARM front-end. It includes a
+ * fault-injection hook (DecoderOptions::dropAccumulatorDep) that
+ * re-creates the class of Capstone bug reported in the paper's §IV-B,
+ * where incorrectly decoded source registers broke inter-instruction
+ * dependency modeling.
+ */
+
+#ifndef RACEVAL_ISA_DECODER_HH
+#define RACEVAL_ISA_DECODER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hh"
+
+namespace raceval::isa
+{
+
+/**
+ * A fully decoded instruction, holding everything the functional
+ * executor and the timing models need to know about the static
+ * instruction.
+ */
+struct DecodedInst
+{
+    Opcode op = Opcode::Nop;
+    OpClass cls = OpClass::Nop;
+
+    /** Destination flat register id, or noReg. */
+    uint8_t dst = noReg;
+    /** Source flat register ids (noReg padded). */
+    uint8_t src[3] = { noReg, noReg, noReg };
+    /** Number of valid entries in src[]. */
+    uint8_t numSrcs = 0;
+
+    /** Sign-extended immediate (branch offsets in instruction units). */
+    int64_t imm = 0;
+    /** MOVZ/MOVK half-word index (shift = hw * 16). */
+    uint8_t hw = 0;
+
+    /** Memory access size in bytes (0 when not a memory op). */
+    uint8_t memSize = 0;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isBranch = false;
+
+    /** @return true when the instruction may write dst. */
+    bool hasDst() const { return dst != noReg; }
+};
+
+/** Encode helpers (exact inverses of Decoder::decode). */
+uint32_t encodeR(Opcode op, uint8_t rd, uint8_t rn, uint8_t rm,
+                 uint8_t ra = regZero);
+uint32_t encodeI(Opcode op, uint8_t rd, uint8_t rn, int16_t imm16);
+uint32_t encodeWide(Opcode op, uint8_t rd, uint8_t hw, uint16_t imm16);
+uint32_t encodeMemImm(Opcode op, uint8_t rt, uint8_t rn, uint8_t size_log2,
+                      int16_t imm14);
+uint32_t encodeMemReg(Opcode op, uint8_t rt, uint8_t rn, uint8_t rm,
+                      uint8_t size_log2);
+uint32_t encodeB26(Opcode op, int32_t imm26);
+uint32_t encodeCB(Opcode op, uint8_t ra, uint8_t rb, int16_t imm16);
+uint32_t encodeRJump(Opcode op, uint8_t rn);
+uint32_t encodeNone(Opcode op);
+
+/** Fault-injection switches for the decoder (all off by default). */
+struct DecoderOptions
+{
+    /**
+     * Drop the accumulator source of MADD/FMADD/VFMA, mimicking the
+     * Capstone dependency bug found during the paper's validation.
+     */
+    bool dropAccumulatorDep = false;
+};
+
+/**
+ * Stateless instruction decoder.
+ *
+ * decode() must accept every word produced by the encode helpers; it
+ * reports malformed opcodes through the valid flag rather than
+ * panicking, since trace replay may feed it arbitrary bytes.
+ */
+class Decoder
+{
+  public:
+    explicit Decoder(DecoderOptions options = {}) : opts(options) {}
+
+    /**
+     * Decode one instruction word.
+     *
+     * @param word the 32-bit instruction.
+     * @param[out] out decoded form (valid only when true is returned).
+     * @return false for undefined opcodes.
+     */
+    bool decode(uint32_t word, DecodedInst &out) const;
+
+    /** @return current fault-injection options. */
+    const DecoderOptions &options() const { return opts; }
+
+  private:
+    DecoderOptions opts;
+};
+
+/** Human-readable disassembly of a single instruction word. */
+std::string disassemble(uint32_t word);
+
+} // namespace raceval::isa
+
+#endif // RACEVAL_ISA_DECODER_HH

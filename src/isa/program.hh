@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Static program image: encoded code plus initialized data segments.
+ */
+
+#ifndef RACEVAL_ISA_PROGRAM_HH
+#define RACEVAL_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raceval::isa
+{
+
+/**
+ * An executable AArch64-lite image.
+ *
+ * The functional core starts at entry() and runs until a Halt
+ * instruction. Data segments are copied into simulated memory before
+ * execution; untouched memory reads as zero (and is flagged as a
+ * first-touch page by the hardware model, reproducing the paper's
+ * uninitialized-array anecdote).
+ */
+struct Program
+{
+    /** One initialized data region. */
+    struct DataSegment
+    {
+        uint64_t base = 0;
+        std::vector<uint8_t> bytes;
+    };
+
+    std::string name;
+    uint64_t codeBase = 0x10000;
+    std::vector<uint32_t> code;
+    std::vector<DataSegment> data;
+
+    /** @return the first executed pc. */
+    uint64_t entry() const { return codeBase; }
+
+    /** @return number of static instructions. */
+    size_t staticInsts() const { return code.size(); }
+
+    /** @return pc of static instruction i. */
+    uint64_t pcOf(size_t i) const { return codeBase + 4 * i; }
+
+    /** Append an initialized data segment. */
+    void
+    addData(uint64_t base, std::vector<uint8_t> bytes)
+    {
+        data.push_back(DataSegment{base, std::move(bytes)});
+    }
+
+    /** Append a data segment of n zero dwords (explicitly initialized). */
+    void
+    addZeroedDwords(uint64_t base, size_t n)
+    {
+        data.push_back(DataSegment{base, std::vector<uint8_t>(n * 8, 0)});
+    }
+};
+
+} // namespace raceval::isa
+
+#endif // RACEVAL_ISA_PROGRAM_HH

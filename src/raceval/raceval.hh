@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the raceval library.
+ */
+
+#ifndef RACEVAL_RACEVAL_HH
+#define RACEVAL_RACEVAL_HH
+
+#include "branch/predictor.hh"
+#include "cache/cache.hh"
+#include "cache/dram.hh"
+#include "cache/hierarchy.hh"
+#include "cache/params.hh"
+#include "cache/prefetch.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/str.hh"
+#include "common/thread_pool.hh"
+#include "core/contention.hh"
+#include "core/inorder.hh"
+#include "core/ooo.hh"
+#include "core/params.hh"
+#include "core/stats.hh"
+#include "hw/machine.hh"
+#include "isa/assembler.hh"
+#include "isa/decoder.hh"
+#include "isa/opcodes.hh"
+#include "isa/program.hh"
+#include "sift/sift.hh"
+#include "stats/descriptive.hh"
+#include "stats/distributions.hh"
+#include "stats/tests.hh"
+#include "tuner/race.hh"
+#include "tuner/space.hh"
+#include "ubench/ubench.hh"
+#include "validate/flow.hh"
+#include "validate/latency_probe.hh"
+#include "validate/oracle.hh"
+#include "validate/perturb.hh"
+#include "validate/sniper_space.hh"
+#include "vm/functional.hh"
+#include "vm/mem.hh"
+#include "vm/trace.hh"
+#include "workload/workload.hh"
+
+#endif // RACEVAL_RACEVAL_HH

@@ -1,0 +1,194 @@
+#include "stats/distributions.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace raceval::stats
+{
+
+namespace
+{
+
+constexpr int maxIterations = 500;
+constexpr double epsilon = 1e-14;
+constexpr double tiny = 1e-300;
+
+/** Series expansion of P(a, x), valid for x < a + 1. */
+double
+gammaPSeries(double a, double x)
+{
+    double ap = a;
+    double sum = 1.0 / a;
+    double term = sum;
+    for (int i = 0; i < maxIterations; ++i) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * epsilon)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Continued fraction for Q(a, x), valid for x >= a + 1. */
+double
+gammaQContinued(double a, double x)
+{
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= maxIterations; ++i) {
+        double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < epsilon)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Continued fraction for the incomplete beta (Lentz's algorithm). */
+double
+betaContinued(double a, double b, double x)
+{
+    double qab = a + b;
+    double qap = a + 1.0;
+    double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < tiny)
+        d = tiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= maxIterations; ++m) {
+        double m_d = static_cast<double>(m);
+        double m2 = 2.0 * m_d;
+        double aa = m_d * (b - m_d) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m_d) * (qab + m_d) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < epsilon)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+gammaP(double a, double x)
+{
+    RV_ASSERT(a > 0.0 && x >= 0.0, "gammaP(%f, %f) out of domain", a, x);
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinued(a, x);
+}
+
+double
+gammaQ(double a, double x)
+{
+    RV_ASSERT(a > 0.0 && x >= 0.0, "gammaQ(%f, %f) out of domain", a, x);
+    if (x == 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - gammaPSeries(a, x);
+    return gammaQContinued(a, x);
+}
+
+double
+betaInc(double a, double b, double x)
+{
+    RV_ASSERT(a > 0.0 && b > 0.0 && x >= 0.0 && x <= 1.0,
+              "betaInc(%f, %f, %f) out of domain", a, b, x);
+    if (x == 0.0)
+        return 0.0;
+    if (x == 1.0)
+        return 1.0;
+    double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b)
+        + a * std::log(x) + b * std::log(1.0 - x);
+    double front = std::exp(ln_front);
+    // Use the symmetry that converges fastest.
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinued(a, b, x) / a;
+    return 1.0 - front * betaContinued(b, a, 1.0 - x) / b;
+}
+
+double
+chi2Sf(double x, double k)
+{
+    RV_ASSERT(k > 0.0, "chi2Sf with df=%f", k);
+    if (x <= 0.0)
+        return 1.0;
+    return gammaQ(0.5 * k, 0.5 * x);
+}
+
+double
+tTwoSidedP(double t, double df)
+{
+    RV_ASSERT(df > 0.0, "tTwoSidedP with df=%f", df);
+    double t2 = t * t;
+    return betaInc(0.5 * df, 0.5, df / (df + t2));
+}
+
+double
+tQuantile(double p, double df)
+{
+    RV_ASSERT(p > 0.0 && p < 1.0, "tQuantile(%f)", p);
+    if (p == 0.5)
+        return 0.0;
+    // CDF(t) = 1 - 0.5 * tTwoSidedP(t) for t >= 0; symmetric otherwise.
+    auto cdf = [df](double t) {
+        double tail = 0.5 * tTwoSidedP(std::fabs(t), df);
+        return t >= 0.0 ? 1.0 - tail : tail;
+    };
+    double lo = -1.0, hi = 1.0;
+    while (cdf(lo) > p)
+        lo *= 2.0;
+    while (cdf(hi) < p)
+        hi *= 2.0;
+    for (int i = 0; i < 200; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (cdf(mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-12)
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+} // namespace raceval::stats

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tail probabilities and quantiles for the distributions used by the
+ * racing tests: chi-square (Friedman statistic) and Student's t
+ * (post-hoc pairwise elimination, paired t-test).
+ *
+ * Implemented from scratch via the regularized incomplete gamma/beta
+ * functions (series + continued-fraction evaluation).
+ */
+
+#ifndef RACEVAL_STATS_DISTRIBUTIONS_HH
+#define RACEVAL_STATS_DISTRIBUTIONS_HH
+
+namespace raceval::stats
+{
+
+/** Regularized lower incomplete gamma P(a, x), a > 0, x >= 0. */
+double gammaP(double a, double x);
+
+/** Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x). */
+double gammaQ(double a, double x);
+
+/** Regularized incomplete beta I_x(a, b). */
+double betaInc(double a, double b, double x);
+
+/** Chi-square survival function P(X > x) with k degrees of freedom. */
+double chi2Sf(double x, double k);
+
+/** Two-sided Student-t tail probability P(|T| > t) with df degrees. */
+double tTwoSidedP(double t, double df);
+
+/**
+ * Student-t quantile: the value q with P(T <= q) = p, df degrees.
+ *
+ * Solved by bisection on the CDF; accurate to ~1e-10, which is far
+ * tighter than the racing decisions require.
+ */
+double tQuantile(double p, double df);
+
+/** Standard normal CDF. */
+double normalCdf(double x);
+
+} // namespace raceval::stats
+
+#endif // RACEVAL_STATS_DISTRIBUTIONS_HH

@@ -1,0 +1,105 @@
+#include "stats/tests.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+#include "stats/descriptive.hh"
+#include "stats/distributions.hh"
+
+namespace raceval::stats
+{
+
+FriedmanResult
+friedmanTest(const std::vector<std::vector<double>> &costs, double alpha)
+{
+    FriedmanResult result;
+    size_t n = costs.size();
+    RV_ASSERT(n > 0, "friedmanTest with no blocks");
+    size_t k = costs[0].size();
+    RV_ASSERT(k >= 2, "friedmanTest needs >= 2 treatments, got %zu", k);
+    for (const auto &row : costs)
+        RV_ASSERT(row.size() == k, "ragged cost matrix");
+
+    double dn = static_cast<double>(n);
+    double dk = static_cast<double>(k);
+
+    // Rank within each block; accumulate rank sums and squared ranks
+    // (the squared-rank sum carries the tie correction).
+    result.rankSums.assign(k, 0.0);
+    double sum_sq_ranks = 0.0;
+    for (const auto &row : costs) {
+        std::vector<double> ranks = averageRanks(row);
+        for (size_t j = 0; j < k; ++j) {
+            result.rankSums[j] += ranks[j];
+            sum_sq_ranks += ranks[j] * ranks[j];
+        }
+    }
+
+    double mean_rank_sum = dn * (dk + 1.0) / 2.0;
+    double numerator = 0.0;
+    for (double rj : result.rankSums)
+        numerator += (rj - mean_rank_sum) * (rj - mean_rank_sum);
+
+    double denominator = sum_sq_ranks - dn * dk * (dk + 1.0) * (dk + 1.0)
+        / 4.0;
+    if (denominator <= 0.0) {
+        // All blocks rank all treatments identically (fully tied):
+        // no evidence of any difference.
+        result.statistic = 0.0;
+        result.pValue = 1.0;
+        result.significant = false;
+        result.criticalDifference =
+            std::numeric_limits<double>::infinity();
+        return result;
+    }
+
+    result.statistic = (dk - 1.0) * numerator / denominator;
+    result.pValue = chi2Sf(result.statistic, dk - 1.0);
+    result.significant = n >= 2 && result.pValue < alpha;
+
+    // Conover post-hoc: two treatments differ when their rank sums are
+    // further apart than the critical difference.
+    double df = (dn - 1.0) * (dk - 1.0);
+    if (df >= 1.0) {
+        double t_crit = tQuantile(1.0 - alpha / 2.0, df);
+        double scale = 2.0 * dn * (1.0 - result.statistic / (dn * (dk - 1.0)))
+            * denominator / df;
+        // Numerical noise can drive scale slightly negative when the
+        // statistic saturates; clamp to zero (=> everything differs).
+        scale = std::max(scale, 0.0);
+        result.criticalDifference = t_crit * std::sqrt(scale);
+    } else {
+        result.criticalDifference = std::numeric_limits<double>::infinity();
+    }
+    return result;
+}
+
+PairedTResult
+pairedTTest(const std::vector<double> &a, const std::vector<double> &b,
+            double alpha)
+{
+    RV_ASSERT(a.size() == b.size(), "pairedTTest with unequal lengths");
+    RV_ASSERT(a.size() >= 2, "pairedTTest needs >= 2 pairs");
+
+    std::vector<double> diff(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        diff[i] = a[i] - b[i];
+
+    PairedTResult result;
+    result.meanDiff = mean(diff);
+    double sd = stddev(diff);
+    double dn = static_cast<double>(diff.size());
+    if (sd == 0.0) {
+        result.statistic = 0.0;
+        result.pValue = result.meanDiff == 0.0 ? 1.0 : 0.0;
+        result.significant = result.meanDiff != 0.0;
+        return result;
+    }
+    result.statistic = result.meanDiff / (sd / std::sqrt(dn));
+    result.pValue = tTwoSidedP(result.statistic, dn - 1.0);
+    result.significant = result.pValue < alpha;
+    return result;
+}
+
+} // namespace raceval::stats

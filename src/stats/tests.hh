@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The hypothesis tests used by the racing tuner: the Friedman rank test
+ * over a block design (benchmarks x candidate configurations) with the
+ * Conover post-hoc pairwise comparison, exactly as in F-Race
+ * (Birattari et al., GECCO 2002), plus a paired t-test used when only two
+ * candidates remain.
+ */
+
+#ifndef RACEVAL_STATS_TESTS_HH
+#define RACEVAL_STATS_TESTS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace raceval::stats
+{
+
+/**
+ * Result of a Friedman test over n blocks (rows) and k treatments
+ * (columns).
+ */
+struct FriedmanResult
+{
+    /** Friedman chi-square statistic (tie-corrected). */
+    double statistic = 0.0;
+    /** p-value from the chi-square(k-1) approximation. */
+    double pValue = 1.0;
+    /** Per-treatment rank sums R_j (summed over blocks). */
+    std::vector<double> rankSums;
+    /**
+     * Minimum rank-sum difference for two treatments to differ
+     * significantly under the Conover post-hoc test at the alpha used.
+     */
+    double criticalDifference = 0.0;
+    /** True when the treatments differ significantly at alpha. */
+    bool significant = false;
+};
+
+/**
+ * Friedman test on a blocks-by-treatments matrix of costs.
+ *
+ * @param costs costs[block][treatment]; all rows must share one width
+ *              of at least two treatments; at least two blocks needed for
+ *              significance (fewer yields significant=false).
+ * @param alpha significance level for both the omnibus test and the
+ *              post-hoc critical difference.
+ */
+FriedmanResult friedmanTest(const std::vector<std::vector<double>> &costs,
+                            double alpha = 0.05);
+
+/** Result of a paired t-test. */
+struct PairedTResult
+{
+    double statistic = 0.0;   //!< t statistic of the mean difference.
+    double pValue = 1.0;      //!< two-sided p-value.
+    double meanDiff = 0.0;    //!< mean of a_i - b_i.
+    bool significant = false; //!< pValue < alpha.
+};
+
+/**
+ * Two-sided paired t-test between samples a and b (equal lengths >= 2).
+ *
+ * A zero-variance difference vector yields significant=false when the
+ * mean difference is 0, and pValue=0 otherwise.
+ */
+PairedTResult pairedTTest(const std::vector<double> &a,
+                          const std::vector<double> &b,
+                          double alpha = 0.05);
+
+} // namespace raceval::stats
+
+#endif // RACEVAL_STATS_TESTS_HH

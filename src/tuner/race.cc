@@ -1,0 +1,274 @@
+#include "tuner/race.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "common/thread_pool.hh"
+#include "stats/descriptive.hh"
+#include "stats/tests.hh"
+
+namespace raceval::tuner
+{
+
+namespace
+{
+
+/** Memoization key: configuration content + instance id. */
+uint64_t
+evalKey(const Configuration &config, size_t instance)
+{
+    return config.hash() * 1315423911ull
+        ^ (static_cast<uint64_t>(instance) + 0x9e3779b97f4a7c15ull);
+}
+
+} // namespace
+
+IteratedRacer::IteratedRacer(const ParameterSpace &space, CostFn cost,
+                             size_t num_instances, RacerOptions options)
+    : space(space), cost(std::move(cost)), numInstances(num_instances),
+      opts(options)
+{
+    RV_ASSERT(space.size() > 0, "empty parameter space");
+    RV_ASSERT(numInstances > 0, "no benchmark instances");
+}
+
+void
+IteratedRacer::addInitialCandidate(const Configuration &config)
+{
+    RV_ASSERT(config.size() == space.size(),
+              "initial candidate has wrong arity");
+    initialCandidates.push_back(config);
+}
+
+Configuration
+IteratedRacer::sampleUniform(Rng &rng) const
+{
+    Configuration config(space.size());
+    for (size_t i = 0; i < space.size(); ++i) {
+        config[i] = static_cast<uint16_t>(
+            rng.nextBelow(space.at(i).cardinality()));
+    }
+    return config;
+}
+
+Configuration
+IteratedRacer::sampleAroundElite(const Configuration &elite,
+                                 unsigned iteration, Rng &rng) const
+{
+    // Distributions sharpen as iterations progress (irace's soft
+    // restart schedule, simplified): ordinals use a shrinking
+    // truncated normal around the elite level, categoricals keep the
+    // elite value with growing probability.
+    double sigma = std::max(0.06, 0.35 * std::pow(0.75, iteration));
+    double explore = std::max(0.08, 0.50 * std::pow(0.70, iteration));
+
+    Configuration config(space.size());
+    for (size_t i = 0; i < space.size(); ++i) {
+        const Parameter &p = space.at(i);
+        size_t card = p.cardinality();
+        if (p.kind == Parameter::Kind::Ordinal && card > 1) {
+            double step = rng.nextGaussian() * sigma
+                * static_cast<double>(card);
+            long idx = static_cast<long>(elite[i])
+                + static_cast<long>(std::lround(step));
+            idx = std::clamp(idx, 0l, static_cast<long>(card) - 1);
+            config[i] = static_cast<uint16_t>(idx);
+        } else {
+            if (rng.nextDouble() < explore)
+                config[i] = static_cast<uint16_t>(rng.nextBelow(card));
+            else
+                config[i] = elite[i];
+        }
+    }
+    return config;
+}
+
+double
+IteratedRacer::evaluate(const Configuration &config, size_t instance)
+{
+    return cost(config, instance);
+}
+
+std::vector<IteratedRacer::Candidate>
+IteratedRacer::race(std::vector<Candidate> candidates, Rng &rng)
+{
+    ThreadPool pool(opts.threads);
+    std::vector<size_t> order = rng.permutation(numInstances);
+
+    for (size_t t = 0; t < numInstances; ++t) {
+        size_t instance = order[t];
+
+        // Collect candidates needing a fresh evaluation.
+        std::vector<size_t> fresh;
+        for (size_t c = 0; c < candidates.size(); ++c) {
+            if (!candidates[c].alive)
+                continue;
+            if (!memo.count(evalKey(candidates[c].config, instance)))
+                fresh.push_back(c);
+        }
+        if (experimentsUsed + fresh.size() > opts.maxExperiments)
+            break; // budget exhausted mid-race
+
+        std::vector<double> fresh_costs(fresh.size(), 0.0);
+        pool.parallelFor(fresh.size(), [&](size_t k) {
+            fresh_costs[k] =
+                evaluate(candidates[fresh[k]].config, instance);
+        });
+        for (size_t k = 0; k < fresh.size(); ++k) {
+            memo[evalKey(candidates[fresh[k]].config, instance)] =
+                fresh_costs[k];
+        }
+        experimentsUsed += fresh.size();
+
+        for (Candidate &cand : candidates) {
+            if (cand.alive)
+                cand.costs.push_back(
+                    memo.at(evalKey(cand.config, instance)));
+        }
+
+        // Statistical elimination.
+        std::vector<size_t> alive;
+        for (size_t c = 0; c < candidates.size(); ++c) {
+            if (candidates[c].alive)
+                alive.push_back(c);
+        }
+        if (t + 1 < opts.instancesBeforeFirstTest || alive.size() < 2)
+            continue;
+
+        if (alive.size() == 2) {
+            auto &a = candidates[alive[0]];
+            auto &b = candidates[alive[1]];
+            auto test = stats::pairedTTest(a.costs, b.costs, opts.alpha);
+            if (test.significant) {
+                (test.meanDiff > 0 ? a : b).alive = false;
+            }
+            continue;
+        }
+
+        // Friedman race: blocks = instances raced so far.
+        size_t blocks = candidates[alive[0]].costs.size();
+        std::vector<std::vector<double>> matrix(
+            blocks, std::vector<double>(alive.size()));
+        for (size_t c = 0; c < alive.size(); ++c) {
+            for (size_t b = 0; b < blocks; ++b)
+                matrix[b][c] = candidates[alive[c]].costs[b];
+        }
+        auto test = stats::friedmanTest(matrix, opts.alpha);
+        if (!test.significant)
+            continue;
+        double best_rank =
+            *std::min_element(test.rankSums.begin(), test.rankSums.end());
+        for (size_t c = 0; c < alive.size(); ++c) {
+            if (test.rankSums[c] - best_rank > test.criticalDifference)
+                candidates[alive[c]].alive = false;
+        }
+    }
+
+    std::vector<Candidate> survivors;
+    for (Candidate &cand : candidates) {
+        if (cand.alive && !cand.costs.empty())
+            survivors.push_back(std::move(cand));
+    }
+    std::sort(survivors.begin(), survivors.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return stats::mean(a.costs) < stats::mean(b.costs);
+              });
+    return survivors;
+}
+
+RaceResult
+IteratedRacer::run()
+{
+    Rng rng(opts.seed);
+    unsigned num_iterations = 2 + static_cast<unsigned>(
+        std::log2(std::max<size_t>(2, space.size())));
+
+    std::vector<std::pair<Configuration, double>> elites;
+    RaceResult result;
+
+    for (unsigned iter = 0; iter < num_iterations; ++iter) {
+        if (experimentsUsed >= opts.maxExperiments)
+            break;
+
+        uint64_t remaining = opts.maxExperiments - experimentsUsed;
+        uint64_t budget_this_iter = remaining / (num_iterations - iter);
+        // Most candidates die shortly after the first test, so the
+        // expected spend per candidate is little more than firstTest
+        // (elites, which run the full distance, are the exception).
+        unsigned expected_per_candidate =
+            opts.instancesBeforeFirstTest + 3;
+        unsigned num_candidates = opts.candidatesPerIteration;
+        if (num_candidates == 0) {
+            num_candidates = static_cast<unsigned>(std::clamp<uint64_t>(
+                budget_this_iter / std::max(1u, expected_per_candidate),
+                opts.eliteCount + 4, 64));
+        }
+
+        std::vector<Candidate> candidates;
+        // Elites survive into the next race (with fresh cost vectors:
+        // instance order changes between races).
+        for (const auto &[config, mean_cost] : elites) {
+            (void)mean_cost;
+            candidates.push_back(Candidate{config, {}, true});
+        }
+        if (iter == 0) {
+            for (const Configuration &config : initialCandidates)
+                candidates.push_back(Candidate{config, {}, true});
+        }
+        while (candidates.size() < num_candidates) {
+            if (elites.empty()) {
+                candidates.push_back(
+                    Candidate{sampleUniform(rng), {}, true});
+            } else {
+                // Rank-weighted parent selection.
+                std::vector<double> weights(elites.size());
+                for (size_t e = 0; e < elites.size(); ++e)
+                    weights[e] =
+                        static_cast<double>(elites.size() - e);
+                size_t parent = rng.nextWeighted(weights);
+                candidates.push_back(Candidate{
+                    sampleAroundElite(elites[parent].first, iter, rng),
+                    {}, true});
+            }
+        }
+
+        std::vector<Candidate> survivors = race(std::move(candidates),
+                                                rng);
+        if (survivors.empty())
+            break;
+
+        elites.clear();
+        for (size_t s = 0;
+             s < std::min<size_t>(survivors.size(), opts.eliteCount);
+             ++s) {
+            elites.emplace_back(survivors[s].config,
+                                stats::mean(survivors[s].costs));
+        }
+        ++result.iterations;
+        if (opts.verbose) {
+            inform("irace iter %u: %zu survivors, best cost %.4f, "
+                   "%llu/%llu experiments", iter + 1, survivors.size(),
+                   elites[0].second,
+                   static_cast<unsigned long long>(experimentsUsed),
+                   static_cast<unsigned long long>(opts.maxExperiments));
+        }
+    }
+
+    RV_ASSERT(!elites.empty(), "iterated race produced no survivors");
+
+    // Final full evaluation of the winner across every instance.
+    result.best = elites[0].first;
+    result.bestCosts.resize(numInstances);
+    ThreadPool pool(opts.threads);
+    pool.parallelFor(numInstances, [&](size_t i) {
+        result.bestCosts[i] = evaluate(result.best, i);
+    });
+    result.bestMeanCost = stats::mean(result.bestCosts);
+    result.experimentsUsed = experimentsUsed;
+    result.elites = std::move(elites);
+    return result;
+}
+
+} // namespace raceval::tuner

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Iterated racing (irace / I-Race, Birattari et al. [18], López-Ibáñez
+ * et al. [31]) implemented from scratch -- the engine of the paper's
+ * validation methodology (step #4, Fig. 2).
+ *
+ * Each iteration (1) samples candidate configurations from
+ * per-parameter distributions biased toward the surviving elites,
+ * (2) races candidates across the benchmark instances, eliminating
+ * statistically inferior ones with a Friedman test + Conover post-hoc
+ * (paired t-test once only two remain), and (3) promotes the survivors
+ * to elites, sharpening the sampling distributions. The process stops
+ * when the experiment budget (configurations x instances evaluated) is
+ * exhausted.
+ */
+
+#ifndef RACEVAL_TUNER_RACE_HH
+#define RACEVAL_TUNER_RACE_HH
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "tuner/space.hh"
+
+namespace raceval::tuner
+{
+
+/**
+ * Cost of one configuration on one benchmark instance; must be
+ * thread-safe and deterministic (results are memoized).
+ */
+using CostFn = std::function<double(const Configuration &,
+                                    size_t instance)>;
+
+/** Tuner options (defaults sized for the scaled reproduction). */
+struct RacerOptions
+{
+    /** Experiment budget: total (configuration, instance) evaluations
+     *  (the paper uses 10 K - 100 K trials; scaled default 3 K). */
+    uint64_t maxExperiments = 3000;
+    /** Instances each candidate sees before the first statistical
+     *  test (irace's "firstTest"). */
+    unsigned instancesBeforeFirstTest = 5;
+    /** Significance level for elimination. */
+    double alpha = 0.05;
+    /** Elites carried between iterations. */
+    unsigned eliteCount = 4;
+    /** Candidates sampled per iteration (0 = auto from budget). */
+    unsigned candidatesPerIteration = 0;
+    uint64_t seed = 20190324; // ISPASS'19
+    /** Worker threads for parallel evaluation (0 = hardware). */
+    unsigned threads = 0;
+    /** Narrate rounds via inform(). */
+    bool verbose = false;
+};
+
+/** Outcome of a tuning run. */
+struct RaceResult
+{
+    Configuration best;
+    /** Mean cost of `best` across all instances. */
+    double bestMeanCost = 0.0;
+    /** Per-instance costs of `best`. */
+    std::vector<double> bestCosts;
+    uint64_t experimentsUsed = 0;
+    unsigned iterations = 0;
+    /** Final elite set (best first) with mean costs. */
+    std::vector<std::pair<Configuration, double>> elites;
+};
+
+/** The iterated-racing driver. */
+class IteratedRacer
+{
+  public:
+    /**
+     * @param space parameter declarations.
+     * @param cost cost oracle (thread-safe, deterministic).
+     * @param num_instances benchmark instance count.
+     * @param options tuning knobs.
+     */
+    IteratedRacer(const ParameterSpace &space, CostFn cost,
+                  size_t num_instances, RacerOptions options = {});
+
+    /** Run the full iterated race. */
+    RaceResult run();
+
+    /**
+     * Seed the first iteration with known configurations (irace's
+     * "initial candidates"; the validation flow passes the
+     * public-information model so tuning can only improve on it).
+     */
+    void addInitialCandidate(const Configuration &config);
+
+  private:
+    struct Candidate
+    {
+        Configuration config;
+        std::vector<double> costs; //!< per raced instance, in order
+        bool alive = true;
+    };
+
+    Configuration sampleUniform(Rng &rng) const;
+    Configuration sampleAroundElite(const Configuration &elite,
+                                    unsigned iteration, Rng &rng) const;
+    /** Race candidates over instances; returns survivors sorted by
+     *  mean cost (fills costs for every survivor on every raced
+     *  instance). */
+    std::vector<Candidate> race(std::vector<Candidate> candidates,
+                                Rng &rng);
+    double evaluate(const Configuration &config, size_t instance);
+
+    const ParameterSpace &space;
+    CostFn cost;
+    size_t numInstances;
+    RacerOptions opts;
+    uint64_t experimentsUsed = 0;
+    /** Memoized (config content, instance) -> cost. */
+    std::unordered_map<uint64_t, double> memo;
+    std::vector<Configuration> initialCandidates;
+};
+
+} // namespace raceval::tuner
+
+#endif // RACEVAL_TUNER_RACE_HH

@@ -1,0 +1,162 @@
+#include "tuner/space.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace raceval::tuner
+{
+
+std::string
+Parameter::valueName(size_t choice) const
+{
+    RV_ASSERT(choice < cardinality(), "%s: choice %zu out of range",
+              name.c_str(), choice);
+    switch (kind) {
+      case Kind::Categorical:
+        return labels[choice];
+      case Kind::Ordinal:
+        return std::to_string(levels[choice]);
+      case Kind::Flag:
+        return choice ? "true" : "false";
+    }
+    return "?";
+}
+
+uint64_t
+Configuration::hash() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint16_t c : choices) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+size_t
+ParameterSpace::addOrdinal(const std::string &name,
+                           std::vector<int64_t> levels)
+{
+    RV_ASSERT(!levels.empty(), "%s: empty level set", name.c_str());
+    for (size_t i = 1; i < levels.size(); ++i)
+        RV_ASSERT(levels[i - 1] < levels[i],
+                  "%s: levels must ascend", name.c_str());
+    Parameter p;
+    p.name = name;
+    p.kind = Parameter::Kind::Ordinal;
+    p.levels = std::move(levels);
+    params.push_back(std::move(p));
+    return params.size() - 1;
+}
+
+size_t
+ParameterSpace::addCategorical(const std::string &name,
+                               std::vector<std::string> labels)
+{
+    RV_ASSERT(!labels.empty(), "%s: empty label set", name.c_str());
+    Parameter p;
+    p.name = name;
+    p.kind = Parameter::Kind::Categorical;
+    p.labels = std::move(labels);
+    params.push_back(std::move(p));
+    return params.size() - 1;
+}
+
+size_t
+ParameterSpace::addFlag(const std::string &name)
+{
+    Parameter p;
+    p.name = name;
+    p.kind = Parameter::Kind::Flag;
+    params.push_back(std::move(p));
+    return params.size() - 1;
+}
+
+size_t
+ParameterSpace::indexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (params[i].name == name)
+            return i;
+    }
+    fatal("parameter space: unknown parameter '%s'", name.c_str());
+}
+
+int64_t
+ParameterSpace::ordinalValue(const Configuration &config,
+                             const std::string &name) const
+{
+    const Parameter &p = params[indexOf(name)];
+    RV_ASSERT(p.kind == Parameter::Kind::Ordinal, "%s is not ordinal",
+              name.c_str());
+    return p.levels[config[indexOf(name)]];
+}
+
+size_t
+ParameterSpace::categoricalChoice(const Configuration &config,
+                                  const std::string &name) const
+{
+    return config[indexOf(name)];
+}
+
+bool
+ParameterSpace::flagValue(const Configuration &config,
+                          const std::string &name) const
+{
+    const Parameter &p = params[indexOf(name)];
+    RV_ASSERT(p.kind == Parameter::Kind::Flag, "%s is not a flag",
+              name.c_str());
+    return config[indexOf(name)] != 0;
+}
+
+void
+ParameterSpace::setOrdinal(Configuration &config, const std::string &name,
+                           int64_t level) const
+{
+    size_t index = indexOf(name);
+    const Parameter &p = params[index];
+    RV_ASSERT(p.kind == Parameter::Kind::Ordinal, "%s is not ordinal",
+              name.c_str());
+    for (size_t i = 0; i < p.levels.size(); ++i) {
+        if (p.levels[i] == level) {
+            config[index] = static_cast<uint16_t>(i);
+            return;
+        }
+    }
+    fatal("parameter '%s' has no level %lld", name.c_str(),
+          static_cast<long long>(level));
+}
+
+void
+ParameterSpace::setChoice(Configuration &config, const std::string &name,
+                          size_t choice) const
+{
+    size_t index = indexOf(name);
+    RV_ASSERT(choice < params[index].cardinality(),
+              "%s: choice %zu out of range", name.c_str(), choice);
+    config[index] = static_cast<uint16_t>(choice);
+}
+
+std::string
+ParameterSpace::describe(const Configuration &config) const
+{
+    std::string out;
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (i)
+            out += " ";
+        out += params[i].name + "=" + params[i].valueName(config[i]);
+    }
+    return out;
+}
+
+double
+ParameterSpace::logSpaceSize() const
+{
+    double log_size = 0.0;
+    for (const Parameter &p : params)
+        log_size += std::log2(static_cast<double>(p.cardinality()));
+    return log_size;
+}
+
+} // namespace raceval::tuner

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parameter space and configurations for the iterated-racing tuner.
+ *
+ * Mirrors irace's input model (paper §III-C): every undisclosed
+ * simulator knob is declared with the discrete set of values it may
+ * take -- booleans, ordered numeric levels ("16 to 164" given as a
+ * limited set of discrete values, as the paper recommends to avoid
+ * wasting budget), or categorical features (which prefetcher, which
+ * hash, which branch predictor).
+ */
+
+#ifndef RACEVAL_TUNER_SPACE_HH
+#define RACEVAL_TUNER_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raceval::tuner
+{
+
+/** One tunable parameter. */
+struct Parameter
+{
+    enum class Kind : uint8_t
+    {
+        Categorical, //!< unordered labels (predictor kind, hash, ...)
+        Ordinal,     //!< ordered numeric levels (sizes, latencies, ...)
+        Flag         //!< boolean feature toggle
+    };
+
+    std::string name;
+    Kind kind = Kind::Ordinal;
+    /** Labels for categorical parameters. */
+    std::vector<std::string> labels;
+    /** Numeric levels for ordinal parameters (ascending). */
+    std::vector<int64_t> levels;
+
+    /** @return number of selectable values. */
+    size_t
+    cardinality() const
+    {
+        switch (kind) {
+          case Kind::Categorical: return labels.size();
+          case Kind::Ordinal: return levels.size();
+          case Kind::Flag: return 2;
+        }
+        return 0;
+    }
+
+    /** @return printable value for a choice index. */
+    std::string valueName(size_t choice) const;
+};
+
+/**
+ * A full assignment: one choice index per parameter, in declaration
+ * order. Configurations are value types; the tuner samples, races and
+ * caches them by content.
+ */
+class Configuration
+{
+  public:
+    Configuration() = default;
+    explicit Configuration(size_t num_params) : choices(num_params, 0) {}
+
+    uint16_t &operator[](size_t i) { return choices[i]; }
+    uint16_t operator[](size_t i) const { return choices[i]; }
+    size_t size() const { return choices.size(); }
+
+    bool operator==(const Configuration &other) const = default;
+
+    /** Stable content hash (for memoized evaluations). */
+    uint64_t hash() const;
+
+  private:
+    std::vector<uint16_t> choices;
+};
+
+/** Declaration-ordered collection of parameters. */
+class ParameterSpace
+{
+  public:
+    /** Add an ordered numeric parameter; @return its index. */
+    size_t addOrdinal(const std::string &name,
+                      std::vector<int64_t> levels);
+
+    /** Add a categorical parameter; @return its index. */
+    size_t addCategorical(const std::string &name,
+                          std::vector<std::string> labels);
+
+    /** Add a boolean parameter; @return its index. */
+    size_t addFlag(const std::string &name);
+
+    size_t size() const { return params.size(); }
+    const Parameter &at(size_t i) const { return params[i]; }
+
+    /** @return parameter index; fatal() when unknown. */
+    size_t indexOf(const std::string &name) const;
+
+    /** @return ordinal numeric value chosen in a configuration. */
+    int64_t ordinalValue(const Configuration &config,
+                         const std::string &name) const;
+
+    /** @return categorical choice index chosen in a configuration. */
+    size_t categoricalChoice(const Configuration &config,
+                             const std::string &name) const;
+
+    /** @return flag state chosen in a configuration. */
+    bool flagValue(const Configuration &config,
+                   const std::string &name) const;
+
+    /** Set a configuration's parameter to a specific numeric level. */
+    void setOrdinal(Configuration &config, const std::string &name,
+                    int64_t level) const;
+
+    /** Set a categorical/flag parameter by choice index. */
+    void setChoice(Configuration &config, const std::string &name,
+                   size_t choice) const;
+
+    /** One-line "name=value ..." rendering for reports. */
+    std::string describe(const Configuration &config) const;
+
+    /** @return total number of distinct configurations (capped). */
+    double logSpaceSize() const;
+
+  private:
+    std::vector<Parameter> params;
+};
+
+} // namespace raceval::tuner
+
+#endif // RACEVAL_TUNER_SPACE_HH

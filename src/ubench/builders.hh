@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Internal: per-benchmark program builders and shared assembly idioms.
+ * Not part of the public API; include ubench/ubench.hh instead.
+ */
+
+#ifndef RACEVAL_UBENCH_BUILDERS_HH
+#define RACEVAL_UBENCH_BUILDERS_HH
+
+#include <cstdint>
+
+#include "isa/assembler.hh"
+
+namespace raceval::ubench::detail
+{
+
+/// Register conventions shared by all builders.
+constexpr uint8_t rCnt = 19;   //!< loop counter
+constexpr uint8_t rBaseA = 20; //!< array A base
+constexpr uint8_t rBaseB = 24; //!< array B base
+constexpr uint8_t rBaseC = 25; //!< array C base
+constexpr uint8_t rLcg = 21;   //!< LCG state
+constexpr uint8_t rLcgA = 22;  //!< LCG multiplier constant
+constexpr uint8_t rOff = 23;   //!< running offset
+
+/** Emit the loop prologue (sets the counter, places the label). */
+void beginLoop(isa::Assembler &a, uint64_t iters);
+
+/** Emit the loop epilogue (decrement, branch, halt). */
+void endLoop(isa::Assembler &a);
+
+/** Load the LCG multiplier into rLcgA and seed rLcg. */
+void lcgSetup(isa::Assembler &a, uint64_t seed = 0x2545f491);
+
+/** Advance the LCG (2 instructions); fresh bits land in rLcg. */
+void lcgStep(isa::Assembler &a);
+
+/**
+ * Pre-touch a region with one store per page so the hardware model
+ * treats it as initialized memory (the paper's uninitialized-array
+ * fix). Uses x26/x27; emits ~4 insts per page.
+ *
+ * @param label_suffix keeps labels unique when called twice.
+ */
+void initRegion(isa::Assembler &a, uint64_t base, uint64_t bytes,
+                const char *label_suffix = "");
+
+/** @return iterations for a loop body to hit a target dynamic count. */
+uint64_t itersFor(uint64_t target_insts, uint64_t body_insts,
+                  uint64_t preamble = 0);
+
+// --- memory hierarchy (mem.cc) ------------------------------------------
+isa::Program buildMC(uint64_t target, bool init);
+isa::Program buildMCS(uint64_t target, bool init);
+isa::Program buildMD(uint64_t target, bool init);
+isa::Program buildMI(uint64_t target, bool init);
+isa::Program buildMIM(uint64_t target, bool init);
+isa::Program buildMIM2(uint64_t target, bool init);
+isa::Program buildMIP(uint64_t target, bool init);
+isa::Program buildML2(uint64_t target, bool init);
+isa::Program buildML2BWld(uint64_t target, bool init);
+isa::Program buildML2BWldst(uint64_t target, bool init);
+isa::Program buildML2BWst(uint64_t target, bool init);
+isa::Program buildML2st(uint64_t target, bool init);
+isa::Program buildMM(uint64_t target, bool init);
+isa::Program buildMMst(uint64_t target, bool init);
+isa::Program buildMDyn(uint64_t target, bool init);
+
+// --- control flow (control.cc) --------------------------------------------
+isa::Program buildCCa(uint64_t target, bool init);
+isa::Program buildCCe(uint64_t target, bool init);
+isa::Program buildCCh(uint64_t target, bool init);
+isa::Program buildCChSt(uint64_t target, bool init);
+isa::Program buildCCl(uint64_t target, bool init);
+isa::Program buildCCm(uint64_t target, bool init);
+isa::Program buildCF1(uint64_t target, bool init);
+isa::Program buildCRd(uint64_t target, bool init);
+isa::Program buildCRf(uint64_t target, bool init);
+isa::Program buildCRm(uint64_t target, bool init);
+isa::Program buildCS1(uint64_t target, bool init);
+isa::Program buildCS3(uint64_t target, bool init);
+
+// --- data parallel + execution + store (dpexec.cc) -----------------------
+isa::Program buildDP1d(uint64_t target, bool init);
+isa::Program buildDP1f(uint64_t target, bool init);
+isa::Program buildDPcvt(uint64_t target, bool init);
+isa::Program buildDPT(uint64_t target, bool init);
+isa::Program buildDPTd(uint64_t target, bool init);
+isa::Program buildED1(uint64_t target, bool init);
+isa::Program buildEF(uint64_t target, bool init);
+isa::Program buildEI(uint64_t target, bool init);
+isa::Program buildEM1(uint64_t target, bool init);
+isa::Program buildEM5(uint64_t target, bool init);
+isa::Program buildSTL2(uint64_t target, bool init);
+isa::Program buildSTL2b(uint64_t target, bool init);
+isa::Program buildSTc(uint64_t target, bool init);
+
+} // namespace raceval::ubench::detail
+
+#endif // RACEVAL_UBENCH_BUILDERS_HH

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Control-flow micro-benchmarks (Table I, second group): branch
+ * patterns from trivially predictable to random, large flush
+ * penalties, call/return depths exercising the RAS, and indirect
+ * branches (case statements) -- the CS benches are the ones that
+ * exposed the missing indirect-branch support in the paper (§IV-B).
+ */
+
+#include "ubench/builders.hh"
+
+#include "ubench/ubench.hh"
+
+namespace raceval::ubench::detail
+{
+
+// Always-taken conditional branch.
+isa::Program
+buildCCa(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("CCa");
+    a.movz(0, 1);
+    beginLoop(a, itersFor(target, 5, 2));
+    a.cbnz(0, "taken"); // always taken
+    a.nop();            // never executed (kept for code layout)
+    a.label("taken");
+    a.addi(1, 1, 1);
+    a.addi(2, 2, 1);
+    a.addi(3, 3, 1);
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// Strictly alternating branch: perfect for history predictors, a
+// pathological case for bimodal counters.
+isa::Program
+buildCCe(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("CCe");
+    a.movz(0, 0);
+    beginLoop(a, itersFor(target, 6, 2));
+    a.eori(0, 0, 1);
+    a.cbnz(0, "skip");
+    a.addi(1, 1, 1);
+    a.b("join");
+    a.label("skip");
+    a.addi(2, 2, 1);
+    a.label("join");
+    a.addi(3, 3, 1);
+    endLoop(a);
+    return a.finish();
+}
+
+// Hard (pseudo-random) branch: ~50% mispredict whatever the predictor.
+isa::Program
+buildCCh(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("CCh");
+    lcgSetup(a);
+    beginLoop(a, itersFor(target, 7, 6));
+    lcgStep(a);
+    a.lsri(0, rLcg, 33);
+    a.andi(0, 0, 1);
+    a.cbnz(0, "skip");
+    a.addi(1, 1, 1);
+    a.label("skip");
+    a.addi(2, 2, 1);
+    endLoop(a);
+    return a.finish();
+}
+
+// Hard branches with stores on both paths.
+isa::Program
+buildCChSt(uint64_t target, bool init)
+{
+    isa::Assembler a("CCh_st");
+    uint64_t preamble = init ? 4 + 10 : 10;
+    if (init)
+        initRegion(a, 0x100000, 4096);
+    lcgSetup(a);
+    a.loadImm(rBaseA, 0x100000);
+    beginLoop(a, itersFor(target, 8, preamble));
+    lcgStep(a);
+    a.lsri(0, rLcg, 33);
+    a.andi(0, 0, 1);
+    a.cbnz(0, "skip");
+    a.str(1, rBaseA, 0, 8);
+    a.label("skip");
+    a.str(2, rBaseA, 64, 8);
+    a.addi(2, 2, 1);
+    endLoop(a);
+    return a.finish();
+}
+
+// Nested loop branches: the classic trivially predictable pattern.
+isa::Program
+buildCCl(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("CCl");
+    // Outer loop body: inner loop of 16 x 2 insts + setup = ~35 insts.
+    beginLoop(a, itersFor(target, 35, 2));
+    a.movz(0, 16);
+    a.label("inner");
+    a.addi(1, 1, 1);
+    a.subi(0, 0, 1);
+    a.cbnz(0, "inner");
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// Biased branch: taken 7 of 8 iterations.
+isa::Program
+buildCCm(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("CCm");
+    lcgSetup(a);
+    beginLoop(a, itersFor(target, 7, 6));
+    lcgStep(a);
+    a.lsri(0, rLcg, 33);
+    a.andi(0, 0, 7);
+    a.cbnz(0, "skip"); // taken with p = 7/8
+    a.addi(1, 1, 1);
+    a.label("skip");
+    a.addi(2, 2, 1);
+    endLoop(a);
+    return a.finish();
+}
+
+// Large flush penalty: a random branch whose condition resolves behind
+// a long-latency divide, so every mispredict costs resolution + flush.
+isa::Program
+buildCF1(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("CF1");
+    lcgSetup(a);
+    a.movz(28, 3);
+    beginLoop(a, itersFor(target, 8, 7));
+    lcgStep(a);
+    a.lsri(0, rLcg, 33);
+    a.udiv(1, 0, 28);    // long-latency producer
+    a.andi(1, 1, 1);
+    a.cbnz(1, "skip");
+    a.addi(2, 2, 1);
+    a.label("skip");
+    endLoop(a);
+    return a.finish();
+}
+
+// Direct calls at depth 1: BL/RET pairs exercising the RAS gently.
+isa::Program
+buildCRd(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("CRd");
+    a.b("start");
+    a.label("leaf");
+    a.addi(0, 0, 1);
+    a.addi(1, 1, 1);
+    a.ret();
+    a.label("start");
+    beginLoop(a, itersFor(target, 6, 3));
+    a.bl("leaf");
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// Deep call chains: depth 8 fills the true RAS exactly and
+// overflows smaller guesses.
+isa::Program
+buildCRf(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("CRf");
+    a.b("start");
+    // f7 is the leaf; f0 calls f1 calls ... f7. The link register is
+    // spilled to a software stack (x28) like a real compiler would.
+    for (int depth = 0; depth < 8; ++depth) {
+        a.label("f" + std::to_string(depth));
+        if (depth < 7) {
+            a.str(isa::regLink, 28, 0, 8);
+            a.addi(28, 28, 8);
+            a.bl("f" + std::to_string(depth + 1));
+            a.subi(28, 28, 8);
+            a.ldr(isa::regLink, 28, 0, 8);
+        } else {
+            a.addi(0, 0, 1);
+        }
+        a.ret();
+    }
+    a.label("start");
+    a.loadImm(28, 0x200000); // software stack
+    // Dynamic body: bl + 7 frames x 6 + leaf 2 + nop ~= 48 insts.
+    beginLoop(a, itersFor(target, 48, 20));
+    a.bl("f0");
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// Mixed call targets: two leaves alternating, stressing the BTB.
+isa::Program
+buildCRm(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("CRm");
+    a.b("start");
+    a.label("leaf_a");
+    a.addi(0, 0, 1);
+    a.ret();
+    a.label("leaf_b");
+    a.addi(1, 1, 1);
+    a.ret();
+    a.label("start");
+    a.movz(2, 0);
+    beginLoop(a, itersFor(target, 10, 4));
+    a.eori(2, 2, 1);
+    a.cbnz(2, "call_b");
+    a.bl("leaf_a");
+    a.b("join");
+    a.label("call_b");
+    a.bl("leaf_b");
+    a.label("join");
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+namespace
+{
+
+/**
+ * Case-statement kernel: an indirect branch through a jump table whose
+ * target cycles with the given period. History-based indirect
+ * predictors learn the cycle; a BTB's last-target guess almost always
+ * misses.
+ */
+isa::Program
+buildCase(const char *name, uint64_t target, unsigned period)
+{
+    isa::Assembler a(name);
+    constexpr unsigned cases = 8;
+    // Four-instruction slot for the jump-table base, patched once the
+    // case block's pc is known (fixed size so the patch lines up).
+    size_t base_slot = a.here();
+    a.movz(rBaseA, 0, 0);
+    a.movk(rBaseA, 0, 1);
+    a.movk(rBaseA, 0, 2);
+    a.movk(rBaseA, 0, 3);
+    a.movz(0, 0);         // selector counter
+    a.loadImm(28, period);
+    // Body: selector = counter % period (period <= cases); target =
+    // case selector. Each case is 4 instructions (16 bytes).
+    beginLoop(a, itersFor(target, 11u + 3, 5));
+    a.addi(0, 0, 1);
+    a.udiv(1, 0, 28);
+    a.mul(1, 1, 28);
+    a.sub(1, 0, 1);      // 1 = counter % period
+    a.lsli(2, 1, 4);     // x16 bytes per case
+    a.add(2, rBaseA, 2);
+    a.br(2);
+    size_t case0_index = a.here();
+    for (unsigned c = 0; c < cases; ++c) {
+        a.addi(3, 3, static_cast<int16_t>(c));
+        a.addi(4, 4, 1);
+        a.nop();
+        a.b("join");
+    }
+    a.label("join");
+    a.nop();
+    endLoop(a);
+    isa::Program prog = a.finish();
+    // Patch the table base slot now that the first case's pc is known.
+    uint64_t table_pc = prog.pcOf(case0_index);
+    prog.code[base_slot + 0] = isa::encodeWide(
+        isa::Opcode::Movz, rBaseA, 0,
+        static_cast<uint16_t>(table_pc & 0xffff));
+    for (uint8_t hw = 1; hw < 4; ++hw) {
+        prog.code[base_slot + hw] = isa::encodeWide(
+            isa::Opcode::Movk, rBaseA, hw,
+            static_cast<uint16_t>((table_pc >> (16 * hw)) & 0xffff));
+    }
+    return prog;
+}
+
+} // namespace
+
+// Case statement, long cycle (8 targets).
+isa::Program
+buildCS1(uint64_t target, bool init)
+{
+    (void)init;
+    return buildCase("CS1", target, 8);
+}
+
+// Case statement, short cycle (3 targets).
+isa::Program
+buildCS3(uint64_t target, bool init)
+{
+    (void)init;
+    return buildCase("CS3", target, 3);
+}
+
+} // namespace raceval::ubench::detail

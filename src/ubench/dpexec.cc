@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Data-parallel, execution-unit and store-intensive micro-benchmarks
+ * (Table I, groups three to five): independent FP/SIMD streams,
+ * float/double conversion chains, dependency chains of varying depth,
+ * and store-buffer pressure patterns.
+ */
+
+#include "ubench/builders.hh"
+
+#include "ubench/ubench.hh"
+
+namespace raceval::ubench::detail
+{
+
+namespace
+{
+
+constexpr uint64_t baseA = 0x00100000;
+constexpr uint64_t baseB = 0x00180000;
+constexpr uint64_t baseC = 0x00200000;
+constexpr uint64_t vecBytes = 8192; // L1-resident vectors
+
+/** Shared preamble: three L1-resident vectors, optionally touched. */
+uint64_t
+vectorPreamble(isa::Assembler &a, bool init)
+{
+    uint64_t preamble = 12;
+    if (init) {
+        initRegion(a, baseA, vecBytes, "_a");
+        initRegion(a, baseB, vecBytes, "_b");
+        initRegion(a, baseC, vecBytes, "_c");
+        preamble += 3 * (vecBytes / 4096) * 4;
+    }
+    a.loadImm(rBaseA, baseA);
+    a.loadImm(rBaseB, baseB);
+    a.loadImm(rBaseC, baseC);
+    a.loadImm(28, vecBytes - 64);
+    a.movz(rOff, 0);
+    return preamble;
+}
+
+} // namespace
+
+// Data-parallel double add: a[i] = b[i] + c[i], unrolled by four.
+isa::Program
+buildDP1d(uint64_t target, bool init)
+{
+    isa::Assembler a("DP1d");
+    uint64_t preamble = vectorPreamble(a, init);
+    beginLoop(a, itersFor(target, 18, preamble));
+    for (int k = 0; k < 4; ++k) {
+        int16_t off = static_cast<int16_t>(8 * k);
+        a.ldrf(static_cast<uint8_t>(2 * k), rBaseB, off, 8);
+        a.ldrf(static_cast<uint8_t>(2 * k + 1), rBaseC, off, 8);
+        a.fadd(static_cast<uint8_t>(16 + k),
+               static_cast<uint8_t>(2 * k),
+               static_cast<uint8_t>(2 * k + 1));
+        a.strf(static_cast<uint8_t>(16 + k), rBaseA, off, 8);
+    }
+    a.addi(rOff, rOff, 32);
+    a.and_(rOff, rOff, 28);
+    endLoop(a);
+    return a.finish();
+}
+
+// Float flavour of DP1d (4-byte elements).
+isa::Program
+buildDP1f(uint64_t target, bool init)
+{
+    isa::Assembler a("DP1f");
+    uint64_t preamble = vectorPreamble(a, init);
+    beginLoop(a, itersFor(target, 18, preamble));
+    for (int k = 0; k < 4; ++k) {
+        int16_t off = static_cast<int16_t>(4 * k);
+        a.ldrf(static_cast<uint8_t>(2 * k), rBaseB, off, 4);
+        a.ldrf(static_cast<uint8_t>(2 * k + 1), rBaseC, off, 4);
+        a.fadd(static_cast<uint8_t>(16 + k),
+               static_cast<uint8_t>(2 * k),
+               static_cast<uint8_t>(2 * k + 1));
+        a.strf(static_cast<uint8_t>(16 + k), rBaseA, off, 4);
+    }
+    a.addi(rOff, rOff, 16);
+    a.and_(rOff, rOff, 28);
+    endLoop(a);
+    return a.finish();
+}
+
+// Conversion-heavy kernel: float loads widened, converted, narrowed.
+isa::Program
+buildDPcvt(uint64_t target, bool init)
+{
+    isa::Assembler a("DPcvt");
+    uint64_t preamble = vectorPreamble(a, init);
+    beginLoop(a, itersFor(target, 12, preamble));
+    for (int k = 0; k < 2; ++k) {
+        int16_t off = static_cast<int16_t>(4 * k);
+        a.ldrf(static_cast<uint8_t>(k), rBaseB, off, 4);
+        a.fcvt(static_cast<uint8_t>(4 + k), static_cast<uint8_t>(k));
+        a.fadd(static_cast<uint8_t>(8 + k), static_cast<uint8_t>(4 + k),
+               static_cast<uint8_t>(4 + k));
+        a.fcvt(static_cast<uint8_t>(12 + k),
+               static_cast<uint8_t>(8 + k));
+        a.strf(static_cast<uint8_t>(12 + k), rBaseA, off, 4);
+    }
+    a.addi(rOff, rOff, 8);
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// Stream triad: a[i] = b[i] + s * c[i] (fmadd form).
+isa::Program
+buildDPT(uint64_t target, bool init)
+{
+    isa::Assembler a("DPT");
+    uint64_t preamble = vectorPreamble(a, init);
+    beginLoop(a, itersFor(target, 14, preamble));
+    for (int k = 0; k < 4; ++k) {
+        int16_t off = static_cast<int16_t>(8 * k);
+        a.ldrf(static_cast<uint8_t>(k), rBaseB, off, 8);
+        a.ldrf(static_cast<uint8_t>(4 + k), rBaseC, off, 8);
+        // d(16+k) = d(4+k) * d15 + d(k)
+        a.fmadd(static_cast<uint8_t>(16 + k),
+                static_cast<uint8_t>(4 + k), 15,
+                static_cast<uint8_t>(k));
+    }
+    a.strf(16, rBaseA, 0, 8);
+    a.strf(17, rBaseA, 8, 8);
+    endLoop(a);
+    return a.finish();
+}
+
+// SIMD triad (vector classes with their own latencies/pipes).
+isa::Program
+buildDPTd(uint64_t target, bool init)
+{
+    isa::Assembler a("DPTd");
+    uint64_t preamble = vectorPreamble(a, init);
+    beginLoop(a, itersFor(target, 12, preamble));
+    for (int k = 0; k < 2; ++k) {
+        int16_t off = static_cast<int16_t>(8 * k);
+        a.ldrf(static_cast<uint8_t>(k), rBaseB, off, 8);
+        a.ldrf(static_cast<uint8_t>(4 + k), rBaseC, off, 8);
+        a.vmul(static_cast<uint8_t>(8 + k), static_cast<uint8_t>(4 + k),
+               15);
+        a.vadd(static_cast<uint8_t>(12 + k), static_cast<uint8_t>(8 + k),
+               static_cast<uint8_t>(k));
+        a.strf(static_cast<uint8_t>(12 + k), rBaseA, off, 8);
+    }
+    a.nop();
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// Serial FP dependency chain (distance 1): pure FP-add latency.
+isa::Program
+buildED1(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("ED1");
+    beginLoop(a, itersFor(target, 8, 2));
+    for (int k = 0; k < 8; ++k)
+        a.fadd(0, 0, 1); // every op depends on the previous one
+    endLoop(a);
+    return a.finish();
+}
+
+// Independent FP stream of varying complexity: adds, multiplies and
+// the long-latency divide/sqrt pipes (their latency and pipelining is
+// only observable here and in povray-like code).
+isa::Program
+buildEF(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("EF");
+    beginLoop(a, itersFor(target, 14, 2));
+    for (int k = 0; k < 6; ++k)
+        a.fadd(static_cast<uint8_t>(k), static_cast<uint8_t>(k), 8);
+    for (int k = 0; k < 6; ++k)
+        a.fmul(static_cast<uint8_t>(16 + k), static_cast<uint8_t>(16 + k),
+               9);
+    a.fdiv(24, 25, 26);
+    a.fsqrt(27, 28);
+    endLoop(a);
+    return a.finish();
+}
+
+// Independent integer stream: superscalar ALU throughput.
+isa::Program
+buildEI(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("EI");
+    beginLoop(a, itersFor(target, 12, 2));
+    for (int k = 0; k < 6; ++k)
+        a.addi(static_cast<uint8_t>(k), static_cast<uint8_t>(k), 1);
+    for (int k = 0; k < 6; ++k)
+        a.eori(static_cast<uint8_t>(6 + k), static_cast<uint8_t>(6 + k),
+               21);
+    endLoop(a);
+    return a.finish();
+}
+
+// Serial integer multiply chain (distance 1): IntMul latency.
+isa::Program
+buildEM1(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("EM1");
+    a.movz(1, 3);
+    beginLoop(a, itersFor(target, 8, 3));
+    for (int k = 0; k < 8; ++k)
+        a.mul(0, 0, 1);
+    endLoop(a);
+    return a.finish();
+}
+
+// Five interleaved multiply chains: multiplier throughput.
+isa::Program
+buildEM5(uint64_t target, bool init)
+{
+    (void)init;
+    isa::Assembler a("EM5");
+    a.movz(9, 3);
+    beginLoop(a, itersFor(target, 10, 3));
+    for (int k = 0; k < 10; ++k)
+        a.mul(static_cast<uint8_t>(k % 5), static_cast<uint8_t>(k % 5),
+              9);
+    endLoop(a);
+    return a.finish();
+}
+
+// Streaming stores into an L2-sized buffer: write-allocate pressure.
+isa::Program
+buildSTL2(uint64_t target, bool init)
+{
+    isa::Assembler a("STL2");
+    uint64_t span = 256 * 1024;
+    uint64_t preamble = init ? (span / 4096) * 4 + 8 : 8;
+    if (init)
+        initRegion(a, baseC, span);
+    a.loadImm(rBaseA, baseC);
+    a.movz(rOff, 0);
+    a.loadImm(28, span - 64);
+    beginLoop(a, itersFor(target, 5, preamble));
+    a.stx(1, rBaseA, rOff);
+    a.addi(rOff, rOff, 64);
+    a.and_(rOff, rOff, 28);
+    a.addi(1, 1, 1);
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// Bursty byte stores: groups of eight narrow stores back to back.
+isa::Program
+buildSTL2b(uint64_t target, bool init)
+{
+    isa::Assembler a("STL2b");
+    uint64_t span = 256 * 1024;
+    uint64_t preamble = init ? (span / 4096) * 4 + 8 : 8;
+    if (init)
+        initRegion(a, baseC, span);
+    a.loadImm(rBaseA, baseC);
+    a.movz(rOff, 0);
+    a.loadImm(28, span - 64);
+    beginLoop(a, itersFor(target, 11, preamble));
+    for (int k = 0; k < 8; ++k)
+        a.stx(static_cast<uint8_t>(k % 4), rBaseA, rOff, 1);
+    a.addi(rOff, rOff, 64);
+    a.and_(rOff, rOff, 28);
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// Repeated stores into one hot line: store buffer and drain rate.
+isa::Program
+buildSTc(uint64_t target, bool init)
+{
+    (void)init; // single line, written immediately
+    isa::Assembler a("STc");
+    a.loadImm(rBaseA, baseA);
+    beginLoop(a, itersFor(target, 8, 6));
+    for (int k = 0; k < 8; ++k)
+        a.str(static_cast<uint8_t>(k % 4), rBaseA,
+              static_cast<int16_t>(8 * (k % 8)), 8);
+    endLoop(a);
+    return a.finish();
+}
+
+} // namespace raceval::ubench::detail

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Memory-hierarchy micro-benchmarks (Table I, first group): working
+ * sets targeted at each cache level, conflict-miss streams, dependent
+ * and independent miss patterns, bandwidth streams and pointer chases.
+ */
+
+#include "ubench/builders.hh"
+
+#include "ubench/ubench.hh"
+
+namespace raceval::ubench::detail
+{
+
+namespace
+{
+
+/** Array bases, well clear of the code segment. */
+constexpr uint64_t baseA = 0x00100000; // 1 MiB
+constexpr uint64_t baseB = 0x02000000; // 32 MiB
+constexpr uint64_t baseBig = 0x08000000; // 128 MiB
+
+constexpr uint64_t l1WaySpan = 8192;   // 128 sets x 64 B (A53/A72 L1D)
+constexpr uint64_t l2Resident = 256 * 1024;
+constexpr uint64_t dramSpan = 8 * 1024 * 1024;
+
+} // namespace
+
+// Conflict loads: walk addresses 8 * 8 KiB apart, all landing in one
+// L1 set under mask indexing (8 ways wanted, 4 present).
+isa::Program
+buildMC(uint64_t target, bool init)
+{
+    isa::Assembler a("MC");
+    uint64_t preamble = init ? (8 * l1WaySpan / 4096) * 4 + 6 : 6;
+    if (init)
+        initRegion(a, baseA, 8 * l1WaySpan);
+    a.loadImm(rBaseA, baseA);
+    a.movz(rOff, 0);
+    // Body: 8 conflicting loads (offsets k * 8 KiB), then wrap.
+    beginLoop(a, itersFor(target, 17, preamble));
+    for (int k = 0; k < 8; ++k) {
+        a.ldx(static_cast<uint8_t>(k), rBaseA, rOff);
+        a.addi(rOff, rOff, static_cast<int16_t>(l1WaySpan));
+    }
+    a.movz(rOff, 0); // wrap to the first way
+    endLoop(a);
+    return a.finish();
+}
+
+// Conflict stores: same set-colliding walk, with stores.
+isa::Program
+buildMCS(uint64_t target, bool init)
+{
+    isa::Assembler a("MCS");
+    uint64_t preamble = init ? (8 * l1WaySpan / 4096) * 4 + 6 : 6;
+    if (init)
+        initRegion(a, baseA, 8 * l1WaySpan);
+    a.loadImm(rBaseA, baseA);
+    a.movz(rOff, 0);
+    beginLoop(a, itersFor(target, 17, preamble));
+    for (int k = 0; k < 8; ++k) {
+        a.stx(static_cast<uint8_t>(k % 4), rBaseA, rOff);
+        a.addi(rOff, rOff, static_cast<int16_t>(l1WaySpan));
+    }
+    a.movz(rOff, 0);
+    endLoop(a);
+    return a.finish();
+}
+
+// Load-store dependence: store then immediately reload the same
+// location, serially (forwarding / replay behaviour).
+isa::Program
+buildMD(uint64_t target, bool init)
+{
+    isa::Assembler a("MD");
+    (void)init; // single hot line: always written first
+    a.loadImm(rBaseA, baseA);
+    a.movz(0, 1);
+    beginLoop(a, itersFor(target, 4, 6));
+    a.str(0, rBaseA, 0, 8);
+    a.ldr(1, rBaseA, 0, 8);
+    a.addi(0, 1, 1); // value chains through the loads
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// Independent L1-resident loads: peak load-port throughput.
+isa::Program
+buildMI(uint64_t target, bool init)
+{
+    isa::Assembler a("MI");
+    (void)init;
+    a.loadImm(rBaseA, baseA);
+    // Warm the single line once by storing to it.
+    a.str(isa::regZero, rBaseA, 0, 8);
+    beginLoop(a, itersFor(target, 8, 7));
+    for (int k = 0; k < 8; ++k)
+        a.ldr(static_cast<uint8_t>(k), rBaseA,
+              static_cast<int16_t>(8 * k), 8);
+    endLoop(a);
+    return a.finish();
+}
+
+// Independent random loads missing to DRAM: MLP limited by MSHRs.
+isa::Program
+buildMIM(uint64_t target, bool init)
+{
+    isa::Assembler a("MIM");
+    uint64_t preamble = init ? (dramSpan / 4096) * 4 + 10 : 10;
+    if (init)
+        initRegion(a, baseBig, dramSpan);
+    a.loadImm(rBaseA, baseBig);
+    lcgSetup(a);
+    a.loadImm(28, dramSpan - 64); // address mask base
+    beginLoop(a, itersFor(target, 14, preamble));
+    lcgStep(a);
+    a.lsri(0, rLcg, 17);
+    a.and_(0, 0, 28);
+    a.ldx(1, rBaseA, 0);
+    a.lsri(2, rLcg, 40);
+    a.and_(2, 2, 28);
+    a.ldx(3, rBaseA, 2);
+    // Consume each loaded value through a short dependent chain:
+    // keeps a window's worth of work in flight, so out-of-order
+    // window sizing is observable (not just MSHR count).
+    a.eor(9, 9, 1);
+    a.lsri(10, 9, 3);
+    a.add(11, 11, 10);
+    a.eor(12, 12, 3);
+    a.lsri(13, 12, 5);
+    a.add(14, 14, 13);
+    endLoop(a);
+    return a.finish();
+}
+
+// Independent random loads within an L2-sized set: L2-hit MLP.
+isa::Program
+buildMIM2(uint64_t target, bool init)
+{
+    isa::Assembler a("MIM2");
+    uint64_t preamble = init ? (l2Resident / 4096) * 4 + 10 : 10;
+    if (init)
+        initRegion(a, baseB, l2Resident);
+    a.loadImm(rBaseA, baseB);
+    lcgSetup(a);
+    a.loadImm(28, l2Resident - 64);
+    beginLoop(a, itersFor(target, 14, preamble));
+    lcgStep(a);
+    a.lsri(0, rLcg, 17);
+    a.and_(0, 0, 28);
+    a.ldx(1, rBaseA, 0);
+    a.lsri(2, rLcg, 40);
+    a.and_(2, 2, 28);
+    a.ldx(3, rBaseA, 2);
+    // Dependent consumers (window-sensitive, as in MIM).
+    a.eor(9, 9, 1);
+    a.lsri(10, 9, 3);
+    a.add(11, 11, 10);
+    a.eor(12, 12, 3);
+    a.lsri(13, 12, 5);
+    a.add(14, 14, 13);
+    endLoop(a);
+    return a.finish();
+}
+
+// Prefetchable streaming loads marching through a DRAM-sized region
+// (dense within each line so latency can be hidden by a prefetcher).
+isa::Program
+buildMIP(uint64_t target, bool init)
+{
+    isa::Assembler a("MIP");
+    uint64_t span = 2 * 1024 * 1024;
+    uint64_t preamble = init ? (span / 4096) * 4 + 8 : 8;
+    if (init)
+        initRegion(a, baseBig, span);
+    a.loadImm(rBaseA, baseBig);
+    a.movz(rOff, 0);
+    a.loadImm(28, span - 64);
+    // Body: 4 loads covering one line, advance one line, wrap by mask.
+    beginLoop(a, itersFor(target, 7, preamble));
+    a.ldx(0, rBaseA, rOff);
+    a.addi(1, rOff, 16);
+    a.ldx(2, rBaseA, 1);
+    a.addi(3, rOff, 32);
+    a.ldx(4, rBaseA, 3);
+    a.addi(rOff, rOff, 64);
+    a.and_(rOff, rOff, 28);
+    endLoop(a);
+    return a.finish();
+}
+
+// Sequential loads over an L2-resident working set (L1 misses, L2
+// hits once warm).
+isa::Program
+buildML2(uint64_t target, bool init)
+{
+    isa::Assembler a("ML2");
+    uint64_t preamble = init ? (l2Resident / 4096) * 4 + 8 : 8;
+    if (init)
+        initRegion(a, baseB, l2Resident);
+    a.loadImm(rBaseA, baseB);
+    a.movz(rOff, 0);
+    a.loadImm(28, l2Resident - 64);
+    beginLoop(a, itersFor(target, 5, preamble));
+    a.ldx(0, rBaseA, rOff);
+    a.ldx(1, rBaseA, rOff); // same line twice: one miss, one hit
+    a.addi(rOff, rOff, 64);
+    a.and_(rOff, rOff, 28);
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// L2 load bandwidth: back-to-back line-stride loads.
+isa::Program
+buildML2BWld(uint64_t target, bool init)
+{
+    isa::Assembler a("ML2_BW_ld");
+    uint64_t preamble = init ? (l2Resident / 4096) * 4 + 8 : 8;
+    if (init)
+        initRegion(a, baseB, l2Resident);
+    a.loadImm(rBaseA, baseB);
+    a.movz(rOff, 0);
+    a.loadImm(28, l2Resident - 64);
+    beginLoop(a, itersFor(target, 12, preamble));
+    for (int k = 0; k < 4; ++k) {
+        a.ldx(static_cast<uint8_t>(k), rBaseA, rOff);
+        a.addi(rOff, rOff, 64);
+    }
+    a.and_(rOff, rOff, 28);
+    for (int k = 0; k < 3; ++k)
+        a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// L2 mixed load+store bandwidth.
+isa::Program
+buildML2BWldst(uint64_t target, bool init)
+{
+    isa::Assembler a("ML2_BW_ldst");
+    uint64_t preamble = init ? (l2Resident / 4096) * 4 + 8 : 8;
+    if (init)
+        initRegion(a, baseB, l2Resident);
+    a.loadImm(rBaseA, baseB);
+    a.movz(rOff, 0);
+    a.loadImm(28, l2Resident - 64);
+    beginLoop(a, itersFor(target, 9, preamble));
+    for (int k = 0; k < 2; ++k) {
+        a.ldx(0, rBaseA, rOff);
+        a.stx(0, rBaseA, rOff);
+        a.addi(rOff, rOff, 64);
+    }
+    a.and_(rOff, rOff, 28);
+    a.nop();
+    a.nop();
+    endLoop(a);
+    return a.finish();
+}
+
+// L2 store bandwidth: line-stride stores.
+isa::Program
+buildML2BWst(uint64_t target, bool init)
+{
+    isa::Assembler a("ML2_BW_st");
+    uint64_t preamble = init ? (l2Resident / 4096) * 4 + 8 : 8;
+    if (init)
+        initRegion(a, baseB, l2Resident);
+    a.loadImm(rBaseA, baseB);
+    a.movz(rOff, 0);
+    a.loadImm(28, l2Resident - 64);
+    beginLoop(a, itersFor(target, 9, preamble));
+    for (int k = 0; k < 4; ++k) {
+        a.stx(isa::regZero, rBaseA, rOff);
+        a.addi(rOff, rOff, 64);
+    }
+    a.and_(rOff, rOff, 28);
+    endLoop(a);
+    return a.finish();
+}
+
+// Random stores within an L2-sized set.
+isa::Program
+buildML2st(uint64_t target, bool init)
+{
+    isa::Assembler a("ML2_st");
+    uint64_t preamble = init ? (l2Resident / 4096) * 4 + 10 : 10;
+    if (init)
+        initRegion(a, baseB, l2Resident);
+    a.loadImm(rBaseA, baseB);
+    lcgSetup(a);
+    a.loadImm(28, l2Resident - 64);
+    beginLoop(a, itersFor(target, 5, preamble));
+    lcgStep(a);
+    a.lsri(0, rLcg, 17);
+    a.and_(0, 0, 28);
+    a.stx(1, rBaseA, 0);
+    endLoop(a);
+    return a.finish();
+}
+
+// Pointer chase through DRAM: each load's (zero) result feeds the next
+// address, serializing on memory latency like a linked-list walk.
+isa::Program
+buildMM(uint64_t target, bool init)
+{
+    isa::Assembler a("MM");
+    uint64_t preamble = init ? (dramSpan / 4096) * 4 + 10 : 10;
+    if (init)
+        initRegion(a, baseBig, dramSpan);
+    a.loadImm(rBaseA, baseBig);
+    lcgSetup(a);
+    a.loadImm(28, dramSpan - 64);
+    beginLoop(a, itersFor(target, 6, preamble));
+    a.ldx(0, rBaseA, rOff);      // serial: address depends on last load
+    a.add(rLcg, rLcg, 0);        // fold the loaded value into the state
+    a.mul(rLcg, rLcg, rLcgA);
+    a.addi(rLcg, rLcg, 12345);
+    a.lsri(rOff, rLcg, 17);
+    a.and_(rOff, rOff, 28);
+    endLoop(a);
+    return a.finish();
+}
+
+// Pointer chase with a store to each visited node.
+isa::Program
+buildMMst(uint64_t target, bool init)
+{
+    isa::Assembler a("MM_st");
+    uint64_t preamble = init ? (dramSpan / 4096) * 4 + 10 : 10;
+    if (init)
+        initRegion(a, baseBig, dramSpan);
+    a.loadImm(rBaseA, baseBig);
+    lcgSetup(a);
+    a.loadImm(28, dramSpan - 64);
+    beginLoop(a, itersFor(target, 7, preamble));
+    a.ldx(0, rBaseA, rOff);
+    a.stx(rLcg, rBaseA, rOff);   // dirty the node
+    a.add(rLcg, rLcg, 0);
+    a.mul(rLcg, rLcg, rLcgA);
+    a.addi(rLcg, rLcg, 12345);
+    a.lsri(rOff, rLcg, 17);
+    a.and_(rOff, rOff, 28);
+    endLoop(a);
+    return a.finish();
+}
+
+// Dynamically computed addresses over a mid-sized set: the benchmark
+// whose uninitialized variant exposed the zero-page modeling anecdote.
+isa::Program
+buildMDyn(uint64_t target, bool init)
+{
+    isa::Assembler a("M_Dyn");
+    uint64_t span = 4 * 1024 * 1024;
+    uint64_t preamble = init ? (span / 4096) * 4 + 10 : 10;
+    if (init)
+        initRegion(a, baseBig, span);
+    a.loadImm(rBaseA, baseBig);
+    lcgSetup(a);
+    a.loadImm(28, span - 64);
+    beginLoop(a, itersFor(target, 8, preamble));
+    lcgStep(a);
+    a.lsri(0, rLcg, 17);
+    a.and_(0, 0, 28);
+    a.ldx(1, rBaseA, 0);
+    a.add(2, 2, 1);
+    a.lsri(3, rLcg, 40);
+    a.and_(3, 3, 28);
+    a.ldx(4, rBaseA, 3);
+    endLoop(a);
+    return a.finish();
+}
+
+} // namespace raceval::ubench::detail

@@ -1,0 +1,160 @@
+#include "ubench/ubench.hh"
+
+#include "common/log.hh"
+#include "ubench/builders.hh"
+
+namespace raceval::ubench
+{
+
+using namespace detail;
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::Memory: return "memory-hierarchy";
+      case Category::Control: return "control-flow";
+      case Category::DataParallel: return "data-parallel";
+      case Category::Execution: return "execution";
+      case Category::Store: return "store-intensive";
+      default: panic("bad category %d", static_cast<int>(cat));
+    }
+}
+
+uint64_t
+scaledCount(uint64_t paper_count)
+{
+    uint64_t scaled = paper_count;
+    while (scaled > 260'000)
+        scaled /= 2;
+    return scaled;
+}
+
+const std::vector<UbenchInfo> &
+all()
+{
+    static const std::vector<UbenchInfo> suite = {
+        // Memory hierarchy (Table I row 1).
+        { "MC", Category::Memory, 1'800'000, buildMC },
+        { "MCS", Category::Memory, 115'000, buildMCS },
+        { "MD", Category::Memory, 33'000, buildMD },
+        { "MI", Category::Memory, 22'000'000, buildMI },
+        { "MIM", Category::Memory, 5'250'000, buildMIM },
+        { "MIM2", Category::Memory, 214'000, buildMIM2 },
+        { "MIP", Category::Memory, 66'000'000, buildMIP },
+        { "ML2", Category::Memory, 131'000, buildML2 },
+        { "ML2_BW_ld", Category::Memory, 3'150'000, buildML2BWld },
+        { "ML2_BW_ldst", Category::Memory, 107'000, buildML2BWldst },
+        { "ML2_BW_st", Category::Memory, 8'400, buildML2BWst },
+        { "ML2_st", Category::Memory, 164'000, buildML2st },
+        { "MM", Category::Memory, 1'050'000, buildMM },
+        { "MM_st", Category::Memory, 1'970'000, buildMMst },
+        { "M_Dyn", Category::Memory, 1'500'000, buildMDyn },
+        // Control flow (Table I row 2).
+        { "CCa", Category::Control, 82'000, buildCCa },
+        { "CCe", Category::Control, 657'000, buildCCe },
+        { "CCh", Category::Control, 2'600'000, buildCCh },
+        { "CCh_st", Category::Control, 157'000, buildCChSt },
+        { "CCl", Category::Control, 1'380'000, buildCCl },
+        { "CCm", Category::Control, 656'000, buildCCm },
+        { "CF1", Category::Control, 1'270'000, buildCF1 },
+        { "CRd", Category::Control, 599'000, buildCRd },
+        { "CRf", Category::Control, 133'000, buildCRf },
+        { "CRm", Category::Control, 399'000, buildCRm },
+        { "CS1", Category::Control, 58'000, buildCS1 },
+        { "CS3", Category::Control, 34'500'000, buildCS3 },
+        // Data parallel (Table I row 3).
+        { "DP1d", Category::DataParallel, 5'200'000, buildDP1d },
+        { "DP1f", Category::DataParallel, 5'200'000, buildDP1f },
+        { "DPcvt", Category::DataParallel, 36'700'000, buildDPcvt },
+        { "DPT", Category::DataParallel, 542'000, buildDPT },
+        { "DPTd", Category::DataParallel, 1'180'000, buildDPTd },
+        // Execution (Table I row 4).
+        { "ED1", Category::Execution, 164'000, buildED1 },
+        { "EF", Category::Execution, 451'000, buildEF },
+        { "EI", Category::Execution, 5'240'000, buildEI },
+        { "EM1", Category::Execution, 65'000, buildEM1 },
+        { "EM5", Category::Execution, 328'000, buildEM5 },
+        // Store intensive (Table I row 5).
+        { "STL2", Category::Store, 4'000, buildSTL2 },
+        { "STL2b", Category::Store, 1'120'000, buildSTL2b },
+        { "STc", Category::Store, 400'000, buildSTc },
+    };
+    return suite;
+}
+
+const UbenchInfo *
+find(const std::string &name)
+{
+    for (const UbenchInfo &info : all()) {
+        if (name == info.name)
+            return &info;
+    }
+    return nullptr;
+}
+
+isa::Program
+build(const UbenchInfo &info, bool init_arrays)
+{
+    return info.builder(scaledCount(info.paperDynInsts), init_arrays);
+}
+
+namespace detail
+{
+
+void
+beginLoop(isa::Assembler &a, uint64_t iters)
+{
+    a.loadImm(rCnt, iters);
+    a.label("loop");
+}
+
+void
+endLoop(isa::Assembler &a)
+{
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+}
+
+void
+lcgSetup(isa::Assembler &a, uint64_t seed)
+{
+    a.loadImm(rLcgA, 6364136223846793005ull);
+    a.loadImm(rLcg, seed);
+}
+
+void
+lcgStep(isa::Assembler &a)
+{
+    a.mul(rLcg, rLcg, rLcgA);
+    a.addi(rLcg, rLcg, 12345);
+}
+
+void
+initRegion(isa::Assembler &a, uint64_t base, uint64_t bytes,
+           const char *label_suffix)
+{
+    std::string label = std::string("init_region") + label_suffix;
+    uint64_t pages = (bytes + 4095) / 4096;
+    a.loadImm(26, base);
+    a.loadImm(27, pages);
+    a.label(label);
+    a.str(isa::regZero, 26, 0, 8);
+    a.addi(26, 26, 4096);
+    a.subi(27, 27, 1);
+    a.cbnz(27, label);
+}
+
+uint64_t
+itersFor(uint64_t target_insts, uint64_t body_insts, uint64_t preamble)
+{
+    uint64_t body = body_insts + 2; // loop decrement + branch
+    if (target_insts <= preamble + body)
+        return 1;
+    return (target_insts - preamble) / body;
+}
+
+} // namespace detail
+
+} // namespace raceval::ubench

@@ -1,0 +1,140 @@
+#include "validate/flow.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "core/inorder.hh"
+#include "core/ooo.hh"
+#include "stats/descriptive.hh"
+#include "ubench/ubench.hh"
+#include "vm/functional.hh"
+
+namespace raceval::validate
+{
+
+ValidationFlow::ValidationFlow(bool out_of_order, FlowOptions options)
+    : ooo(out_of_order), opts(options), sniperSpace(out_of_order)
+{
+    hwOracle = std::make_unique<HardwareOracle>(
+        hw::makeMachine(ooo ? hw::secretA72() : hw::secretA53(), ooo));
+    for (const auto &info : ubench::all())
+        ubenchPrograms.push_back(ubench::build(info));
+}
+
+core::CoreStats
+ValidationFlow::simulate(const core::CoreParams &model,
+                         const isa::Program &program) const
+{
+    vm::FunctionalCore source(program);
+    if (ooo) {
+        core::OooCore sim(model);
+        return sim.run(source);
+    }
+    core::InOrderCore sim(model);
+    return sim.run(source);
+}
+
+BenchError
+ValidationFlow::evaluateOn(const core::CoreParams &model,
+                           const isa::Program &program)
+{
+    BenchError err;
+    err.name = program.name;
+    err.hwCpi = hwOracle->measure(program).cpi();
+    err.simCpi = simulate(model, program).cpi();
+    return err;
+}
+
+double
+ValidationFlow::ubenchError(const core::CoreParams &model,
+                            std::vector<BenchError> *detail)
+{
+    std::vector<double> errors;
+    for (const isa::Program &prog : ubenchPrograms) {
+        BenchError err = evaluateOn(model, prog);
+        errors.push_back(err.error());
+        if (detail)
+            detail->push_back(err);
+    }
+    return stats::mean(errors);
+}
+
+FlowReport
+ValidationFlow::run()
+{
+    FlowReport report;
+
+    // Steps #1 + #3: public information and best-effort guesses.
+    core::CoreParams base =
+        ooo ? core::publicInfoA72() : core::publicInfoA53();
+
+    // Step #2: lmbench-style latency probing on the board.
+    report.latencies = probeLatencies(hwOracle->board());
+    base.mem.l1d.latency = report.latencies.l1d;
+    base.mem.l2.latency = report.latencies.l2;
+    if (opts.verbose) {
+        inform("step #2: probed latencies l1d=%u l2=%u",
+               report.latencies.l1d, report.latencies.l2);
+    }
+    report.publicModel = base;
+    report.untunedUbenchAvg =
+        ubenchError(base, &report.untunedUbench);
+
+    // Pre-measure every instance once so the parallel racing workers
+    // only ever read the oracle cache.
+    for (const isa::Program &prog : ubenchPrograms)
+        hwOracle->measure(prog);
+
+    // Step #4: iterated racing over the undisclosed parameters.
+    CostKind cost_kind = opts.costKind;
+    auto cost_fn = [this, &base, cost_kind](
+        const tuner::Configuration &config, size_t instance) {
+        const isa::Program &prog = ubenchPrograms[instance];
+        core::CoreParams model = sniperSpace.apply(config, base);
+        core::CoreStats sim = simulate(model, prog);
+        hw::PerfCounters hwm = hwOracle->measure(prog);
+        double cpi_err = hwm.cpi() > 0.0
+            ? std::abs(sim.cpi() - hwm.cpi()) / hwm.cpi() : 0.0;
+        if (cost_kind == CostKind::Cpi)
+            return cpi_err;
+        // Step #5 refinement: weight in the branch misprediction rate
+        // so control-flow components cannot hide behind a low overall
+        // CPI error.
+        double hw_rate = hwm.instructions
+            ? static_cast<double>(hwm.branchMisses)
+                / static_cast<double>(hwm.instructions) : 0.0;
+        double sim_rate = sim.instructions
+            ? static_cast<double>(sim.branch.mispredicts)
+                / static_cast<double>(sim.instructions) : 0.0;
+        double rate_err = std::abs(sim_rate - hw_rate)
+            / std::max(0.005, hw_rate);
+        return cpi_err + 0.5 * rate_err;
+    };
+
+    tuner::RacerOptions racer_opts;
+    racer_opts.maxExperiments = opts.budget;
+    racer_opts.threads = opts.threads;
+    racer_opts.seed = opts.seed;
+    racer_opts.verbose = opts.verbose;
+    tuner::IteratedRacer racer(sniperSpace.space(), cost_fn,
+                               ubenchPrograms.size(), racer_opts);
+    racer.addInitialCandidate(sniperSpace.encode(base));
+    report.race = racer.run();
+
+    // Step #6: the tuned model.
+    report.tunedModel = sniperSpace.apply(report.race.best, base);
+    report.tunedUbenchAvg =
+        ubenchError(report.tunedModel, &report.tunedUbench);
+
+    if (opts.verbose) {
+        inform("flow: untuned avg ubench CPI error %.1f%%, "
+               "tuned %.1f%% (%llu experiments)",
+               100.0 * report.untunedUbenchAvg,
+               100.0 * report.tunedUbenchAvg,
+               static_cast<unsigned long long>(
+                   report.race.experimentsUsed));
+    }
+    return report;
+}
+
+} // namespace raceval::validate

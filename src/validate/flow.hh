@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The six-step validation flow of Fig. 1:
+ *   #1 model from publicly available information,
+ *   #2 set cache latency parameters using micro-benchmarks (lmbench),
+ *   #3 approximate the remaining unknown parameters,
+ *   #4 tune parameters with iterated racing,
+ *   #5 inspect per-component error; optionally rerun with a
+ *      component-weighted cost function,
+ *   #6 emit the tuned model.
+ */
+
+#ifndef RACEVAL_VALIDATE_FLOW_HH
+#define RACEVAL_VALIDATE_FLOW_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "tuner/race.hh"
+#include "validate/latency_probe.hh"
+#include "validate/oracle.hh"
+#include "validate/sniper_space.hh"
+
+namespace raceval::validate
+{
+
+/** Which error the racing cost function minimizes. */
+enum class CostKind : uint8_t
+{
+    Cpi,          //!< absolute relative CPI error (paper default)
+    CpiPlusBranch //!< CPI error + weighted branch-MPKI error (step #5)
+};
+
+/** Per-benchmark error record for reports. */
+struct BenchError
+{
+    std::string name;
+    double hwCpi = 0.0;
+    double simCpi = 0.0;
+
+    /** @return absolute relative CPI error. */
+    double
+    error() const
+    {
+        return hwCpi > 0.0 ? std::abs(simCpi - hwCpi) / hwCpi : 0.0;
+    }
+};
+
+/** Options of the end-to-end flow. */
+struct FlowOptions
+{
+    uint64_t budget = 3000;   //!< racing experiments (paper: 10K-100K)
+    unsigned threads = 0;     //!< parallel evaluations (0 = hardware)
+    uint64_t seed = 20190324;
+    CostKind costKind = CostKind::Cpi;
+    bool verbose = false;
+};
+
+/** Everything the flow produces. */
+struct FlowReport
+{
+    LatencyEstimates latencies;          //!< step #2 output
+    core::CoreParams publicModel;        //!< steps #1-#3 model
+    core::CoreParams tunedModel;         //!< step #6 output
+    tuner::RaceResult race;              //!< step #4 details
+    std::vector<BenchError> untunedUbench;
+    std::vector<BenchError> tunedUbench;
+    double untunedUbenchAvg = 0.0;
+    double tunedUbenchAvg = 0.0;
+};
+
+/**
+ * Drives the whole methodology against one board.
+ *
+ * The flow never reads the board's parameters -- it only calls
+ * HardwareOracle::measure(), preserving the black-box discipline of
+ * real hardware validation.
+ */
+class ValidationFlow
+{
+  public:
+    /**
+     * @param out_of_order validate the A72-class OoO model rather
+     *        than the A53-class in-order model.
+     * @param options flow options.
+     */
+    ValidationFlow(bool out_of_order, FlowOptions options = {});
+
+    /** Execute steps #1 through #6. */
+    FlowReport run();
+
+    /** @return the measurement oracle (shared with benches). */
+    HardwareOracle &oracle() { return *hwOracle; }
+
+    /** @return the raced parameter space. */
+    const SniperParamSpace &paramSpace() const { return sniperSpace; }
+
+    /** Simulate one program on a model and report CPI error. */
+    BenchError evaluateOn(const core::CoreParams &model,
+                          const isa::Program &program);
+
+    /** Mean absolute CPI error of a model over all micro-benchmarks. */
+    double ubenchError(const core::CoreParams &model,
+                       std::vector<BenchError> *detail = nullptr);
+
+    /** Run the simulator model (in-order or OoO per construction). */
+    core::CoreStats simulate(const core::CoreParams &model,
+                             const isa::Program &program) const;
+
+  private:
+    bool ooo;
+    FlowOptions opts;
+    SniperParamSpace sniperSpace;
+    std::unique_ptr<HardwareOracle> hwOracle;
+    /** Micro-benchmark programs, built once. */
+    std::vector<isa::Program> ubenchPrograms;
+};
+
+} // namespace raceval::validate
+
+#endif // RACEVAL_VALIDATE_FLOW_HH

@@ -1,0 +1,120 @@
+#include "validate/latency_probe.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "vm/functional.hh"
+
+namespace raceval::validate
+{
+
+namespace
+{
+
+constexpr uint64_t probeBase = 0x00400000;
+constexpr unsigned unroll = 4;
+
+/** Emit the common chase loop skeleton around one chain step,
+ *  unrolled so loop overhead amortizes out of the measurement. */
+template <typename BodyFn>
+isa::Program
+chaseLoop(const char *name, uint64_t iters, BodyFn body)
+{
+    isa::Assembler a(name);
+    a.loadImm(20, probeBase);
+    a.movz(0, 0); // chase cursor
+    a.loadImm(19, iters);
+    a.label("loop");
+    for (unsigned u = 0; u < unroll; ++u)
+        body(a);
+    a.subi(19, 19, 1);
+    a.cbnz(19, "loop");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+isa::Program
+buildL1Probe(uint64_t iters)
+{
+    // Memory reads as zero, so the chase sticks to one hot line: a
+    // pure L1 load-to-use chain.
+    isa::Program prog = chaseLoop("probe_l1", iters, [](auto &a) {
+        a.ldx(0, 20, 0, 8);
+    });
+    // Touch the line so the zero-page shortcut does not kick in.
+    prog.addZeroedDwords(probeBase, 8);
+    return prog;
+}
+
+isa::Program
+buildL2Probe(uint64_t ws_bytes, uint64_t iters)
+{
+    isa::Program prog = chaseLoop("probe_l2", iters, [](auto &a) {
+        a.ldx(0, 20, 0, 8);
+    });
+    // Shuffled pointer ring at line granularity: node i holds the byte
+    // offset of its successor. Shuffling defeats stride and GHB
+    // prefetchers, so the chase sees the raw L2 latency. The working
+    // set is far larger than L1 (dilution by residual L1 hits stays
+    // small) yet safely inside L2.
+    uint64_t nodes = ws_bytes / 64;
+    Rng rng(0xCAFE);
+    std::vector<size_t> perm = rng.permutation(nodes);
+    std::vector<uint8_t> bytes(ws_bytes, 0);
+    for (size_t i = 0; i < nodes; ++i) {
+        uint64_t from = perm[i] * 64;
+        uint64_t to = perm[(i + 1) % nodes] * 64;
+        for (int b = 0; b < 8; ++b)
+            bytes[from + b] = static_cast<uint8_t>(to >> (8 * b));
+    }
+    prog.addData(probeBase, std::move(bytes));
+    return prog;
+}
+
+isa::Program
+buildChaseBaseline(uint64_t iters)
+{
+    // Identical loop with the load swapped for a 1-cycle ALU chain op.
+    isa::Program prog = chaseLoop("probe_base", iters, [](auto &a) {
+        a.addi(0, 0, 0);
+    });
+    prog.addZeroedDwords(probeBase, 8);
+    return prog;
+}
+
+LatencyEstimates
+probeLatencies(hw::HwMachine &board)
+{
+    auto cycles_per_step = [&board](const isa::Program &prog,
+                                    uint64_t iters) {
+        vm::FunctionalCore source(prog);
+        hw::PerfCounters perf = board.measure(source);
+        return static_cast<double>(perf.cycles)
+            / static_cast<double>(iters * unroll);
+    };
+
+    // Long runs amortize the ring's cold-miss warm-up; lmbench does
+    // the same by timing many iterations.
+    constexpr uint64_t iters = 60000;
+    double base = cycles_per_step(buildChaseBaseline(iters), iters);
+    double l1 = cycles_per_step(buildL1Probe(iters), iters);
+    double l2 = cycles_per_step(buildL2Probe(256 * 1024, iters), iters);
+
+    // Each chain step costs its load-to-use latency; the baseline step
+    // costs one cycle, so latency = delta + 1.
+    LatencyEstimates est;
+    est.l1d = static_cast<unsigned>(
+        std::max(1.0, std::round(l1 - base + 1.0)));
+    // The L2 chase mixes residual L1 hits with L1-miss/L2-hit steps;
+    // report the component beyond the (just probed) L1 latency.
+    est.l2 = static_cast<unsigned>(
+        std::max(2.0, std::round(l2 - base + 1.0)
+                 - static_cast<double>(est.l1d)));
+    return est;
+}
+
+} // namespace raceval::validate

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * lmbench-style cache latency estimation (step #2 of Fig. 1): run
+ * dependent-load chains against the board and derive L1D / L2
+ * load-to-use latencies differentially, before any tuning happens.
+ */
+
+#ifndef RACEVAL_VALIDATE_LATENCY_PROBE_HH
+#define RACEVAL_VALIDATE_LATENCY_PROBE_HH
+
+#include "hw/machine.hh"
+#include "isa/program.hh"
+
+namespace raceval::validate
+{
+
+/** Probed latencies, ready to plug into the timing model. */
+struct LatencyEstimates
+{
+    unsigned l1d = 0;
+    unsigned l2 = 0;
+};
+
+/** Build the L1 chase probe (single hot line, serial loads). */
+isa::Program buildL1Probe(uint64_t iters = 20000);
+
+/** Build the L2 chase probe (shuffled pointer ring over ws_bytes). */
+isa::Program buildL2Probe(uint64_t ws_bytes = 128 * 1024,
+                          uint64_t iters = 20000);
+
+/** Baseline loop with the load replaced by an ALU op. */
+isa::Program buildChaseBaseline(uint64_t iters = 20000);
+
+/**
+ * Estimate L1D and L2 load-to-use latencies on a board.
+ *
+ * Differential measurement: latency = (chase cycles - baseline
+ * cycles) / iterations + 1 (the baseline chain op costs one cycle).
+ */
+LatencyEstimates probeLatencies(hw::HwMachine &board);
+
+} // namespace raceval::validate
+
+#endif // RACEVAL_VALIDATE_LATENCY_PROBE_HH

@@ -1,0 +1,24 @@
+#include "validate/oracle.hh"
+
+#include "vm/functional.hh"
+
+namespace raceval::validate
+{
+
+hw::PerfCounters
+HardwareOracle::measure(const isa::Program &program)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(program.name);
+        if (it != cache.end())
+            return it->second;
+    }
+    vm::FunctionalCore source(program);
+    hw::PerfCounters perf = machine->measure(source);
+    std::lock_guard<std::mutex> lock(mutex);
+    cache[program.name] = perf;
+    return perf;
+}
+
+} // namespace raceval::validate

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hardware measurement oracle: the validation flow's only window onto
+ * the "board". Measures each benchmark once with perf-style counters
+ * (paper §V) and caches the result, exactly like the paper's
+ * measure-once / reuse-everywhere workflow.
+ */
+
+#ifndef RACEVAL_VALIDATE_ORACLE_HH
+#define RACEVAL_VALIDATE_ORACLE_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "hw/machine.hh"
+#include "isa/program.hh"
+
+namespace raceval::validate
+{
+
+/** Cached hardware measurements keyed by benchmark name. */
+class HardwareOracle
+{
+  public:
+    /** @param machine the board stand-in (owned). */
+    explicit HardwareOracle(std::unique_ptr<hw::HwMachine> machine)
+        : machine(std::move(machine))
+    {
+    }
+
+    /**
+     * Measure a program (memoized by name).
+     *
+     * Thread-safe; the first caller for a name runs the detailed
+     * model, everyone else reads the cache.
+     */
+    hw::PerfCounters measure(const isa::Program &program);
+
+    /** @return the underlying machine (for probes). */
+    hw::HwMachine &board() { return *machine; }
+
+  private:
+    std::unique_ptr<hw::HwMachine> machine;
+    std::mutex mutex;
+    std::map<std::string, hw::PerfCounters> cache;
+};
+
+} // namespace raceval::validate
+
+#endif // RACEVAL_VALIDATE_ORACLE_HH

@@ -1,0 +1,104 @@
+#include "validate/perturb.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace raceval::validate
+{
+
+namespace
+{
+
+/** Neighbor choice indices one step away from `current`. */
+std::vector<uint16_t>
+neighborChoices(const tuner::Parameter &param, uint16_t current)
+{
+    std::vector<uint16_t> out;
+    switch (param.kind) {
+      case tuner::Parameter::Kind::Ordinal:
+        if (current > 0)
+            out.push_back(static_cast<uint16_t>(current - 1));
+        if (current + 1u < param.cardinality())
+            out.push_back(static_cast<uint16_t>(current + 1));
+        break;
+      case tuner::Parameter::Kind::Flag:
+        out.push_back(current ? 0 : 1);
+        break;
+      case tuner::Parameter::Kind::Categorical:
+        for (uint16_t c = 0; c < param.cardinality(); ++c) {
+            if (c != current)
+                out.push_back(c);
+        }
+        break;
+    }
+    return out;
+}
+
+} // namespace
+
+PerturbResult
+worstNearOptimum(const SniperParamSpace &sspace,
+                 const tuner::Configuration &tuned, const ErrorFn &error,
+                 unsigned random_refinements, uint64_t seed)
+{
+    const tuner::ParameterSpace &space = sspace.space();
+    PerturbResult result;
+    result.tunedError = error(tuned);
+    result.worst = tuned;
+    result.worstError = result.tunedError;
+    ++result.evaluations;
+
+    // Greedy coordinate ascent: for each parameter take the one-step
+    // deviation that hurts accuracy the most, accumulating deviations
+    // (the paper perturbs multiple parameters simultaneously).
+    tuner::Configuration current = tuned;
+    double current_error = result.tunedError;
+    for (size_t pass = 0; pass < 2; ++pass) {
+        for (size_t i = 0; i < space.size(); ++i) {
+            uint16_t best_choice = current[i];
+            double best_error = current_error;
+            for (uint16_t choice :
+                 neighborChoices(space.at(i), tuned[i])) {
+                tuner::Configuration probe = current;
+                probe[i] = choice;
+                double err = error(probe);
+                ++result.evaluations;
+                if (err > best_error) {
+                    best_error = err;
+                    best_choice = choice;
+                }
+            }
+            current[i] = best_choice;
+            current_error = best_error;
+        }
+    }
+    if (current_error > result.worstError) {
+        result.worst = current;
+        result.worstError = current_error;
+    }
+
+    // Randomized refinement: random one-step deviation patterns catch
+    // interactions the greedy pass misses.
+    Rng rng(seed);
+    for (unsigned r = 0; r < random_refinements; ++r) {
+        tuner::Configuration probe = tuned;
+        for (size_t i = 0; i < space.size(); ++i) {
+            if (!rng.nextBool(0.5))
+                continue;
+            auto choices = neighborChoices(space.at(i), tuned[i]);
+            if (!choices.empty())
+                probe[i] = choices[rng.nextBelow(choices.size())];
+        }
+        double err = error(probe);
+        ++result.evaluations;
+        if (err > result.worstError) {
+            result.worstError = err;
+            result.worst = probe;
+        }
+    }
+    return result;
+}
+
+} // namespace raceval::validate

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The raced parameter list (paper §IV-A): every core-model knob that
+ * cannot be set from public information or lmbench-style probing,
+ * paired with the discrete candidate values handed to the tuner.
+ */
+
+#ifndef RACEVAL_VALIDATE_SNIPER_SPACE_HH
+#define RACEVAL_VALIDATE_SNIPER_SPACE_HH
+
+#include "core/params.hh"
+#include "tuner/space.hh"
+
+namespace raceval::validate
+{
+
+/**
+ * Bidirectional mapping between tuner configurations and CoreParams.
+ *
+ * The in-order space races 43 parameters; the out-of-order space adds
+ * the four window sizes (ROB / IQ / LQ / SQ). (The paper's Sniper
+ * exposes 64; ours is smaller because the model is -- every raced
+ * parameter here is one the hw presets may secretly differ on.)
+ */
+class SniperParamSpace
+{
+  public:
+    /** @param out_of_order include the OoO window parameters. */
+    explicit SniperParamSpace(bool out_of_order);
+
+    /** @return the declared tuner space. */
+    const tuner::ParameterSpace &space() const { return pspace; }
+
+    /**
+     * Materialize a configuration: the raced values overlay the
+     * non-raced fields of `base` (public-info facts, probed cache
+     * latencies).
+     */
+    core::CoreParams apply(const tuner::Configuration &config,
+                           const core::CoreParams &base) const;
+
+    /**
+     * Project CoreParams onto the space (nearest levels), used to seed
+     * the race with the public-information model.
+     */
+    tuner::Configuration encode(const core::CoreParams &params) const;
+
+    /** @return true when built with the OoO window parameters. */
+    bool outOfOrder() const { return ooo; }
+
+  private:
+    tuner::ParameterSpace pspace;
+    bool ooo;
+};
+
+} // namespace raceval::validate
+
+#endif // RACEVAL_VALIDATE_SNIPER_SPACE_HH

@@ -1,0 +1,274 @@
+#include "vm/functional.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace raceval::vm
+{
+
+using isa::Opcode;
+
+FunctionalCore::FunctionalCore(const isa::Program &program,
+                               isa::DecoderOptions exposed_decoder_options,
+                               uint64_t max_insts)
+    : prog(program), pc(0), instCount(0), maxInsts(max_insts),
+      halted(false)
+{
+    isa::Decoder semantic_decoder;
+    isa::Decoder exposed_decoder(exposed_decoder_options);
+    semantic.resize(prog.code.size());
+    exposed.resize(prog.code.size());
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        if (!semantic_decoder.decode(prog.code[i], semantic[i]))
+            fatal("program '%s': undecodable word 0x%08x at index %zu",
+                  prog.name.c_str(), prog.code[i], i);
+        exposed_decoder.decode(prog.code[i], exposed[i]);
+    }
+    reset();
+}
+
+void
+FunctionalCore::loadImage()
+{
+    mem.clear();
+    for (const auto &segment : prog.data)
+        mem.load(segment.base, segment.bytes.data(), segment.bytes.size());
+}
+
+void
+FunctionalCore::reset()
+{
+    regFile = RegFile{};
+    loadImage();
+    pc = prog.entry();
+    instCount = 0;
+    halted = false;
+}
+
+bool
+FunctionalCore::next(DynInst &out)
+{
+    if (halted)
+        return false;
+    if (instCount >= maxInsts) {
+        warn("program '%s': max instruction budget %llu hit, truncating",
+             prog.name.c_str(),
+             static_cast<unsigned long long>(maxInsts));
+        halted = true;
+        return false;
+    }
+
+    uint64_t index = (pc - prog.codeBase) / 4;
+    RV_ASSERT(pc >= prog.codeBase && index < semantic.size(),
+              "program '%s': pc 0x%llx out of code range",
+              prog.name.c_str(), static_cast<unsigned long long>(pc));
+
+    const isa::DecodedInst &inst = semantic[index];
+    RegFile &r = regFile;
+    uint64_t next_pc = pc + 4;
+    uint64_t mem_addr = 0;
+    bool taken = false;
+
+    auto branch_to = [&](int64_t off_insts) {
+        next_pc = pc + static_cast<uint64_t>(off_insts * 4);
+        taken = true;
+    };
+
+    // Raw 5-bit fields, needed where the decoded src list is not a
+    // faithful operand list (e.g. store data vs. address operands).
+    uint32_t word = prog.code[index];
+    uint8_t f0 = word & 0x1f;
+    uint8_t f1 = (word >> 5) & 0x1f;
+    uint8_t f2 = (word >> 10) & 0x1f;
+    uint8_t f3 = (word >> 15) & 0x1f;
+
+    switch (inst.op) {
+      case Opcode::Add: r.writeX(f0, r.readX(f1) + r.readX(f2)); break;
+      case Opcode::Sub: r.writeX(f0, r.readX(f1) - r.readX(f2)); break;
+      case Opcode::And: r.writeX(f0, r.readX(f1) & r.readX(f2)); break;
+      case Opcode::Orr: r.writeX(f0, r.readX(f1) | r.readX(f2)); break;
+      case Opcode::Eor: r.writeX(f0, r.readX(f1) ^ r.readX(f2)); break;
+      case Opcode::Lsl:
+        r.writeX(f0, r.readX(f1) << (r.readX(f2) & 63));
+        break;
+      case Opcode::Lsr:
+        r.writeX(f0, r.readX(f1) >> (r.readX(f2) & 63));
+        break;
+      case Opcode::Asr:
+        r.writeX(f0, static_cast<uint64_t>(
+            static_cast<int64_t>(r.readX(f1)) >> (r.readX(f2) & 63)));
+        break;
+      case Opcode::Mul: r.writeX(f0, r.readX(f1) * r.readX(f2)); break;
+      case Opcode::Madd:
+        r.writeX(f0, r.readX(f1) * r.readX(f2) + r.readX(f3));
+        break;
+      case Opcode::Udiv:
+        r.writeX(f0, r.readX(f2) == 0 ? 0 : r.readX(f1) / r.readX(f2));
+        break;
+      case Opcode::Sdiv: {
+        int64_t den = static_cast<int64_t>(r.readX(f2));
+        int64_t num = static_cast<int64_t>(r.readX(f1));
+        r.writeX(f0, den == 0 ? 0 : static_cast<uint64_t>(num / den));
+        break;
+      }
+      case Opcode::Addi:
+        r.writeX(f0, r.readX(f1) + static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::Subi:
+        r.writeX(f0, r.readX(f1) - static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::Andi:
+        r.writeX(f0, r.readX(f1) & static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::Orri:
+        r.writeX(f0, r.readX(f1) | static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::Eori:
+        r.writeX(f0, r.readX(f1) ^ static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::Lsli:
+        r.writeX(f0, r.readX(f1) << (inst.imm & 63));
+        break;
+      case Opcode::Lsri:
+        r.writeX(f0, r.readX(f1) >> (inst.imm & 63));
+        break;
+      case Opcode::Asri:
+        r.writeX(f0, static_cast<uint64_t>(
+            static_cast<int64_t>(r.readX(f1)) >> (inst.imm & 63)));
+        break;
+      case Opcode::Movz:
+        r.writeX(f0, static_cast<uint64_t>(inst.imm) << (16 * inst.hw));
+        break;
+      case Opcode::Movk: {
+        uint64_t mask = 0xffffull << (16 * inst.hw);
+        r.writeX(f0, (r.readX(f0) & ~mask)
+                 | (static_cast<uint64_t>(inst.imm) << (16 * inst.hw)));
+        break;
+      }
+
+      case Opcode::Ldr:
+        mem_addr = r.readX(f1) + static_cast<uint64_t>(inst.imm);
+        r.writeX(f0, mem.read(mem_addr, inst.memSize));
+        break;
+      case Opcode::Str:
+        mem_addr = r.readX(f1) + static_cast<uint64_t>(inst.imm);
+        mem.write(mem_addr, inst.memSize, r.readX(f0));
+        break;
+      case Opcode::Ldx:
+        mem_addr = r.readX(f1) + r.readX(f2);
+        r.writeX(f0, mem.read(mem_addr, inst.memSize));
+        break;
+      case Opcode::Stx:
+        mem_addr = r.readX(f1) + r.readX(f2);
+        mem.write(mem_addr, inst.memSize, r.readX(f0));
+        break;
+      case Opcode::Ldrf:
+        mem_addr = r.readX(f1) + static_cast<uint64_t>(inst.imm);
+        r.d[f0] = inst.memSize == 4 ? mem.readFloat(mem_addr)
+                                    : mem.readDouble(mem_addr);
+        break;
+      case Opcode::Strf:
+        mem_addr = r.readX(f1) + static_cast<uint64_t>(inst.imm);
+        if (inst.memSize == 4)
+            mem.writeFloat(mem_addr, r.d[f0]);
+        else
+            mem.writeDouble(mem_addr, r.d[f0]);
+        break;
+
+      case Opcode::B:
+        branch_to(inst.imm);
+        break;
+      case Opcode::Bl:
+        r.writeX(isa::regLink, pc + 4);
+        branch_to(inst.imm);
+        break;
+      case Opcode::Ret:
+      case Opcode::Br:
+        next_pc = r.readX(f1);
+        taken = true;
+        break;
+      case Opcode::Cbz:
+        if (r.readX(f0) == 0)
+            branch_to(inst.imm);
+        break;
+      case Opcode::Cbnz:
+        if (r.readX(f0) != 0)
+            branch_to(inst.imm);
+        break;
+      case Opcode::Beq:
+        if (r.readX(f0) == r.readX(f1))
+            branch_to(inst.imm);
+        break;
+      case Opcode::Bne:
+        if (r.readX(f0) != r.readX(f1))
+            branch_to(inst.imm);
+        break;
+      case Opcode::Blt:
+        if (static_cast<int64_t>(r.readX(f0))
+            < static_cast<int64_t>(r.readX(f1)))
+            branch_to(inst.imm);
+        break;
+      case Opcode::Bge:
+        if (static_cast<int64_t>(r.readX(f0))
+            >= static_cast<int64_t>(r.readX(f1)))
+            branch_to(inst.imm);
+        break;
+
+      case Opcode::Fadd: r.d[f0] = r.d[f1] + r.d[f2]; break;
+      case Opcode::Fsub: r.d[f0] = r.d[f1] - r.d[f2]; break;
+      case Opcode::Fmul: r.d[f0] = r.d[f1] * r.d[f2]; break;
+      case Opcode::Fdiv:
+        r.d[f0] = r.d[f2] == 0.0 ? 0.0 : r.d[f1] / r.d[f2];
+        break;
+      case Opcode::Fsqrt:
+        r.d[f0] = std::sqrt(std::fabs(r.d[f1]));
+        break;
+      case Opcode::Fmadd:
+        r.d[f0] = r.d[f1] * r.d[f2] + r.d[f3];
+        break;
+      case Opcode::Fcvt:
+        r.d[f0] = static_cast<double>(static_cast<float>(r.d[f1]));
+        break;
+      case Opcode::Fmov: r.d[f0] = r.d[f1]; break;
+      case Opcode::Fclt:
+        r.writeX(f0, r.d[f1] < r.d[f2] ? 1 : 0);
+        break;
+      // SIMD classes share scalar semantics; only timing differs.
+      case Opcode::Vadd: r.d[f0] = r.d[f1] + r.d[f2]; break;
+      case Opcode::Vmul: r.d[f0] = r.d[f1] * r.d[f2]; break;
+      case Opcode::Vfma:
+        r.d[f0] = r.d[f1] * r.d[f2] + r.d[f3];
+        break;
+
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        halted = true;
+        break;
+      default:
+        panic("functional core: unhandled opcode %d",
+              static_cast<int>(inst.op));
+    }
+
+    out.pc = pc;
+    out.inst = exposed[index];
+    out.memAddr = mem_addr;
+    out.nextPc = next_pc;
+    out.taken = taken;
+
+    pc = next_pc;
+    ++instCount;
+    return true;
+}
+
+uint64_t
+FunctionalCore::run()
+{
+    DynInst scratch;
+    while (next(scratch)) {
+    }
+    return instCount;
+}
+
+} // namespace raceval::vm

@@ -1,0 +1,92 @@
+#include "vm/mem.hh"
+
+#include <cstring>
+
+namespace raceval::vm
+{
+
+uint8_t
+SparseMemory::peek(uint64_t addr) const
+{
+    auto it = pages.find(addr / pageBytes);
+    if (it == pages.end())
+        return 0;
+    return (*it->second)[addr % pageBytes];
+}
+
+void
+SparseMemory::poke(uint64_t addr, uint8_t byte)
+{
+    auto &page = pages[addr / pageBytes];
+    if (!page) {
+        page = std::make_unique<Page>();
+        page->fill(0);
+    }
+    (*page)[addr % pageBytes] = byte;
+}
+
+uint64_t
+SparseMemory::read(uint64_t addr, unsigned size) const
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= static_cast<uint64_t>(peek(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+SparseMemory::write(uint64_t addr, unsigned size, uint64_t value)
+{
+    for (unsigned i = 0; i < size; ++i)
+        poke(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+double
+SparseMemory::readDouble(uint64_t addr) const
+{
+    uint64_t bits = read(addr, 8);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+void
+SparseMemory::writeDouble(uint64_t addr, double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    write(addr, 8, bits);
+}
+
+double
+SparseMemory::readFloat(uint64_t addr) const
+{
+    uint32_t bits = static_cast<uint32_t>(read(addr, 4));
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return static_cast<double>(value);
+}
+
+void
+SparseMemory::writeFloat(uint64_t addr, double value)
+{
+    float narrow = static_cast<float>(value);
+    uint32_t bits;
+    std::memcpy(&bits, &narrow, sizeof(bits));
+    write(addr, 4, bits);
+}
+
+void
+SparseMemory::load(uint64_t base, const uint8_t *bytes, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        poke(base + i, bytes[i]);
+}
+
+void
+SparseMemory::clear()
+{
+    pages.clear();
+}
+
+} // namespace raceval::vm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sparse byte-addressable memory backing functional execution.
+ */
+
+#ifndef RACEVAL_VM_MEM_HH
+#define RACEVAL_VM_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace raceval::vm
+{
+
+/**
+ * Paged sparse memory. Untouched locations read as zero, like an
+ * anonymous mmap; the page granularity is also what the hardware model's
+ * first-touch effect keys on.
+ */
+class SparseMemory
+{
+  public:
+    static constexpr uint64_t pageBytes = 4096;
+
+    /** Read size bytes (1/2/4/8) little-endian, zero-extended. */
+    uint64_t read(uint64_t addr, unsigned size) const;
+
+    /** Write the low size bytes of value little-endian. */
+    void write(uint64_t addr, unsigned size, uint64_t value);
+
+    /** Read an IEEE double (8 bytes). */
+    double readDouble(uint64_t addr) const;
+
+    /** Write an IEEE double. */
+    void writeDouble(uint64_t addr, double value);
+
+    /** Read an IEEE float (4 bytes), widened to double. */
+    double readFloat(uint64_t addr) const;
+
+    /** Write a double narrowed to IEEE float. */
+    void writeFloat(uint64_t addr, double value);
+
+    /** Bulk copy-in used to load program data segments. */
+    void load(uint64_t base, const uint8_t *bytes, size_t len);
+
+    /** Drop all pages (used by reset between runs). */
+    void clear();
+
+    /** @return number of allocated pages. */
+    size_t pageCount() const { return pages.size(); }
+
+  private:
+    using Page = std::array<uint8_t, pageBytes>;
+
+    uint8_t peek(uint64_t addr) const;
+    void poke(uint64_t addr, uint8_t byte);
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace raceval::vm
+
+#endif // RACEVAL_VM_MEM_HH

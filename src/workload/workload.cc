@@ -1,0 +1,495 @@
+#include "workload/workload.hh"
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+
+namespace raceval::workload
+{
+
+namespace
+{
+
+using isa::Assembler;
+using isa::Program;
+
+constexpr uint8_t rCnt = 19;
+constexpr uint8_t rLcg = 21;
+constexpr uint8_t rLcgA = 22;
+constexpr uint8_t rOff = 23;
+constexpr uint8_t rHeap = 20;
+constexpr uint8_t rMask = 28;
+
+constexpr uint64_t heapBase = 0x08000000;
+
+void
+prologue(Assembler &a, uint64_t heap_bytes, uint64_t mask)
+{
+    // Touch every heap page once (initialized memory, page walks up
+    // front), then set up the LCG and masks.
+    uint64_t pages = heap_bytes / 4096;
+    a.loadImm(26, heapBase);
+    a.loadImm(27, pages);
+    a.label("init");
+    a.str(isa::regZero, 26, 0, 8);
+    a.addi(26, 26, 4096);
+    a.subi(27, 27, 1);
+    a.cbnz(27, "init");
+    a.loadImm(rHeap, heapBase);
+    a.loadImm(rLcgA, 6364136223846793005ull);
+    a.loadImm(rLcg, 0x1234567);
+    a.loadImm(rMask, mask);
+    a.movz(rOff, 0);
+}
+
+void
+lcg(Assembler &a)
+{
+    a.mul(rLcg, rLcg, rLcgA);
+    a.addi(rLcg, rLcg, 12345);
+}
+
+uint64_t
+loopIters(uint64_t target, uint64_t body, uint64_t preamble)
+{
+    uint64_t per_iter = body + 2;
+    if (target <= preamble + per_iter)
+        return 1;
+    return (target - preamble) / per_iter;
+}
+
+// mcf: single-threaded network simplex -- dominated by dependent
+// pointer dereferences over a DRAM-sized arena plus data-dependent
+// branches.
+Program
+buildMcf(uint64_t target)
+{
+    Assembler a("mcf");
+    uint64_t heap = 8 * 1024 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.label("loop_head");
+    a.loadImm(rCnt, loopIters(target, 14, preamble));
+    a.label("loop");
+    // Serial pointer dereference (address depends on previous load).
+    a.ldx(0, rHeap, rOff);
+    a.add(rLcg, rLcg, 0);
+    lcg(a);
+    a.lsri(rOff, rLcg, 17);
+    a.and_(rOff, rOff, rMask);
+    // Arc-cost comparison branch (data dependent, weakly biased).
+    a.lsri(1, rLcg, 33);
+    a.andi(1, 1, 3);
+    a.cbnz(1, "skip_update");
+    a.stx(0, rHeap, rOff); // basis update
+    a.label("skip_update");
+    a.addi(2, 2, 1);
+    a.addi(3, 3, 1);
+    a.addi(4, 4, 1);
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+// povray: ray tracing -- FP-dominated with divides/sqrt and
+// L1-resident vector data.
+Program
+buildPovray(uint64_t target)
+{
+    Assembler a("povray");
+    uint64_t heap = 64 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.loadImm(rCnt, loopIters(target, 18, preamble));
+    a.label("loop");
+    a.ldrf(0, rHeap, 0, 8);
+    a.ldrf(1, rHeap, 8, 8);
+    a.fmul(2, 0, 1);          // dot products
+    a.fmadd(3, 2, 0, 1);
+    a.fadd(4, 3, 2);
+    a.fmul(5, 4, 4);
+    a.fdiv(6, 1, 4);          // normalization
+    a.fsqrt(7, 5);            // vector length
+    a.fadd(8, 6, 7);
+    a.strf(8, rHeap, 16, 8);
+    lcg(a);
+    a.lsri(0, rLcg, 33);
+    a.andi(0, 0, 7);
+    a.cbnz(0, "hit");         // shadow-ray test, biased taken
+    a.fadd(9, 9, 8);
+    a.label("hit");
+    a.addi(2, 2, 1);
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+// omnetpp: discrete event simulation -- pointer-heavy heap walks over
+// an L2-sized event set, virtual dispatch, hard branches.
+Program
+buildOmnetpp(uint64_t target)
+{
+    Assembler a("omnetpp");
+    uint64_t heap = 512 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.b("start");
+    a.label("handler_a");
+    a.addi(0, 0, 1);
+    a.addi(1, 1, 1);
+    a.ret();
+    a.label("handler_b");
+    a.addi(0, 0, 2);
+    a.mul(1, 1, rLcgA);
+    a.ret();
+    a.label("start");
+    a.loadImm(rCnt, loopIters(target, 16, preamble));
+    a.label("loop");
+    a.ldx(0, rHeap, rOff);    // event lookup (serial-ish)
+    a.add(rLcg, rLcg, 0);
+    lcg(a);
+    a.lsri(rOff, rLcg, 18);
+    a.and_(rOff, rOff, rMask);
+    a.lsri(2, rLcg, 35);
+    a.andi(2, 2, 1);
+    a.cbnz(2, "disp_b");      // module dispatch, hard to predict
+    a.bl("handler_a");
+    a.b("merge");
+    a.label("disp_b");
+    a.bl("handler_b");
+    a.label("merge");
+    a.stx(1, rHeap, rOff);    // event reinsertion
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+// xalancbmk: XSLT transformation -- indirect dispatch over many node
+// handlers with a large instruction footprint.
+Program
+buildXalancbmk(uint64_t target)
+{
+    Assembler a("xalancbmk");
+    constexpr unsigned handlers = 16;
+    uint64_t heap = 256 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 22;
+    prologue(a, heap, heap - 64);
+    size_t base_slot = a.here();
+    a.movz(24, 0, 0);
+    a.movk(24, 0, 1);
+    a.movk(24, 0, 2);
+    a.movk(24, 0, 3);
+    a.loadImm(rCnt, loopIters(target, 12u + 8, preamble + 4));
+    a.label("loop");
+    lcg(a);
+    a.lsri(0, rLcg, 29);
+    a.andi(0, 0, handlers - 1); // node-type selector (data dependent)
+    a.lsli(1, 0, 5);            // 32 bytes per handler
+    a.add(1, 24, 1);
+    a.br(1);
+    size_t handler0 = a.here();
+    for (unsigned h = 0; h < handlers; ++h) {
+        a.ldx(2, rHeap, rOff);                           // node fetch
+        a.addi(3, 3, static_cast<int16_t>(h));
+        a.addi(rOff, rOff, 192);
+        a.and_(rOff, rOff, rMask);
+        a.eori(4, 4, static_cast<int16_t>(h + 1));
+        a.addi(5, 5, 1);
+        a.nop();
+        a.b("merge");
+    }
+    a.label("merge");
+    a.nop();
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    Program prog = a.finish();
+    uint64_t table_pc = prog.pcOf(handler0);
+    prog.code[base_slot] = isa::encodeWide(
+        isa::Opcode::Movz, 24, 0, static_cast<uint16_t>(table_pc));
+    for (uint8_t hword = 1; hword < 4; ++hword) {
+        prog.code[base_slot + hword] = isa::encodeWide(
+            isa::Opcode::Movk, 24, hword,
+            static_cast<uint16_t>(table_pc >> (16 * hword)));
+    }
+    return prog;
+}
+
+// deepsjeng: chess search -- integer ALU, hard branches, small tables.
+Program
+buildDeepsjeng(uint64_t target)
+{
+    Assembler a("deepsjeng");
+    uint64_t heap = 128 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.loadImm(rCnt, loopIters(target, 16, preamble));
+    a.label("loop");
+    lcg(a);
+    a.lsri(0, rLcg, 7);
+    a.and_(0, 0, rMask);
+    a.ldx(1, rHeap, 0);       // transposition-table probe
+    a.eor(2, 2, 1);           // hash mixing
+    a.lsli(3, 2, 3);
+    a.lsri(4, 2, 11);
+    a.eor(3, 3, 4);
+    a.andi(5, 3, 1);
+    a.cbnz(5, "cutoff");      // alpha-beta cut, ~random
+    a.addi(6, 6, 1);
+    a.addi(7, 7, 1);
+    a.label("cutoff");
+    a.add(8, 8, 3);
+    a.subi(9, 9, 1);
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+// x264: video encode -- SIMD-dominated SAD/DCT kernels streaming
+// through frame buffers.
+Program
+buildX264(uint64_t target)
+{
+    Assembler a("x264");
+    uint64_t heap = 2 * 1024 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.loadImm(rCnt, loopIters(target, 17, preamble));
+    a.label("loop");
+    a.ldrf(0, rHeap, 0, 8);
+    a.ldrf(1, rHeap, 8, 8);
+    a.vadd(2, 0, 1);          // pixel adds
+    a.vmul(3, 2, 2);
+    a.vfma(4, 3, 2, 0);       // filter taps
+    a.vadd(5, 4, 1);
+    a.strf(5, rHeap, 16, 8);
+    a.ldx(6, rHeap, rOff);    // reference block fetch (streaming)
+    a.addi(rOff, rOff, 64);
+    a.and_(rOff, rOff, rMask);
+    a.vmul(7, 5, 4);
+    a.vadd(8, 7, 2);
+    a.addi(2, 2, 1);
+    a.addi(3, 3, 1);
+    a.nop();
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+// nab: molecular dynamics -- FMA-heavy force kernels over an
+// L2-resident particle set.
+Program
+buildNab(uint64_t target)
+{
+    Assembler a("nab");
+    uint64_t heap = 384 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.loadImm(rCnt, loopIters(target, 15, preamble));
+    a.label("loop");
+    a.ldrf(0, rHeap, 0, 8);
+    a.ldrf(1, rHeap, 8, 8);
+    a.fmadd(2, 0, 1, 2);      // force accumulation
+    a.fmadd(3, 1, 1, 3);
+    a.fmul(4, 0, 0);
+    a.fadd(5, 4, 2);
+    a.fdiv(6, 1, 5);          // distance reciprocal
+    a.strf(2, rHeap, 16, 8);
+    a.ldx(7, rHeap, rOff);    // neighbour-list walk
+    a.addi(rOff, rOff, 64);
+    a.and_(rOff, rOff, rMask);
+    a.addi(2, 2, 1);
+    a.nop();
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+// leela: go engine -- branchy integer with multiplies and an
+// L2-resident board cache.
+Program
+buildLeela(uint64_t target)
+{
+    Assembler a("leela");
+    uint64_t heap = 256 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.loadImm(rCnt, loopIters(target, 15, preamble));
+    a.label("loop");
+    lcg(a);
+    a.lsri(0, rLcg, 13);
+    a.and_(0, 0, rMask);
+    a.ldx(1, rHeap, 0);       // pattern lookup
+    a.mul(2, 1, rLcgA);       // UCT score update
+    a.lsri(3, 2, 30);
+    a.andi(4, 3, 3);
+    a.cbnz(4, "expand");      // tree policy branch, biased
+    a.addi(5, 5, 1);
+    a.stx(2, rHeap, 0);
+    a.label("expand");
+    a.addi(6, 6, 1);
+    a.eor(7, 7, 3);
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+// imagick: image transforms -- FP streaming over large pixel rows.
+Program
+buildImagick(uint64_t target)
+{
+    Assembler a("imagick");
+    uint64_t heap = 4 * 1024 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.loadImm(rCnt, loopIters(target, 15, preamble));
+    a.label("loop");
+    a.ldx(0, rHeap, rOff);     // pixel fetch (streaming)
+    a.ldrf(1, rHeap, 0, 8);
+    a.fmul(2, 1, 1);           // gamma curve
+    a.fmadd(3, 2, 1, 3);
+    a.fadd(4, 3, 2);
+    a.fcvt(5, 4);              // quantize
+    a.strf(5, rHeap, 8, 8);
+    a.addi(rOff, rOff, 64);
+    a.and_(rOff, rOff, rMask);
+    a.fadd(6, 6, 4);
+    a.addi(2, 2, 1);
+    a.nop();
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+// gcc: compilation -- very branchy integer code, frequent calls, a
+// large instruction footprint and moderate memory pressure.
+Program
+buildGcc(uint64_t target)
+{
+    Assembler a("gcc");
+    uint64_t heap = 512 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.b("start");
+    for (int f = 0; f < 4; ++f) {
+        a.label("pass" + std::to_string(f));
+        a.addi(0, 0, 1);
+        a.eori(1, 1, static_cast<int16_t>(f + 1));
+        a.lsli(2, 1, 2);
+        a.ret();
+    }
+    a.label("start");
+    a.loadImm(rCnt, loopIters(target, 19, preamble));
+    a.label("loop");
+    lcg(a);
+    a.lsri(0, rLcg, 9);
+    a.and_(0, 0, rMask);
+    a.ldx(1, rHeap, 0);        // symbol-table probe
+    a.andi(2, rLcg, 3);
+    a.cbnz(2, "no_call");
+    a.bl("pass0");             // pass dispatch
+    a.label("no_call");
+    a.lsri(3, rLcg, 35);
+    a.andi(3, 3, 1);
+    a.cbnz(3, "else_arm");     // if-conversion candidate, ~random
+    a.addi(4, 4, 1);
+    a.b("join");
+    a.label("else_arm");
+    a.eori(5, 5, 7);
+    a.label("join");
+    a.stx(4, rHeap, 0);
+    a.addi(6, 6, 1);
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+// xz: LZMA compression -- integer bit twiddling with match-finder
+// loads spread over a DRAM-sized window.
+Program
+buildXz(uint64_t target)
+{
+    Assembler a("xz");
+    uint64_t heap = 4 * 1024 * 1024;
+    uint64_t preamble = (heap / 4096) * 4 + 14;
+    prologue(a, heap, heap - 64);
+    a.loadImm(rCnt, loopIters(target, 16, preamble));
+    a.label("loop");
+    lcg(a);
+    a.lsri(0, rLcg, 11);
+    a.and_(0, 0, rMask);
+    a.ldx(1, rHeap, 0);        // match-finder probe
+    a.lsri(2, 1, 7);
+    a.eor(2, 2, rLcg);
+    a.lsli(3, 2, 9);
+    a.eor(3, 3, 2);            // range-coder state mix
+    a.andi(4, 3, 15);
+    a.cbnz(4, "literal");      // match/literal decision, biased
+    a.stx(3, rHeap, 0);
+    a.addi(5, 5, 1);
+    a.label("literal");
+    a.add(6, 6, 3);
+    a.subi(rCnt, rCnt, 1);
+    a.cbnz(rCnt, "loop");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+uint64_t
+scaledCount(uint64_t paper_count)
+{
+    return paper_count / 10'000;
+}
+
+const std::vector<WorkloadInfo> &
+all()
+{
+    static const std::vector<WorkloadInfo> table = {
+        { "mcf", "psimplex.c, line 331", 12'000'000'000ull, buildMcf },
+        { "povray", "povray.cpp, line 258", 2'450'000'000ull,
+          buildPovray },
+        { "omnetpp", "simulator/cmdenv.cc, line 268", 10'800'000'000ull,
+          buildOmnetpp },
+        { "xalancbmk", "XalanExe.cpp, line 842", 443'000'000ull,
+          buildXalancbmk },
+        { "deepsjeng", "epd.cpp, line 365", 14'900'000'000ull,
+          buildDeepsjeng },
+        { "x264", "x264_src/x264.c, line 173", 14'800'000'000ull,
+          buildX264 },
+        { "nab", "nabmd.c, line 127", 14'200'000'000ull, buildNab },
+        { "leela", "Leela.cpp, line 62", 10'300'000'000ull, buildLeela },
+        { "imagick", "wang/mogrify.cpp, line 168", 13'400'000'000ull,
+          buildImagick },
+        { "gcc", "toplev.c, line 2461", 9'000'000'000ull, buildGcc },
+        { "xz", "spec_xz.c, line 229", 10'800'000'000ull, buildXz },
+    };
+    return table;
+}
+
+const WorkloadInfo *
+find(const std::string &name)
+{
+    for (const WorkloadInfo &info : all()) {
+        if (name == info.name)
+            return &info;
+    }
+    return nullptr;
+}
+
+isa::Program
+build(const WorkloadInfo &info)
+{
+    return info.builder(scaledCount(info.paperDynInsts));
+}
+
+} // namespace raceval::workload

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SPEC CPU2017 stand-in workloads (paper Table II).
+ *
+ * The paper validates its tuned models on marked regions of eleven
+ * SPEC CPU2017 C/C++ benchmarks (train inputs, billions of dynamic
+ * instructions). This reproduction substitutes each region with a
+ * synthetic AArch64-lite program that mimics the benchmark's dominant
+ * behaviour (pointer chasing for mcf, FP kernels for povray/nab,
+ * data-parallel streaming for x264, branchy integer code for
+ * deepsjeng/leela/gcc, indirect-branch-heavy dispatch for xalancbmk,
+ * ...), with dynamic instruction counts scaled by 1e-4 from Table II.
+ * These workloads are *held out* from tuning, exactly as in the paper.
+ */
+
+#ifndef RACEVAL_WORKLOAD_WORKLOAD_HH
+#define RACEVAL_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace raceval::workload
+{
+
+/** One Table II row. */
+struct WorkloadInfo
+{
+    const char *name;        //!< SPEC benchmark name
+    const char *sourceLoc;   //!< paper's region marker (file, line)
+    uint64_t paperDynInsts;  //!< Table II dynamic instruction count
+    isa::Program (*builder)(uint64_t target_insts);
+};
+
+/** Scale a Table II count by the documented 1e-4 factor. */
+uint64_t scaledCount(uint64_t paper_count);
+
+/** @return all eleven workloads in Table II order. */
+const std::vector<WorkloadInfo> &all();
+
+/** @return workload by name, or nullptr. */
+const WorkloadInfo *find(const std::string &name);
+
+/** Build a workload program at its scaled instruction count. */
+isa::Program build(const WorkloadInfo &info);
+
+} // namespace raceval::workload
+
+#endif // RACEVAL_WORKLOAD_WORKLOAD_HH

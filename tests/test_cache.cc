@@ -1,0 +1,291 @@
+/** @file Cache, prefetcher, DRAM and hierarchy tests. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/prefetch.hh"
+
+using namespace raceval;
+using namespace raceval::cache;
+
+namespace
+{
+
+CacheParams
+smallCache()
+{
+    CacheParams p;
+    p.name = "t";
+    p.sizeBytes = 4 * KiB;
+    p.assoc = 2;
+    p.lineBytes = 64;
+    p.latency = 2;
+    return p;
+}
+
+} // namespace
+
+TEST(Cache, HitAfterFill)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.lookup(100, false).hit);
+    cache.fill(100, false, false);
+    EXPECT_TRUE(cache.lookup(100, false).hit);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().accesses, 2u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    CacheParams p = smallCache(); // 32 sets, 2 ways
+    Cache cache(p);
+    // Three lines mapping to set 0 (stride = numSets).
+    uint64_t a = 0, b = 32, c = 64;
+    cache.fill(a, false, false);
+    cache.fill(b, false, false);
+    cache.lookup(a, false);      // a is now MRU
+    cache.fill(c, false, false); // must evict b
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(Cache, FifoIgnoresTouches)
+{
+    CacheParams p = smallCache();
+    p.repl = ReplKind::FIFO;
+    Cache cache(p);
+    uint64_t a = 0, b = 32, c = 64;
+    cache.fill(a, false, false);
+    cache.fill(b, false, false);
+    cache.lookup(a, false);      // FIFO does not care
+    cache.fill(c, false, false); // evicts a (first in)
+    EXPECT_FALSE(cache.probe(a));
+    EXPECT_TRUE(cache.probe(b));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    Cache cache(smallCache());
+    cache.fill(0, false, true); // dirty fill
+    cache.fill(32, false, false);
+    auto fill = cache.fill(64, false, false);
+    EXPECT_TRUE(fill.evictedValid);
+    EXPECT_TRUE(fill.evictedDirty);
+    EXPECT_EQ(fill.evictedLine, 0u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, VictimBufferCatchesConflicts)
+{
+    CacheParams p = smallCache();
+    p.victimEntries = 4;
+    Cache cache(p);
+    cache.fill(0, false, false);
+    cache.fill(32, false, false);
+    cache.fill(64, false, false); // evicts one into the victim buffer
+    // The evicted line still "hits" via the victim buffer.
+    LookupResult r = cache.lookup(0, false);
+    if (!r.hit)
+        r = cache.lookup(32, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.victimHit);
+    EXPECT_EQ(cache.stats().victimHits, 1u);
+}
+
+TEST(Cache, PrefetchUsefulnessCounted)
+{
+    Cache cache(smallCache());
+    cache.fill(5, true, false);
+    EXPECT_EQ(cache.stats().prefetchIssued, 1u);
+    LookupResult r = cache.lookup(5, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.prefetchedLine);
+    EXPECT_EQ(cache.stats().prefetchUseful, 1u);
+    // Second demand hit no longer counts as prefetch-useful.
+    r = cache.lookup(5, false);
+    EXPECT_FALSE(r.prefetchedLine);
+}
+
+// Hash x replacement sweep: the cache must behave sanely (fills are
+// findable, set index stays in range) under every combination.
+class CacheConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheConfigSweep, FillsAreFindable)
+{
+    CacheParams p = smallCache();
+    p.hash = static_cast<HashKind>(std::get<0>(GetParam()));
+    p.repl = static_cast<ReplKind>(std::get<1>(GetParam()));
+    Cache cache(p, 7);
+    for (uint64_t line = 0; line < 400; line += 7) {
+        cache.fill(line, false, false);
+        EXPECT_TRUE(cache.probe(line));
+        EXPECT_LT(cache.setIndex(line), p.numSets());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, CacheConfigSweep,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 4)));
+
+TEST(Cache, XorHashSpreadsConflictStride)
+{
+    // Lines at stride = numSets collide under mask indexing but spread
+    // under xor folding: the MC micro-benchmark in miniature.
+    CacheParams mask = smallCache();
+    CacheParams xored = smallCache();
+    xored.hash = HashKind::Xor;
+    Cache cm(mask), cx(xored);
+    unsigned sets = mask.numSets();
+    std::set<unsigned> mask_sets, xor_sets;
+    for (uint64_t k = 0; k < 8; ++k) {
+        mask_sets.insert(cm.setIndex(k * sets));
+        xor_sets.insert(cx.setIndex(k * sets));
+    }
+    EXPECT_EQ(mask_sets.size(), 1u);
+    EXPECT_GT(xor_sets.size(), 4u);
+}
+
+TEST(Cache, MersennePrimeHelper)
+{
+    EXPECT_EQ(largestPrimeAtMost(64), 61u);
+    EXPECT_EQ(largestPrimeAtMost(128), 127u);
+    EXPECT_EQ(largestPrimeAtMost(2), 2u);
+}
+
+TEST(Prefetch, StrideDetectsAfterConfidence)
+{
+    StridePrefetcher pf(16, 2);
+    std::vector<uint64_t> out;
+    for (uint64_t i = 0; i < 5; ++i) {
+        out.clear();
+        pf.observe(0x400, 100 + i * 3, true, out);
+    }
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 100 + 4 * 3 + 3);
+    EXPECT_EQ(out[1], 100 + 4 * 3 + 6);
+}
+
+TEST(Prefetch, StrideIgnoresRandom)
+{
+    StridePrefetcher pf(16, 2);
+    std::vector<uint64_t> out;
+    uint64_t addrs[] = {5, 900, 17, 4242, 33, 777};
+    for (uint64_t addr : addrs)
+        pf.observe(0x400, addr, true, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetch, GhbLearnsDeltaChain)
+{
+    GhbPrefetcher pf(64, 64, 2);
+    std::vector<uint64_t> out;
+    for (uint64_t i = 0; i < 6; ++i) {
+        out.clear();
+        pf.observe(0x80, 1000 + i * 5, true, out);
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 1000 + 5 * 5 + 5);
+}
+
+TEST(Prefetch, NextLineOnMissOnly)
+{
+    NextLinePrefetcher pf(1);
+    std::vector<uint64_t> out;
+    pf.observe(0, 50, false, out);
+    EXPECT_TRUE(out.empty());
+    pf.observe(0, 50, true, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 51u);
+}
+
+TEST(Dram, BandwidthQueuesBackToBack)
+{
+    DramParams p;
+    p.latency = 100;
+    p.cyclesPerLine = 10;
+    DramModel dram(p);
+    EXPECT_EQ(dram.access(0), 100u);       // idle channel
+    EXPECT_EQ(dram.access(0), 110u);       // queued behind the first
+    EXPECT_EQ(dram.access(1000), 100u);    // idle again
+    EXPECT_EQ(dram.readCount(), 3u);
+}
+
+namespace
+{
+
+HierarchyParams
+tinyHierarchy()
+{
+    HierarchyParams h;
+    h.l1i = CacheParams{};
+    h.l1i.name = "l1i";
+    h.l1i.sizeBytes = 4 * KiB;
+    h.l1i.assoc = 2;
+    h.l1i.latency = 1;
+    h.l1d = h.l1i;
+    h.l1d.name = "l1d";
+    h.l1d.latency = 2;
+    h.l2 = h.l1i;
+    h.l2.name = "l2";
+    h.l2.sizeBytes = 32 * KiB;
+    h.l2.assoc = 4;
+    h.l2.latency = 10;
+    h.dram.latency = 100;
+    h.dram.cyclesPerLine = 4;
+    return h;
+}
+
+} // namespace
+
+TEST(Hierarchy, LatencyLayering)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    // Cold: memory access.
+    AccessResult r = mem.access(0, 0x10000, false, false, 0);
+    EXPECT_EQ(r.servedBy, ServedBy::Memory);
+    EXPECT_GE(r.latency, 112u);
+    // Warm L1.
+    r = mem.access(0, 0x10000, false, false, 10);
+    EXPECT_EQ(r.servedBy, ServedBy::L1);
+    EXPECT_EQ(r.latency, 2u);
+}
+
+TEST(Hierarchy, L2HoldsL1Evictions)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    // Stream enough lines to overflow L1 (4K) but not L2 (32K).
+    for (uint64_t addr = 0; addr < 16 * KiB; addr += 64)
+        mem.access(0, addr, false, false, addr);
+    AccessResult r = mem.access(0, 0, false, false, 1 << 20);
+    EXPECT_EQ(r.servedBy, ServedBy::L2);
+}
+
+TEST(Hierarchy, TimedPrefetchDelaysEagerUse)
+{
+    HierarchyParams h = tinyHierarchy();
+    h.l1d.prefetch = PrefetchKind::NextLine;
+    h.l1d.prefetchDegree = 1;
+    h.timedPrefetch = true;
+    MemoryHierarchy mem(h);
+    mem.access(0, 0 * 64, false, false, 0);   // miss, prefetches line 1
+    // Immediate use of the prefetched line waits for the in-flight
+    // fill; much later use is a plain L1 hit.
+    AccessResult eager = mem.access(0, 1 * 64, false, false, 1);
+    HierarchyParams h2 = h;
+    MemoryHierarchy mem2(h2);
+    mem2.access(0, 0 * 64, false, false, 0);
+    AccessResult patient = mem2.access(0, 1 * 64, false, false, 10000);
+    EXPECT_GT(eager.latency, patient.latency);
+    EXPECT_EQ(patient.latency, h.l1d.latency);
+}
+
+TEST(Hierarchy, InstructionSideRouted)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    mem.access(0, 0x500, false, true, 0);
+    EXPECT_EQ(mem.l1i().stats().accesses, 1u);
+    EXPECT_EQ(mem.l1d().stats().accesses, 0u);
+}

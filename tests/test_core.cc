@@ -1,0 +1,270 @@
+/** @file Abstract core timing model tests (in-order and OoO). */
+
+#include <gtest/gtest.h>
+
+#include "core/inorder.hh"
+#include "core/ooo.hh"
+#include "isa/assembler.hh"
+#include "vm/functional.hh"
+
+using namespace raceval;
+using isa::Assembler;
+using isa::Program;
+
+namespace
+{
+
+Program
+chainProgram(unsigned ops, bool fp)
+{
+    Assembler a("chain");
+    a.loadImm(19, 2000);
+    a.label("loop");
+    for (unsigned i = 0; i < ops; ++i) {
+        if (fp)
+            a.fadd(0, 0, 1);
+        else
+            a.add(0, 0, 1);
+    }
+    a.subi(19, 19, 1);
+    a.cbnz(19, "loop");
+    a.halt();
+    return a.finish();
+}
+
+Program
+independentProgram()
+{
+    Assembler a("indep");
+    a.loadImm(19, 2000);
+    a.label("loop");
+    for (unsigned i = 0; i < 8; ++i)
+        a.addi(static_cast<uint8_t>(i), static_cast<uint8_t>(i), 1);
+    a.subi(19, 19, 1);
+    a.cbnz(19, "loop");
+    a.halt();
+    return a.finish();
+}
+
+double
+inorderCpi(const core::CoreParams &p, Program &prog)
+{
+    core::InOrderCore sim(p);
+    vm::FunctionalCore src(prog);
+    return sim.run(src).cpi();
+}
+
+double
+oooCpi(const core::CoreParams &p, Program &prog)
+{
+    core::OooCore sim(p);
+    vm::FunctionalCore src(prog);
+    return sim.run(src).cpi();
+}
+
+} // namespace
+
+TEST(InOrder, DependencyChainBoundByLatency)
+{
+    core::CoreParams p = core::publicInfoA53();
+    Program prog = chainProgram(8, true);
+    double fp_add_lat =
+        p.latency[static_cast<size_t>(isa::OpClass::FpAdd)];
+    double cpi = inorderCpi(p, prog);
+    // 8 dependent FP adds + 2 loop insts per iteration.
+    EXPECT_NEAR(cpi, 8.0 * fp_add_lat / 10.0, 0.5);
+}
+
+TEST(InOrder, DualIssueOnIndependentCode)
+{
+    core::CoreParams p = core::publicInfoA53();
+    Program prog = independentProgram();
+    EXPECT_LT(inorderCpi(p, prog), 0.75); // near 0.5 with width 2
+}
+
+TEST(InOrder, SingleIssueWhenWidthOne)
+{
+    core::CoreParams p = core::publicInfoA53();
+    p.dispatchWidth = 1;
+    Program prog = independentProgram();
+    EXPECT_GE(inorderCpi(p, prog), 0.95);
+}
+
+TEST(InOrder, FuContentionSerializesMultiplies)
+{
+    core::CoreParams p = core::publicInfoA53();
+    Assembler a("mul5");
+    a.loadImm(19, 2000);
+    a.movz(9, 3);
+    a.label("loop");
+    for (unsigned i = 0; i < 5; ++i)
+        a.mul(static_cast<uint8_t>(i), static_cast<uint8_t>(i), 9);
+    a.subi(19, 19, 1);
+    a.cbnz(19, "loop");
+    a.halt();
+    Program prog = a.finish();
+    // One pipelined multiplier: >= 5 cycles per 7 instructions.
+    EXPECT_GE(inorderCpi(p, prog), 5.0 / 7.0 - 0.05);
+}
+
+TEST(InOrder, MispredictPenaltyMonotonic)
+{
+    isa::Program prog = [] {
+        Assembler a("rand");
+        a.loadImm(19, 4000);
+        a.loadImm(22, 6364136223846793005ull);
+        a.loadImm(21, 99);
+        a.label("loop");
+        a.mul(21, 21, 22);
+        a.addi(21, 21, 12345);
+        a.lsri(0, 21, 33);
+        a.andi(0, 0, 1);
+        a.cbnz(0, "skip");
+        a.addi(1, 1, 1);
+        a.label("skip");
+        a.subi(19, 19, 1);
+        a.cbnz(19, "loop");
+        a.halt();
+        return a.finish();
+    }();
+    core::CoreParams lo = core::publicInfoA53();
+    lo.mispredictPenalty = 4;
+    core::CoreParams hi = lo;
+    hi.mispredictPenalty = 16;
+    EXPECT_GT(inorderCpi(hi, prog), inorderCpi(lo, prog) + 0.2);
+}
+
+TEST(InOrder, StoreBufferSizeMatters)
+{
+    // Bursty stores to a warm line: a deep buffer absorbs each burst,
+    // a single-entry buffer stalls issue on every store while the
+    // previous one drains.
+    Assembler a("st");
+    a.loadImm(19, 2000);
+    a.loadImm(20, 0x2000000);
+    a.str(1, 20, 0, 8); // warm the line
+    a.label("loop");
+    for (int i = 0; i < 8; ++i)
+        a.str(1, 20, static_cast<int16_t>(8 * i), 8);
+    for (int i = 0; i < 24; ++i)
+        a.addi(static_cast<uint8_t>(i % 8), static_cast<uint8_t>(i % 8),
+               1);
+    a.subi(19, 19, 1);
+    a.cbnz(19, "loop");
+    a.halt();
+    Program prog = a.finish();
+    core::CoreParams small = core::publicInfoA53();
+    small.storeBufferEntries = 1;
+    core::CoreParams big = small;
+    big.storeBufferEntries = 12;
+    EXPECT_GT(inorderCpi(small, prog), 1.1 * inorderCpi(big, prog));
+}
+
+TEST(InOrder, LatencyParameterMonotonicity)
+{
+    // Raising any execution latency must never speed the model up.
+    Program prog = chainProgram(4, true);
+    core::CoreParams p = core::publicInfoA53();
+    double base = inorderCpi(p, prog);
+    p.latency[static_cast<size_t>(isa::OpClass::FpAdd)] += 2;
+    EXPECT_GE(inorderCpi(p, prog), base);
+}
+
+TEST(Ooo, HidesIndependentLatency)
+{
+    // Independent FP adds: the OoO core sustains near issue width,
+    // the in-order core is bound the same way (both pipelined), but a
+    // *dependent* chain separates them.
+    Program chain = chainProgram(6, true);
+    core::CoreParams p72 = core::publicInfoA72();
+    core::CoreParams p53 = core::publicInfoA53();
+    double ooo = oooCpi(p72, chain);
+    double ino = inorderCpi(p53, chain);
+    // Same dependent chain: both are latency bound; OoO no worse.
+    EXPECT_LE(ooo, ino + 0.2);
+}
+
+TEST(Ooo, WindowSizeMatters)
+{
+    // Independent loads missing to DRAM: a big window overlaps them,
+    // a tiny window serializes.
+    Assembler a("mlp");
+    a.loadImm(19, 400);
+    a.loadImm(20, 0x8000000);
+    a.loadImm(22, 6364136223846793005ull);
+    a.loadImm(21, 7);
+    a.loadImm(28, (8u << 20) - 64);
+    a.label("loop");
+    a.mul(21, 21, 22);
+    a.addi(21, 21, 12345);
+    a.lsri(0, 21, 17);
+    a.and_(0, 0, 28);
+    a.ldx(1, 20, 0);
+    a.eor(9, 9, 1);
+    a.subi(19, 19, 1);
+    a.cbnz(19, "loop");
+    a.halt();
+    Program prog = a.finish();
+    core::CoreParams small = core::publicInfoA72();
+    small.robEntries = 8;
+    small.iqEntries = 4;
+    core::CoreParams big = core::publicInfoA72();
+    big.robEntries = 192;
+    big.iqEntries = 64;
+    EXPECT_GT(oooCpi(small, prog), 1.2 * oooCpi(big, prog));
+}
+
+TEST(Ooo, MshrsCapMemoryParallelism)
+{
+    Assembler a("mlp2");
+    a.loadImm(19, 400);
+    a.loadImm(20, 0x8000000);
+    a.loadImm(22, 6364136223846793005ull);
+    a.loadImm(21, 7);
+    a.loadImm(28, (8u << 20) - 64);
+    a.label("loop");
+    a.mul(21, 21, 22);
+    a.addi(21, 21, 12345);
+    a.lsri(0, 21, 17);
+    a.and_(0, 0, 28);
+    a.ldx(1, 20, 0);
+    a.lsri(2, 21, 40);
+    a.and_(2, 2, 28);
+    a.ldx(3, 20, 2);
+    a.subi(19, 19, 1);
+    a.cbnz(19, "loop");
+    a.halt();
+    Program prog = a.finish();
+    core::CoreParams one = core::publicInfoA72();
+    one.mem.l1d.mshrs = 1;
+    core::CoreParams eight = core::publicInfoA72();
+    eight.mem.l1d.mshrs = 8;
+    EXPECT_GT(oooCpi(one, prog), 1.3 * oooCpi(eight, prog));
+}
+
+TEST(Ooo, CyclesAccountedExactlyOnEmptyProgram)
+{
+    Assembler a("tiny");
+    a.nop();
+    a.halt();
+    Program prog = a.finish();
+    core::OooCore sim(core::publicInfoA72());
+    vm::FunctionalCore src(prog);
+    core::CoreStats stats = sim.run(src);
+    EXPECT_EQ(stats.instructions, 2u);
+    // The dominant cost is the cold instruction fetch from DRAM.
+    EXPECT_GT(stats.cycles, 100u);
+    EXPECT_LT(stats.cycles, 300u);
+}
+
+TEST(Models, StatsArePerRunNotCumulative)
+{
+    Program prog = independentProgram();
+    core::InOrderCore sim(core::publicInfoA53());
+    vm::FunctionalCore src(prog);
+    core::CoreStats first = sim.run(src);
+    core::CoreStats second = sim.run(src);
+    EXPECT_EQ(first.instructions, second.instructions);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.l1dAccesses, second.l1dAccesses);
+}

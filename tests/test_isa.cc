@@ -1,0 +1,158 @@
+/** @file Decoder/assembler tests incl. full-opcode round-trip sweep. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/decoder.hh"
+
+using namespace raceval::isa;
+
+// Property: every opcode encodes and decodes to consistent fields.
+class OpcodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeRoundTrip, DecodesToSameOpcode)
+{
+    Opcode op = static_cast<Opcode>(GetParam());
+    uint32_t word = 0;
+    switch (formatOf(op)) {
+      case Format::R: word = encodeR(op, 1, 2, 3, 4); break;
+      case Format::I: word = encodeI(op, 1, 2, -5); break;
+      case Format::Wide: word = encodeWide(op, 1, 2, 0xbeef); break;
+      case Format::MemImm: word = encodeMemImm(op, 1, 2, 3, -8); break;
+      case Format::MemReg: word = encodeMemReg(op, 1, 2, 3, 2); break;
+      case Format::B26: word = encodeB26(op, -100); break;
+      case Format::CB: word = encodeCB(op, 1, 2, 50); break;
+      case Format::RJump: word = encodeRJump(op, 30); break;
+      case Format::None: word = encodeNone(op); break;
+    }
+    Decoder decoder;
+    DecodedInst inst;
+    ASSERT_TRUE(decoder.decode(word, inst));
+    EXPECT_EQ(inst.op, op);
+    EXPECT_EQ(inst.cls, opClassOf(op));
+    EXPECT_EQ(inst.isBranch, isBranchClass(inst.cls));
+    EXPECT_FALSE(disassemble(word).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(numOpcodes)));
+
+TEST(Decoder, RejectsBadOpcode)
+{
+    Decoder decoder;
+    DecodedInst inst;
+    EXPECT_FALSE(decoder.decode(0xffffffffu, inst));
+}
+
+TEST(Decoder, ImmediateSignExtension)
+{
+    Decoder decoder;
+    DecodedInst inst;
+    ASSERT_TRUE(decoder.decode(encodeI(Opcode::Addi, 1, 2, -42), inst));
+    EXPECT_EQ(inst.imm, -42);
+    ASSERT_TRUE(decoder.decode(encodeCB(Opcode::Beq, 1, 2, -100), inst));
+    EXPECT_EQ(inst.imm, -100);
+    ASSERT_TRUE(decoder.decode(encodeB26(Opcode::B, -1000000), inst));
+    EXPECT_EQ(inst.imm, -1000000);
+}
+
+TEST(Decoder, ZeroRegisterDropsDependencies)
+{
+    Decoder decoder;
+    DecodedInst inst;
+    // add x1, xzr, xzr: no sources.
+    ASSERT_TRUE(decoder.decode(
+        encodeR(Opcode::Add, 1, regZero, regZero), inst));
+    EXPECT_EQ(inst.numSrcs, 0);
+    // add xzr, x1, x2: no destination.
+    ASSERT_TRUE(decoder.decode(encodeR(Opcode::Add, regZero, 1, 2),
+                               inst));
+    EXPECT_FALSE(inst.hasDst());
+}
+
+TEST(Decoder, FpRegistersAreFlattened)
+{
+    Decoder decoder;
+    DecodedInst inst;
+    ASSERT_TRUE(decoder.decode(encodeR(Opcode::Fadd, 1, 2, 3), inst));
+    EXPECT_EQ(inst.dst, fpRegBase + 1);
+    EXPECT_EQ(inst.src[0], fpRegBase + 2);
+    EXPECT_EQ(inst.src[1], fpRegBase + 3);
+}
+
+TEST(Decoder, FcltWritesIntegerRegister)
+{
+    Decoder decoder;
+    DecodedInst inst;
+    ASSERT_TRUE(decoder.decode(encodeR(Opcode::Fclt, 5, 2, 3), inst));
+    EXPECT_EQ(inst.dst, 5);
+    EXPECT_EQ(inst.src[0], fpRegBase + 2);
+}
+
+TEST(Decoder, MaddHasThreeSources)
+{
+    Decoder decoder;
+    DecodedInst inst;
+    ASSERT_TRUE(decoder.decode(encodeR(Opcode::Madd, 1, 2, 3, 4), inst));
+    EXPECT_EQ(inst.numSrcs, 3);
+}
+
+TEST(Decoder, CapstoneBugInjectionDropsAccumulator)
+{
+    DecoderOptions opts;
+    opts.dropAccumulatorDep = true;
+    Decoder buggy(opts);
+    DecodedInst inst;
+    ASSERT_TRUE(buggy.decode(encodeR(Opcode::Madd, 1, 2, 3, 4), inst));
+    EXPECT_EQ(inst.numSrcs, 2); // the x4 dependency vanished
+    ASSERT_TRUE(buggy.decode(encodeR(Opcode::Fmadd, 1, 2, 3, 4), inst));
+    EXPECT_EQ(inst.numSrcs, 2);
+}
+
+TEST(Decoder, LoadsAndStores)
+{
+    Decoder decoder;
+    DecodedInst inst;
+    ASSERT_TRUE(decoder.decode(encodeMemImm(Opcode::Ldr, 1, 2, 3, 16),
+                               inst));
+    EXPECT_TRUE(inst.isLoad);
+    EXPECT_EQ(inst.memSize, 8);
+    EXPECT_EQ(inst.dst, 1);
+    ASSERT_TRUE(decoder.decode(encodeMemReg(Opcode::Stx, 1, 2, 3, 0),
+                               inst));
+    EXPECT_TRUE(inst.isStore);
+    EXPECT_EQ(inst.memSize, 1);
+    EXPECT_FALSE(inst.hasDst());
+    EXPECT_EQ(inst.numSrcs, 3);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels)
+{
+    Assembler a("t");
+    a.b("fwd");        // +2
+    a.nop();
+    a.label("fwd");
+    a.label("back");
+    a.nop();
+    a.cbnz(1, "back"); // -2
+    a.halt();
+    Program prog = a.finish();
+    Decoder decoder;
+    DecodedInst inst;
+    ASSERT_TRUE(decoder.decode(prog.code[0], inst));
+    EXPECT_EQ(inst.imm, 2);
+    ASSERT_TRUE(decoder.decode(prog.code[3], inst));
+    EXPECT_EQ(inst.imm, -1);
+}
+
+TEST(Assembler, ProgramLayout)
+{
+    Assembler a("t", 0x20000);
+    a.nop();
+    a.halt();
+    Program prog = a.finish();
+    EXPECT_EQ(prog.entry(), 0x20000u);
+    EXPECT_EQ(prog.staticInsts(), 2u);
+    EXPECT_EQ(prog.pcOf(1), 0x20004u);
+}

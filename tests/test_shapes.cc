@@ -1,0 +1,151 @@
+/** @file
+ * Reproduction-shape and cross-cutting property tests: cheap versions
+ * of the acceptance criteria in DESIGN.md section 8, plus invariants
+ * that must hold across the whole configuration surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/inorder.hh"
+#include "core/ooo.hh"
+#include "hw/machine.hh"
+#include "ubench/ubench.hh"
+#include "validate/sniper_space.hh"
+#include "vm/functional.hh"
+
+using namespace raceval;
+
+namespace
+{
+
+double
+inorderCpi(const core::CoreParams &p, const isa::Program &prog)
+{
+    core::InOrderCore sim(p);
+    vm::FunctionalCore src(prog);
+    return sim.run(src).cpi();
+}
+
+} // namespace
+
+// Criterion 1 precondition (Fig. 4): each hidden feature produces a
+// large error on the micro-benchmark that targets it.
+TEST(Shape, HiddenHashingHurtsConflictBench)
+{
+    auto board = hw::makeMachine(hw::secretA53(), false);
+    isa::Program prog = ubench::find("MC")->builder(40000, true);
+    vm::FunctionalCore src(prog);
+    double hw_cpi = board->measure(src).cpi();
+    double guess = inorderCpi(core::publicInfoA53(), prog);
+    EXPECT_GT(std::abs(guess - hw_cpi) / hw_cpi, 1.0);
+    // Switching only the hash to the hidden value closes most of it.
+    core::CoreParams fixed = core::publicInfoA53();
+    fixed.mem.l1d.hash = cache::HashKind::Xor;
+    double corrected = inorderCpi(fixed, prog);
+    EXPECT_LT(std::abs(corrected - hw_cpi) / hw_cpi,
+              std::abs(guess - hw_cpi) / hw_cpi / 2.0);
+}
+
+TEST(Shape, HiddenPrefetcherHurtsStreamingBench)
+{
+    auto board = hw::makeMachine(hw::secretA53(), false);
+    isa::Program prog = ubench::find("MIP")->builder(60000, true);
+    vm::FunctionalCore src(prog);
+    double hw_cpi = board->measure(src).cpi();
+    double guess = inorderCpi(core::publicInfoA53(), prog);
+    EXPECT_GT(std::abs(guess - hw_cpi) / hw_cpi, 1.0);
+    core::CoreParams fixed = core::publicInfoA53();
+    fixed.mem.l1d.prefetch = cache::PrefetchKind::Stride;
+    fixed.mem.l1d.prefetchDegree = 2;
+    fixed.mem.l2.prefetch = cache::PrefetchKind::Stride;
+    fixed.mem.l2.prefetchDegree = 2;
+    double corrected = inorderCpi(fixed, prog);
+    EXPECT_LT(std::abs(corrected - hw_cpi),
+              std::abs(guess - hw_cpi) / 2.0);
+}
+
+// Criterion 5 (SS II-B): the abstract model must be substantially
+// faster than the detailed machine on the same trace.
+TEST(Shape, AbstractModelFasterThanDetailed)
+{
+    isa::Program prog = ubench::find("CCh")->builder(150000, true);
+    auto time_run = [&prog](auto &&runner) {
+        auto t0 = std::chrono::steady_clock::now();
+        runner();
+        auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    core::InOrderCore sim(core::publicInfoA53());
+    auto board = hw::makeMachine(hw::secretA53(), false);
+    vm::FunctionalCore s1(prog), s2(prog);
+    double t_abs = time_run([&] { sim.run(s1); });
+    double t_det = time_run([&] { board->rawRun(s2); });
+    EXPECT_LT(t_abs, t_det); // detailed must cost more wall clock
+}
+
+// Property: CPI is finite and positive for random configurations over
+// the raced space (no config crashes or produces degenerate timing).
+class RandomConfigProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomConfigProperty, CpiSaneUnderRandomConfigs)
+{
+    validate::SniperParamSpace sspace(GetParam() % 2 == 1);
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+    tuner::Configuration config(sspace.space().size());
+    for (size_t i = 0; i < sspace.space().size(); ++i) {
+        config[i] = static_cast<uint16_t>(
+            rng.nextBelow(sspace.space().at(i).cardinality()));
+    }
+    core::CoreParams base = GetParam() % 2 == 1
+        ? core::publicInfoA72() : core::publicInfoA53();
+    core::CoreParams model = sspace.apply(config, base);
+    isa::Program prog = ubench::find("CCm")->builder(8000, true);
+    vm::FunctionalCore src(prog);
+    double cpi;
+    if (GetParam() % 2 == 1) {
+        core::OooCore sim(model);
+        cpi = sim.run(src).cpi();
+    } else {
+        core::InOrderCore sim(model);
+        cpi = sim.run(src).cpi();
+    }
+    EXPECT_GT(cpi, 0.2);
+    EXPECT_LT(cpi, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigProperty,
+                         ::testing::Range(0, 16));
+
+// Property: the OoO model is never slower than a width-1 in-order
+// model with the same latencies on ILP-rich code.
+TEST(Shape, OooExtractsIlp)
+{
+    isa::Program prog = ubench::find("EM5")->builder(40000, true);
+    core::CoreParams p72 = core::publicInfoA72();
+    core::CoreParams narrow = core::publicInfoA53();
+    narrow.dispatchWidth = 1;
+    core::OooCore ooo(p72);
+    vm::FunctionalCore s1(prog);
+    double ooo_cpi = ooo.run(s1).cpi();
+    double narrow_cpi = inorderCpi(narrow, prog);
+    EXPECT_LT(ooo_cpi, narrow_cpi);
+}
+
+// Property: hardware measurement noise never changes event counts,
+// only cycles.
+TEST(Shape, NoiseOnlyPerturbsCycles)
+{
+    auto board = hw::makeMachine(hw::secretA72(), true);
+    isa::Program prog = ubench::find("DPT")->builder(20000, true);
+    vm::FunctionalCore src(prog);
+    core::CoreStats raw = board->rawRun(src);
+    hw::PerfCounters noisy = board->measure(src);
+    EXPECT_EQ(noisy.instructions, raw.instructions);
+    EXPECT_EQ(noisy.branchMisses, raw.branch.mispredicts);
+    EXPECT_EQ(noisy.l1dMisses, raw.l1dMisses);
+    EXPECT_EQ(noisy.l2Misses, raw.l2Misses);
+}

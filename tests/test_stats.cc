@@ -1,0 +1,163 @@
+/** @file Unit tests for descriptive stats and the racing tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "stats/distributions.hh"
+#include "stats/tests.hh"
+
+using namespace raceval::stats;
+
+TEST(Descriptive, Basics)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(median(xs), 2.5);
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(minOf(xs), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 4.0);
+}
+
+TEST(Descriptive, AverageRanksWithTies)
+{
+    auto r = averageRanks({3.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(r[0], 3.0);
+    EXPECT_DOUBLE_EQ(r[1], 1.5);
+    EXPECT_DOUBLE_EQ(r[2], 1.5);
+}
+
+// Property: rank sums are invariant (n(n+1)/2) for any input.
+class RankSumProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSumProperty, SumsToTriangular)
+{
+    int n = GetParam();
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i)
+        xs.push_back(double((i * 7919) % 13)); // plenty of ties
+    auto r = averageRanks(xs);
+    double sum = 0;
+    for (double v : r)
+        sum += v;
+    EXPECT_NEAR(sum, n * (n + 1) / 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RankSumProperty,
+                         ::testing::Values(1, 2, 5, 13, 40, 101));
+
+TEST(RunningStat, MatchesBatch)
+{
+    RunningStat rs;
+    std::vector<double> xs{1.5, 2.5, -3.0, 7.25, 0.0};
+    for (double x : xs)
+        rs.push(x);
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+}
+
+TEST(RunningStat, MergeEquivalentToConcat)
+{
+    RunningStat a, b, whole;
+    for (int i = 0; i < 10; ++i) {
+        a.push(i);
+        whole.push(i);
+    }
+    for (int i = 10; i < 25; ++i) {
+        b.push(i * 0.5);
+        whole.push(i * 0.5);
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+}
+
+TEST(Distributions, GammaPKnownValues)
+{
+    // P(1, x) = 1 - exp(-x).
+    EXPECT_NEAR(gammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+    EXPECT_NEAR(gammaP(1.0, 3.0), 1.0 - std::exp(-3.0), 1e-10);
+    EXPECT_NEAR(gammaP(2.5, 0.0), 0.0, 1e-12);
+    EXPECT_NEAR(gammaP(0.5, 50.0), 1.0, 1e-10);
+}
+
+TEST(Distributions, Chi2Survival)
+{
+    // Known chi-square critical values: P(X > 3.841 | df=1) = 0.05.
+    EXPECT_NEAR(chi2Sf(3.841, 1.0), 0.05, 2e-4);
+    EXPECT_NEAR(chi2Sf(5.991, 2.0), 0.05, 2e-4);
+    EXPECT_NEAR(chi2Sf(16.919, 9.0), 0.05, 2e-4);
+}
+
+TEST(Distributions, StudentT)
+{
+    // t_{0.975, 10} = 2.228.
+    EXPECT_NEAR(tQuantile(0.975, 10.0), 2.228, 2e-3);
+    EXPECT_NEAR(tQuantile(0.5, 7.0), 0.0, 1e-9);
+    EXPECT_NEAR(tQuantile(0.025, 10.0), -2.228, 2e-3);
+    // Two-sided tail at the quantile recovers alpha.
+    EXPECT_NEAR(tTwoSidedP(2.228, 10.0), 0.05, 2e-3);
+}
+
+TEST(Distributions, NormalCdf)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-4);
+}
+
+TEST(Friedman, DetectsClearWinner)
+{
+    // Treatment 0 always best, 2 always worst, 10 blocks.
+    std::vector<std::vector<double>> costs;
+    for (int b = 0; b < 10; ++b)
+        costs.push_back({1.0 + b * 0.01, 2.0 + b * 0.01, 3.0});
+    auto result = friedmanTest(costs);
+    EXPECT_TRUE(result.significant);
+    EXPECT_LT(result.pValue, 0.01);
+    EXPECT_LT(result.rankSums[0], result.rankSums[2]);
+    // Post-hoc: best and worst must differ by more than the CD.
+    EXPECT_GT(result.rankSums[2] - result.rankSums[0],
+              result.criticalDifference);
+}
+
+TEST(Friedman, NoSignalNoSignificance)
+{
+    // Ranks fully tied across blocks.
+    std::vector<std::vector<double>> costs(6, {1.0, 1.0, 1.0});
+    auto result = friedmanTest(costs);
+    EXPECT_FALSE(result.significant);
+}
+
+TEST(Friedman, AlternatingRanksNotSignificant)
+{
+    std::vector<std::vector<double>> costs;
+    for (int b = 0; b < 8; ++b) {
+        if (b % 2)
+            costs.push_back({1.0, 2.0});
+        else
+            costs.push_back({2.0, 1.0});
+    }
+    auto result = friedmanTest(costs);
+    EXPECT_FALSE(result.significant);
+}
+
+TEST(PairedT, DetectsShift)
+{
+    std::vector<double> a{1.0, 1.1, 0.9, 1.05, 1.0, 0.95};
+    std::vector<double> b;
+    for (double x : a)
+        b.push_back(x + 0.5);
+    auto result = pairedTTest(a, b);
+    EXPECT_TRUE(result.significant);
+    EXPECT_LT(result.meanDiff, 0.0);
+}
+
+TEST(PairedT, NoShiftNotSignificant)
+{
+    std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+    auto result = pairedTTest(a, a);
+    EXPECT_FALSE(result.significant);
+}

@@ -1,0 +1,85 @@
+/** @file Micro-benchmark suite and SPEC stand-in registry tests. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ubench/ubench.hh"
+#include "vm/functional.hh"
+#include "workload/workload.hh"
+
+using namespace raceval;
+
+TEST(Ubench, FortyBenchmarksInFiveCategories)
+{
+    const auto &suite = ubench::all();
+    EXPECT_EQ(suite.size(), 40u);
+    std::map<ubench::Category, int> by_cat;
+    std::set<std::string> names;
+    for (const auto &info : suite) {
+        by_cat[info.category]++;
+        names.insert(info.name);
+    }
+    EXPECT_EQ(names.size(), 40u); // unique names
+    EXPECT_EQ(by_cat[ubench::Category::Memory], 15);
+    EXPECT_EQ(by_cat[ubench::Category::Control], 12);
+    EXPECT_EQ(by_cat[ubench::Category::DataParallel], 5);
+    EXPECT_EQ(by_cat[ubench::Category::Execution], 5);
+    EXPECT_EQ(by_cat[ubench::Category::Store], 3);
+}
+
+TEST(Ubench, ScalingClampsTo260K)
+{
+    EXPECT_EQ(ubench::scaledCount(100), 100u);
+    EXPECT_EQ(ubench::scaledCount(260'000), 260'000u);
+    EXPECT_LE(ubench::scaledCount(66'000'000), 260'000u);
+    // Halving only: the result divides the paper count by a power of 2.
+    uint64_t scaled = ubench::scaledCount(22'000'000);
+    EXPECT_EQ(22'000'000 % scaled, 0u);
+}
+
+// Property sweep: every benchmark builds, halts, and lands near its
+// scaled dynamic-instruction target.
+class UbenchRuns : public ::testing::TestWithParam<int> {};
+
+TEST_P(UbenchRuns, BuildsAndHitsTarget)
+{
+    const auto &info = ubench::all()[GetParam()];
+    isa::Program prog = ubench::build(info);
+    EXPECT_EQ(prog.name, info.name);
+    vm::FunctionalCore core(prog);
+    uint64_t measured = core.run();
+    uint64_t target = ubench::scaledCount(info.paperDynInsts);
+    EXPECT_GT(measured, target / 2) << info.name;
+    EXPECT_LT(measured, target * 2 + 20000) << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, UbenchRuns, ::testing::Range(0, 40));
+
+TEST(Ubench, FindByName)
+{
+    EXPECT_NE(ubench::find("ML2_BW_ld"), nullptr);
+    EXPECT_EQ(ubench::find("nope"), nullptr);
+}
+
+TEST(Workload, ElevenSpecStandIns)
+{
+    EXPECT_EQ(workload::all().size(), 11u);
+    EXPECT_EQ(workload::scaledCount(12'000'000'000ull), 1'200'000u);
+}
+
+class WorkloadRuns : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadRuns, BuildsAndHitsTarget)
+{
+    const auto &info = workload::all()[GetParam()];
+    isa::Program prog = workload::build(info);
+    vm::FunctionalCore core(prog);
+    uint64_t measured = core.run();
+    uint64_t target = workload::scaledCount(info.paperDynInsts);
+    EXPECT_GT(measured, target / 2) << info.name;
+    EXPECT_LT(measured, target * 2) << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadRuns, ::testing::Range(0, 11));

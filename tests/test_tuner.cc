@@ -1,0 +1,145 @@
+/** @file Iterated-racing tuner tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuner/race.hh"
+
+using namespace raceval;
+using namespace raceval::tuner;
+
+namespace
+{
+
+ParameterSpace
+toySpace()
+{
+    ParameterSpace space;
+    space.addOrdinal("a", {1, 2, 4, 8, 16});
+    space.addCategorical("b", {"x", "y", "z"});
+    space.addFlag("c");
+    return space;
+}
+
+} // namespace
+
+TEST(Space, DeclarationAndLookup)
+{
+    ParameterSpace space = toySpace();
+    EXPECT_EQ(space.size(), 3u);
+    EXPECT_EQ(space.indexOf("b"), 1u);
+    EXPECT_EQ(space.at(0).cardinality(), 5u);
+    EXPECT_EQ(space.at(2).cardinality(), 2u);
+    EXPECT_GT(space.logSpaceSize(), 4.0);
+}
+
+TEST(Space, ConfigurationAccessors)
+{
+    ParameterSpace space = toySpace();
+    Configuration config(space.size());
+    space.setOrdinal(config, "a", 8);
+    space.setChoice(config, "b", 2);
+    space.setChoice(config, "c", 1);
+    EXPECT_EQ(space.ordinalValue(config, "a"), 8);
+    EXPECT_EQ(space.categoricalChoice(config, "b"), 2u);
+    EXPECT_TRUE(space.flagValue(config, "c"));
+    EXPECT_EQ(space.describe(config), "a=8 b=z c=true");
+}
+
+TEST(Space, HashDistinguishesContent)
+{
+    Configuration a(4), b(4);
+    EXPECT_EQ(a.hash(), b.hash());
+    b[2] = 1;
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Racer, ConvergesToKnownOptimum)
+{
+    ParameterSpace space = toySpace();
+    // Optimum: a=4, b=y, c=false.
+    auto cost = [&space](const Configuration &c, size_t instance) {
+        double noise = 0.01 * static_cast<double>(instance % 3);
+        double err = 0.0;
+        err += std::fabs(double(space.ordinalValue(c, "a")) - 4.0) / 4.0;
+        err += space.categoricalChoice(c, "b") == 1 ? 0.0 : 1.0;
+        err += space.flagValue(c, "c") ? 0.7 : 0.0;
+        return err + noise;
+    };
+    RacerOptions opts;
+    opts.maxExperiments = 600;
+    opts.seed = 5;
+    IteratedRacer racer(space, cost, 10, opts);
+    RaceResult result = racer.run();
+    EXPECT_EQ(space.ordinalValue(result.best, "a"), 4);
+    EXPECT_EQ(space.categoricalChoice(result.best, "b"), 1u);
+    EXPECT_FALSE(space.flagValue(result.best, "c"));
+    EXPECT_LT(result.bestMeanCost, 0.05);
+}
+
+TEST(Racer, RespectsBudget)
+{
+    ParameterSpace space = toySpace();
+    auto cost = [](const Configuration &, size_t) { return 1.0; };
+    RacerOptions opts;
+    opts.maxExperiments = 200;
+    IteratedRacer racer(space, cost, 10, opts);
+    RaceResult result = racer.run();
+    EXPECT_LE(result.experimentsUsed, 200u);
+}
+
+TEST(Racer, InitialCandidateAnchorsSearch)
+{
+    ParameterSpace space = toySpace();
+    // Cost is minimized only at one exotic point; seeding it makes the
+    // racer find it even with a tiny budget.
+    auto cost = [&space](const Configuration &c, size_t) {
+        bool at_opt = space.ordinalValue(c, "a") == 16
+            && space.categoricalChoice(c, "b") == 2
+            && space.flagValue(c, "c");
+        return at_opt ? 0.0 : 10.0;
+    };
+    Configuration seed(space.size());
+    space.setOrdinal(seed, "a", 16);
+    space.setChoice(seed, "b", 2);
+    space.setChoice(seed, "c", 1);
+    RacerOptions opts;
+    opts.maxExperiments = 150;
+    IteratedRacer racer(space, cost, 8, opts);
+    racer.addInitialCandidate(seed);
+    RaceResult result = racer.run();
+    EXPECT_EQ(result.bestMeanCost, 0.0);
+}
+
+TEST(Racer, DeterministicUnderSeed)
+{
+    ParameterSpace space = toySpace();
+    auto cost = [&space](const Configuration &c, size_t i) {
+        return std::fabs(double(space.ordinalValue(c, "a")) - 2.0)
+            + 0.1 * double(i % 2)
+            + (space.flagValue(c, "c") ? 0.3 : 0.0);
+    };
+    RacerOptions opts;
+    opts.maxExperiments = 300;
+    opts.seed = 99;
+    opts.threads = 1;
+    IteratedRacer r1(space, cost, 6, opts);
+    IteratedRacer r2(space, cost, 6, opts);
+    EXPECT_EQ(r1.run().best, r2.run().best);
+}
+
+TEST(Racer, EliteListSortedByCost)
+{
+    ParameterSpace space = toySpace();
+    auto cost = [&space](const Configuration &c, size_t) {
+        return double(space.ordinalValue(c, "a"));
+    };
+    RacerOptions opts;
+    opts.maxExperiments = 400;
+    IteratedRacer racer(space, cost, 6, opts);
+    RaceResult result = racer.run();
+    for (size_t i = 1; i < result.elites.size(); ++i)
+        EXPECT_LE(result.elites[i - 1].second,
+                  result.elites[i].second);
+}

@@ -1,0 +1,132 @@
+/** @file Validation-flow component tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "ubench/ubench.hh"
+#include "validate/flow.hh"
+#include "validate/latency_probe.hh"
+#include "validate/perturb.hh"
+#include "validate/sniper_space.hh"
+
+using namespace raceval;
+using namespace raceval::validate;
+
+TEST(SniperSpace, ApplyEncodeRoundTrip)
+{
+    SniperParamSpace sspace(false);
+    core::CoreParams base = core::publicInfoA53();
+    tuner::Configuration encoded = sspace.encode(base);
+    core::CoreParams applied = sspace.apply(encoded, base);
+    EXPECT_EQ(applied.mispredictPenalty, base.mispredictPenalty);
+    EXPECT_EQ(applied.storeBufferEntries, base.storeBufferEntries);
+    EXPECT_EQ(applied.bp.kind, base.bp.kind);
+    EXPECT_EQ(applied.mem.l1d.hash, base.mem.l1d.hash);
+    EXPECT_EQ(applied.mem.dram.latency, base.mem.dram.latency);
+    EXPECT_EQ(applied.latency, base.latency);
+}
+
+TEST(SniperSpace, OooAddsWindowParameters)
+{
+    SniperParamSpace in_order(false), ooo(true);
+    EXPECT_EQ(ooo.space().size(), in_order.space().size() + 4);
+    core::CoreParams base = core::publicInfoA72();
+    tuner::Configuration config = ooo.encode(base);
+    ooo.space().setOrdinal(config, "rob_entries", 192);
+    core::CoreParams applied = ooo.apply(config, base);
+    EXPECT_EQ(applied.robEntries, 192u);
+}
+
+TEST(SniperSpace, SecretsAreReachable)
+{
+    // Every secret hardware value must exist in the raced level sets,
+    // otherwise the specification gap is unclosable by construction.
+    SniperParamSpace sspace(true);
+    core::CoreParams secret = hw::secretA72().core;
+    tuner::Configuration encoded = sspace.encode(secret);
+    core::CoreParams applied = sspace.apply(encoded, secret);
+    EXPECT_EQ(applied.mispredictPenalty, secret.mispredictPenalty);
+    EXPECT_EQ(applied.robEntries, secret.robEntries);
+    EXPECT_EQ(applied.iqEntries, secret.iqEntries);
+    EXPECT_EQ(applied.latency, secret.latency);
+    EXPECT_EQ(applied.mem.l1d.prefetch, secret.mem.l1d.prefetch);
+    EXPECT_EQ(applied.mem.l1d.hash, secret.mem.l1d.hash);
+    EXPECT_EQ(applied.mem.dram.cyclesPerLine,
+              secret.mem.dram.cyclesPerLine);
+    EXPECT_EQ(applied.bp.kind, secret.bp.kind);
+    EXPECT_EQ(applied.bp.indirect, secret.bp.indirect);
+}
+
+TEST(LatencyProbe, RecoversPlausibleLatencies)
+{
+    auto board = hw::makeMachine(hw::secretA53(), false);
+    LatencyEstimates est = probeLatencies(*board);
+    // True values: l1d=3, l2=13(+1 serial). lmbench-style probing is
+    // approximate; it must land in the right neighborhood.
+    EXPECT_GE(est.l1d, 2u);
+    EXPECT_LE(est.l1d, 5u);
+    EXPECT_GE(est.l2, 9u);
+    EXPECT_LE(est.l2, 22u);
+}
+
+TEST(Oracle, CachesMeasurements)
+{
+    HardwareOracle oracle(hw::makeMachine(hw::secretA53(), false));
+    isa::Program prog = ubench::find("EI")->builder(5000, true);
+    hw::PerfCounters a = oracle.measure(prog);
+    hw::PerfCounters b = oracle.measure(prog);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.benchmark, "EI");
+}
+
+TEST(Flow, TuningImprovesOnPublicInfo)
+{
+    FlowOptions opts;
+    opts.budget = 800; // tiny smoke budget
+    opts.threads = 2;
+    ValidationFlow flow(false, opts);
+    FlowReport report = flow.run();
+    EXPECT_GT(report.untunedUbenchAvg, 0.25);
+    EXPECT_LT(report.tunedUbenchAvg, report.untunedUbenchAvg);
+    EXPECT_EQ(report.untunedUbench.size(), 40u);
+    EXPECT_EQ(report.tunedUbench.size(), 40u);
+    EXPECT_LE(report.race.experimentsUsed, 800u);
+}
+
+TEST(Perturb, WorstNeighborIsWorse)
+{
+    SniperParamSpace sspace(false);
+    core::CoreParams base = core::publicInfoA53();
+    tuner::Configuration tuned = sspace.encode(base);
+    // Synthetic smooth objective with minimum at the encoded point.
+    auto error_fn = [&tuned](const tuner::Configuration &c) {
+        double err = 0.0;
+        for (size_t i = 0; i < c.size(); ++i)
+            err += std::abs(int(c[i]) - int(tuned[i]));
+        return err;
+    };
+    PerturbResult result =
+        worstNearOptimum(sspace, tuned, error_fn, 8, 3);
+    EXPECT_GT(result.worstError, result.tunedError);
+    EXPECT_GT(result.evaluations, sspace.space().size());
+    // Every deviated parameter moved at most one ordinal step.
+    for (size_t i = 0; i < tuned.size(); ++i) {
+        const auto &param = sspace.space().at(i);
+        if (param.kind == tuner::Parameter::Kind::Ordinal) {
+            EXPECT_LE(std::abs(int(result.worst[i]) - int(tuned[i])), 1)
+                << param.name;
+        }
+    }
+}
+
+TEST(BenchError, ErrorMath)
+{
+    BenchError err;
+    err.hwCpi = 2.0;
+    err.simCpi = 1.5;
+    EXPECT_DOUBLE_EQ(err.error(), 0.25);
+    err.simCpi = 3.0;
+    EXPECT_DOUBLE_EQ(err.error(), 0.5);
+}
