@@ -13,9 +13,12 @@
 #include "ubench/ubench.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace raceval;
+    bench::parseDriverArgs(argc, argv,
+                           "Ablation: iterated racing vs uniform "
+                           "random search at the same budget.");
     setQuiet(true);
     bench::header("Ablation: iterated racing vs random search at "
                   "equal budget");

@@ -13,8 +13,75 @@
 #include "common/log.hh"
 #include "validate/flow.hh"
 
+#include "workload/workload.hh"
+
 namespace raceval::bench
 {
+
+/**
+ * True when the driver runs in smoke mode (set by --smoke). Smoke mode
+ * shrinks racing budgets, workload instruction counts and search probe
+ * counts so every driver finishes in seconds; the ctest smoke_* tests
+ * use it to keep refactors from silently breaking the binaries.
+ */
+inline bool &
+smokeMode()
+{
+    static bool smoke = false;
+    return smoke;
+}
+
+/** @return @p full normally, @p reduced under --smoke. */
+template <typename T>
+inline T
+smokeScaled(T full, T reduced)
+{
+    return smokeMode() ? reduced : full;
+}
+
+/**
+ * Parse the standard driver command line. Every bench accepts
+ * --help/-h (print usage, exit 0) and --smoke (tiny budgets for CI);
+ * anything else is an error so typos fail loudly.
+ *
+ * @param what one-line description printed by --help.
+ */
+inline void
+parseDriverArgs(int argc, char **argv, const char *what)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--smoke]\n\n%s\n\n"
+                        "  --smoke  reduced budgets/workloads for CI "
+                        "smoke runs\n"
+                        "  RACEVAL_BUDGET=<n> overrides the racing "
+                        "budget\n", argv[0], what);
+            std::exit(0);
+        } else if (arg == "--smoke") {
+            smokeMode() = true;
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s' "
+                         "(try --help)\n", argv[0], arg.c_str());
+            std::exit(2);
+        }
+    }
+}
+
+/**
+ * Rewrite --smoke into a tiny --benchmark_min_time for the Google
+ * Benchmark drivers, so they share the ctest smoke interface without
+ * teaching gbench a new flag. Call before benchmark::Initialize.
+ */
+inline void
+rewriteSmokeFlag(int argc, char **argv)
+{
+    static char min_time[] = "--benchmark_min_time=0.01s";
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            argv[i] = min_time;
+    }
+}
 
 /** Racing budget: RACEVAL_BUDGET env overrides the scaled default. */
 inline uint64_t
@@ -22,7 +89,7 @@ budgetFromEnv(uint64_t fallback = 6000)
 {
     if (const char *env = std::getenv("RACEVAL_BUDGET"))
         return std::strtoull(env, nullptr, 10);
-    return fallback;
+    return smokeScaled<uint64_t>(fallback, 150);
 }
 
 /** Standard flow options for benches. */
@@ -34,6 +101,19 @@ benchFlowOptions()
     opts.threads = 0; // all hardware threads
     opts.verbose = false;
     return opts;
+}
+
+/**
+ * Build a SPEC stand-in workload, at its Table II scaled instruction
+ * count normally and at a fraction of it under --smoke.
+ */
+inline isa::Program
+workloadProgram(const workload::WorkloadInfo &info)
+{
+    uint64_t target = workload::scaledCount(info.paperDynInsts);
+    if (smokeMode())
+        target /= 16;
+    return info.builder(target);
 }
 
 inline void

@@ -14,9 +14,12 @@
 #include "stats/descriptive.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace raceval;
+    bench::parseDriverArgs(argc, argv,
+                           "Fig. 4: per-ubench A53 CPI error before "
+                           "and after racing-based tuning.");
     setQuiet(true);
     bench::header("Fig. 4: A53 micro-benchmark CPI error, "
                   "not tuned vs tuned");

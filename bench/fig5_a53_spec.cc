@@ -14,9 +14,12 @@
 #include "workload/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace raceval;
+    bench::parseDriverArgs(argc, argv,
+                           "Fig. 5: tuned A53 model CPI error on the "
+                           "held-out SPEC CPU2017 stand-ins.");
     setQuiet(true);
     bench::header("Fig. 5: tuned A53 model vs hardware on SPEC "
                   "CPU2017 stand-ins");
@@ -28,7 +31,7 @@ main()
                 "sim CPI", "error");
     std::vector<double> errors;
     for (const auto &info : workload::all()) {
-        isa::Program prog = workload::build(info);
+        isa::Program prog = bench::workloadProgram(info);
         validate::BenchError err =
             flow.evaluateOn(report.tunedModel, prog);
         errors.push_back(err.error());

@@ -15,9 +15,12 @@
 #include "workload/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace raceval;
+    bench::parseDriverArgs(argc, argv,
+                           "Fig. 6: tuned A72 model CPI error on the "
+                           "held-out SPEC CPU2017 stand-ins.");
     setQuiet(true);
     bench::header("Fig. 6: tuned A72 model vs hardware on SPEC "
                   "CPU2017 stand-ins");
@@ -29,7 +32,7 @@ main()
                 "sim CPI", "error");
     std::vector<double> errors;
     for (const auto &info : workload::all()) {
-        isa::Program prog = workload::build(info);
+        isa::Program prog = bench::workloadProgram(info);
         validate::BenchError err =
             flow.evaluateOn(report.tunedModel, prog);
         errors.push_back(err.error());

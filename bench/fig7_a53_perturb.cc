@@ -31,18 +31,22 @@ perturbReport(bool out_of_order, double paper_tuned,
     const core::CoreParams &base = report.publicModel;
 
     // Objective: mean ubench CPI error (maximized by the search).
+    // Smoke runs subsample the micro-benchmarks to bound the cost of
+    // the coordinate-ascent evaluations.
     auto error_fn = [&](const tuner::Configuration &config) {
-        return flow.ubenchError(sspace.apply(config, base));
+        return flow.ubenchError(sspace.apply(config, base), nullptr,
+                                bench::smokeScaled<size_t>(1, 8));
     };
     validate::PerturbResult worst = validate::worstNearOptimum(
-        sspace, report.race.best, error_fn, 16);
+        sspace, report.race.best, error_fn,
+        bench::smokeScaled(16u, 2u));
     core::CoreParams worst_model = sspace.apply(worst.worst, base);
 
     std::printf("%-11s %10s %10s %10s %10s\n", "benchmark", "hw CPI",
                 "tunedErr", "worstCPI", "worstErr");
     std::vector<double> tuned_err, worst_err;
     for (const auto &info : workload::all()) {
-        isa::Program prog = workload::build(info);
+        isa::Program prog = bench::workloadProgram(info);
         validate::BenchError tuned =
             flow.evaluateOn(report.tunedModel, prog);
         validate::BenchError bad = flow.evaluateOn(worst_model, prog);
@@ -68,9 +72,12 @@ perturbReport(bool out_of_order, double paper_tuned,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace raceval;
+    bench::parseDriverArgs(argc, argv,
+                           "Fig. 7: error blow-up of near-optimum but "
+                           "inaccurate A53 parameter settings.");
     setQuiet(true);
     bench::header("Fig. 7: near-optimum perturbation, A53");
     perturbReport(false, 7.0, 34.0);

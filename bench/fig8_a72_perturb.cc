@@ -14,9 +14,12 @@
 #include "workload/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace raceval;
+    bench::parseDriverArgs(argc, argv,
+                           "Fig. 8: error blow-up of near-optimum but "
+                           "inaccurate A72 parameter settings.");
     setQuiet(true);
     bench::header("Fig. 8: near-optimum perturbation, A72");
 
@@ -25,18 +28,22 @@ main()
     const auto &sspace = flow.paramSpace();
     const core::CoreParams &base = report.publicModel;
 
+    // Smoke runs subsample the micro-benchmarks to bound the cost of
+    // the coordinate-ascent evaluations.
     auto error_fn = [&](const tuner::Configuration &config) {
-        return flow.ubenchError(sspace.apply(config, base));
+        return flow.ubenchError(sspace.apply(config, base), nullptr,
+                                bench::smokeScaled<size_t>(1, 8));
     };
     validate::PerturbResult worst = validate::worstNearOptimum(
-        sspace, report.race.best, error_fn, 12);
+        sspace, report.race.best, error_fn,
+        bench::smokeScaled(12u, 2u));
     core::CoreParams worst_model = sspace.apply(worst.worst, base);
 
     std::printf("%-11s %10s %10s %10s %10s\n", "benchmark", "hw CPI",
                 "tunedErr", "worstCPI", "worstErr");
     std::vector<double> tuned_err, worst_err;
     for (const auto &info : workload::all()) {
-        isa::Program prog = workload::build(info);
+        isa::Program prog = bench::workloadProgram(info);
         validate::BenchError tuned =
             flow.evaluateOn(report.tunedModel, prog);
         validate::BenchError bad = flow.evaluateOn(worst_model, prog);

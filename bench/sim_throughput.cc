@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hh"
 #include "common/log.hh"
 #include "core/inorder.hh"
 #include "core/ooo.hh"
@@ -101,6 +102,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    bench::rewriteSmokeFlag(argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -13,9 +13,12 @@
 #include "vm/functional.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace raceval;
+    bench::parseDriverArgs(argc, argv,
+                           "Table I: the 40 micro-benchmarks and "
+                           "their dynamic instruction counts.");
     setQuiet(true);
     bench::header("Table I: micro-benchmarks and dynamic "
                   "instruction counts");

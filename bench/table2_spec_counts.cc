@@ -11,16 +11,19 @@
 #include "workload/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace raceval;
+    bench::parseDriverArgs(argc, argv,
+                           "Table II: the SPEC CPU2017 region "
+                           "stand-ins and their instruction counts.");
     setQuiet(true);
     bench::header("Table II: SPEC CPU2017 stand-ins and dynamic "
                   "instruction counts");
     std::printf("%-11s %-28s %14s %10s %10s\n", "benchmark",
                 "paper region", "paper insts", "scaled", "measured");
     for (const auto &info : workload::all()) {
-        isa::Program prog = workload::build(info);
+        isa::Program prog = bench::workloadProgram(info);
         vm::FunctionalCore core(prog);
         uint64_t measured = core.run();
         std::printf("%-11s %-28s %14llu %10llu %10llu\n", info.name,

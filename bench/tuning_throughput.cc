@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hh"
 #include "common/log.hh"
 #include "validate/flow.hh"
 
@@ -46,6 +47,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    bench::rewriteSmokeFlag(argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     std::printf("\npaper scale: 10K trials ~= 7 hours, 100K ~= 2 days "

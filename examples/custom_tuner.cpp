@@ -8,14 +8,28 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string_view>
 
 #include "tuner/race.hh"
 
 using namespace raceval;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--smoke") {
+            smoke = true;
+        } else {
+            std::printf("usage: %s [--smoke]\nTune a synthetic "
+                        "6-parameter objective with iterated racing.\n",
+                        argv[0]);
+            return std::string_view(argv[i]) == "--help" ||
+                   std::string_view(argv[i]) == "-h" ? 0 : 2;
+        }
+    }
+
     tuner::ParameterSpace space;
     space.addOrdinal("alpha", {1, 2, 4, 8, 16, 32});
     space.addOrdinal("beta", {10, 20, 30, 40, 50});
@@ -43,7 +57,7 @@ main()
     };
 
     tuner::RacerOptions opts;
-    opts.maxExperiments = 1200;
+    opts.maxExperiments = smoke ? 240 : 1200;
     opts.verbose = true;
     tuner::IteratedRacer racer(space, cost, /*num_instances=*/12, opts);
     tuner::RaceResult result = racer.run();

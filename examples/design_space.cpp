@@ -6,6 +6,7 @@
  */
 
 #include <cstdio>
+#include <string_view>
 
 #include "common/str.hh"
 #include "core/inorder.hh"
@@ -15,8 +16,20 @@
 using namespace raceval;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --smoke (ctest smoke suite) is accepted but changes nothing:
+    // the sweep already finishes in well under a second.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) != "--smoke") {
+            std::printf("usage: %s [--smoke]\nSweep L1D size and MSHR "
+                        "count on two memory-bound workloads.\n",
+                        argv[0]);
+            return std::string_view(argv[i]) == "--help" ||
+                   std::string_view(argv[i]) == "-h" ? 0 : 2;
+        }
+    }
+
     core::CoreParams base = core::publicInfoA53();
     std::printf("%-10s %-8s %10s %10s\n", "l1d size", "mshrs",
                 "ML2 CPI", "MIM CPI");

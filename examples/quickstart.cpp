@@ -6,6 +6,7 @@
  */
 
 #include <cstdio>
+#include <string_view>
 
 #include "core/inorder.hh"
 #include "core/params.hh"
@@ -15,8 +16,20 @@
 using namespace raceval;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --smoke (ctest smoke suite) is accepted but changes nothing:
+    // the whole example finishes in well under a second.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) != "--smoke") {
+            std::printf("usage: %s [--smoke]\nAssemble, execute and "
+                        "time a tiny program on the A53 model.\n",
+                        argv[0]);
+            return std::string_view(argv[i]) == "--help" ||
+                   std::string_view(argv[i]) == "-h" ? 0 : 2;
+        }
+    }
+
     // 1. Write a program: sum an array of 1024 dwords.
     isa::Assembler a("quickstart");
     a.loadImm(1, 0x100000);  // x1 = array base

@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <string_view>
 
 #include "core/inorder.hh"
 #include "sift/sift.hh"
@@ -17,8 +18,20 @@
 using namespace raceval;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --smoke (ctest smoke suite) is accepted but changes nothing:
+    // record + both replays finish in well under a second.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) != "--smoke") {
+            std::printf("usage: %s [--smoke]\nRecord a SIFT trace "
+                        "once, replay it into two core configs.\n",
+                        argv[0]);
+            return std::string_view(argv[i]) == "--help" ||
+                   std::string_view(argv[i]) == "-h" ? 0 : 2;
+        }
+    }
+
     isa::Program prog = ubench::build(*ubench::find("CCh"));
     vm::FunctionalCore recorder(prog);
     const char *path = "cch.sift";

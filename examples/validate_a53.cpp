@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <string_view>
 
 #include "common/log.hh"
 #include "validate/flow.hh"
@@ -15,10 +16,23 @@
 using namespace raceval;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--smoke") {
+            smoke = true;
+        } else {
+            std::printf("usage: %s [--smoke]\nRun the full six-step "
+                        "validation flow against the A53 board.\n",
+                        argv[0]);
+            return std::string_view(argv[i]) == "--help" ||
+                   std::string_view(argv[i]) == "-h" ? 0 : 2;
+        }
+    }
+
     validate::FlowOptions opts;
-    opts.budget = 2000; // paper: 10K-100K trials
+    opts.budget = smoke ? 300 : 2000; // paper: 10K-100K trials
     opts.verbose = true;
     validate::ValidationFlow flow(/*out_of_order=*/false, opts);
     validate::FlowReport report = flow.run();

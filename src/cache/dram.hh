@@ -31,32 +31,23 @@ class DramModel
      * @param now current core cycle.
      * @return total cycles until the line arrives.
      */
-    unsigned
-    access(uint64_t now)
-    {
-        uint64_t start = now > nextFree ? now : nextFree;
-        nextFree = start + dparams.cyclesPerLine;
-        ++reads;
-        return static_cast<unsigned>(start - now) + dparams.latency;
-    }
+    unsigned access(uint64_t now);
 
     /** Charge channel occupancy for a writeback (nobody waits on it). */
-    void
-    writeback(uint64_t now)
-    {
-        uint64_t start = now > nextFree ? now : nextFree;
-        nextFree = start + dparams.cyclesPerLine;
-        ++writes;
-    }
+    void writeback(uint64_t now);
 
     /** Forget queue state and counters. */
-    void
-    reset()
-    {
-        nextFree = 0;
-        reads = 0;
-        writes = 0;
-    }
+    void reset();
+
+    /**
+     * Cycles the channel has been reserved for transfers so far. With
+     * the core cycle this gives channel utilization, the saturation
+     * signal behind the ML2_BW_* bandwidth micro-benchmarks.
+     */
+    uint64_t busyCycles() const;
+
+    /** First cycle at which a new transfer could start. */
+    uint64_t nextFreeCycle() const { return nextFree; }
 
     uint64_t readCount() const { return reads; }
     uint64_t writeCount() const { return writes; }

@@ -47,11 +47,14 @@ ValidationFlow::evaluateOn(const core::CoreParams &model,
 
 double
 ValidationFlow::ubenchError(const core::CoreParams &model,
-                            std::vector<BenchError> *detail)
+                            std::vector<BenchError> *detail,
+                            size_t stride)
 {
+    if (stride == 0)
+        stride = 1;
     std::vector<double> errors;
-    for (const isa::Program &prog : ubenchPrograms) {
-        BenchError err = evaluateOn(model, prog);
+    for (size_t i = 0; i < ubenchPrograms.size(); i += stride) {
+        BenchError err = evaluateOn(model, ubenchPrograms[i]);
         errors.push_back(err.error());
         if (detail)
             detail->push_back(err);

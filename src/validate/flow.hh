@@ -101,9 +101,15 @@ class ValidationFlow
     BenchError evaluateOn(const core::CoreParams &model,
                           const isa::Program &program);
 
-    /** Mean absolute CPI error of a model over all micro-benchmarks. */
+    /**
+     * Mean absolute CPI error of a model over the micro-benchmarks.
+     *
+     * @param stride evaluate every stride-th micro-benchmark only;
+     *        values > 1 trade fidelity for speed (smoke runs).
+     */
     double ubenchError(const core::CoreParams &model,
-                       std::vector<BenchError> *detail = nullptr);
+                       std::vector<BenchError> *detail = nullptr,
+                       size_t stride = 1);
 
     /** Run the simulator model (in-order or OoO per construction). */
     core::CoreStats simulate(const core::CoreParams &model,

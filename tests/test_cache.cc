@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/cache.hh"
+#include "cache/dram.hh"
 #include "cache/hierarchy.hh"
 #include "cache/prefetch.hh"
 
@@ -288,4 +289,71 @@ TEST(Hierarchy, InstructionSideRouted)
     mem.access(0, 0x500, false, true, 0);
     EXPECT_EQ(mem.l1i().stats().accesses, 1u);
     EXPECT_EQ(mem.l1d().stats().accesses, 0u);
+}
+
+namespace
+{
+
+DramParams
+testDram()
+{
+    DramParams p;
+    p.latency = 100;
+    p.cyclesPerLine = 10;
+    return p;
+}
+
+} // namespace
+
+TEST(Dram, IdleChannelIsFlatLatency)
+{
+    DramModel dram(testDram());
+    EXPECT_EQ(dram.access(0), 100u);
+    // Channel free again at cycle 10; a later fetch sees no queueing.
+    EXPECT_EQ(dram.access(50), 100u);
+    EXPECT_EQ(dram.readCount(), 2u);
+}
+
+TEST(Dram, BackToBackFetchesQueue)
+{
+    DramModel dram(testDram());
+    EXPECT_EQ(dram.access(0), 100u);
+    // Issued while the channel is busy until cycle 10: 5 cycles of
+    // queueing delay on top of the flat latency.
+    EXPECT_EQ(dram.access(5), 105u);
+    // Third fetch at the same cycle waits for both transfers.
+    EXPECT_EQ(dram.access(5), 115u);
+}
+
+TEST(Dram, WritebackOccupiesChannelButNobodyWaits)
+{
+    DramModel dram(testDram());
+    dram.writeback(0);
+    EXPECT_EQ(dram.writeCount(), 1u);
+    EXPECT_EQ(dram.readCount(), 0u);
+    // The writeback reserved cycles 0-10, delaying the demand fetch.
+    EXPECT_EQ(dram.access(0), 110u);
+}
+
+TEST(Dram, BusyCyclesTrackTransfers)
+{
+    DramModel dram(testDram());
+    dram.access(0);
+    dram.access(0);
+    dram.writeback(0);
+    EXPECT_EQ(dram.busyCycles(), 30u);
+    EXPECT_EQ(dram.nextFreeCycle(), 30u);
+}
+
+TEST(Dram, ResetForgetsQueueAndCounters)
+{
+    DramModel dram(testDram());
+    dram.access(0);
+    dram.writeback(0);
+    dram.reset();
+    EXPECT_EQ(dram.readCount(), 0u);
+    EXPECT_EQ(dram.writeCount(), 0u);
+    EXPECT_EQ(dram.busyCycles(), 0u);
+    // No residual queueing from before the reset.
+    EXPECT_EQ(dram.access(0), 100u);
 }
