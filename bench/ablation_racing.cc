@@ -33,19 +33,23 @@ main(int argc, char **argv)
 
     // Random search: spend the same budget on uniform configurations,
     // each evaluated on a fixed subset of instances (budget/instances
-    // candidates on all instances).
+    // candidates on all instances). All candidates are independent, so
+    // the whole search is one deduplicated engine batch.
     Rng rng(opts.seed + 17);
     uint64_t num_random = opts.budget / num_ubench;
-    double best_random = 1e100;
+    std::vector<core::CoreParams> random_models;
+    random_models.reserve(num_random);
     for (uint64_t c = 0; c < num_random; ++c) {
         tuner::Configuration config(sspace.space().size());
         for (size_t i = 0; i < sspace.space().size(); ++i) {
             config[i] = static_cast<uint16_t>(
                 rng.nextBelow(sspace.space().at(i).cardinality()));
         }
-        double err = flow.ubenchError(sspace.apply(config, base));
-        best_random = std::min(best_random, err);
+        random_models.push_back(sspace.apply(config, base));
     }
+    double best_random = 1e100;
+    for (double err : flow.ubenchErrorBatch(random_models))
+        best_random = std::min(best_random, err);
 
     std::printf("budget: %llu experiments, %zu raced parameters\n",
                 static_cast<unsigned long long>(opts.budget),
@@ -57,5 +61,11 @@ main(int argc, char **argv)
     std::printf("%-40s %10.1f%%\n", "iterated racing error",
                 100.0 * report.tunedUbenchAvg);
     bench::note("\nshape check: racing < random search < untuned.");
+    bench::jsonMetric("untuned error", 100.0 * report.untunedUbenchAvg);
+    bench::jsonMetric("random search error", 100.0 * best_random);
+    bench::jsonMetric("racing error", 100.0 * report.tunedUbenchAvg);
+    engine::EngineStats stats = flow.engine().stats();
+    bench::printEngineStats(stats);
+    bench::writeJson(&stats);
     return 0;
 }

@@ -6,11 +6,15 @@
 #ifndef RACEVAL_BENCH_COMMON_HH
 #define RACEVAL_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/log.hh"
+#include "engine/engine.hh"
 #include "validate/flow.hh"
 
 #include "workload/workload.hh"
@@ -39,27 +43,150 @@ smokeScaled(T full, T reduced)
     return smokeMode() ? reduced : full;
 }
 
+/// @name --json result blobs
+/// Every driver accepts `--json <path>` and dumps a machine-readable
+/// blob there: driver name, every recorded metric, wall time, and
+/// (when the driver runs the engine) the engine cache statistics.
+/// The perf trajectory of the repo accumulates as BENCH_*.json files.
+/// @{
+
+/** Target path of the --json blob ("" = disabled). */
+inline std::string &
+jsonPath()
+{
+    static std::string path;
+    return path;
+}
+
+/** Driver name recorded into the blob (argv[0] basename). */
+inline std::string &
+driverName()
+{
+    static std::string name = "driver";
+    return name;
+}
+
+/** Wall-clock anchor, set by parseDriverArgs(). */
+inline std::chrono::steady_clock::time_point &
+driverStart()
+{
+    static auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+/** Recorded (metric name, value) pairs. */
+inline std::vector<std::pair<std::string, double>> &
+jsonMetrics()
+{
+    static std::vector<std::pair<std::string, double>> metrics;
+    return metrics;
+}
+
+/** Record one metric into the --json blob. */
+inline void
+jsonMetric(const std::string &name, double value)
+{
+    jsonMetrics().emplace_back(name, value);
+}
+
+/** Minimal JSON string escaping (quotes and backslashes). */
+inline std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Write the --json blob (no-op when --json was not given).
+ *
+ * @param engine_stats engine report to embed, or nullptr.
+ */
+inline void
+writeJson(const engine::EngineStats *engine_stats = nullptr)
+{
+    if (jsonPath().empty())
+        return;
+    double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - driverStart()).count();
+    std::FILE *file = std::fopen(jsonPath().c_str(), "w");
+    if (!file) {
+        std::fprintf(stderr, "cannot write json blob '%s'\n",
+                     jsonPath().c_str());
+        std::exit(1);
+    }
+    std::fprintf(file, "{\n  \"driver\": \"%s\",\n",
+                 jsonEscape(driverName()).c_str());
+    std::fprintf(file, "  \"smoke\": %s,\n",
+                 smokeMode() ? "true" : "false");
+    std::fprintf(file, "  \"wall_seconds\": %.3f,\n", wall);
+    std::fprintf(file, "  \"metrics\": {");
+    for (size_t i = 0; i < jsonMetrics().size(); ++i) {
+        std::fprintf(file, "%s\n    \"%s\": %.6g", i ? "," : "",
+                     jsonEscape(jsonMetrics()[i].first).c_str(),
+                     jsonMetrics()[i].second);
+    }
+    std::fprintf(file, "\n  }");
+    if (engine_stats)
+        std::fprintf(file, ",\n  \"engine\": %s",
+                     engine_stats->json().c_str());
+    std::fprintf(file, "\n}\n");
+    std::fclose(file);
+}
+
+/// @}
+
+/** Shared preamble of both arg parsers: stamp the wall clock and
+ *  record the driver name for the --json blob. */
+inline void
+beginDriver(int argc, char **argv)
+{
+    driverStart() = std::chrono::steady_clock::now();
+    if (argc > 0) {
+        std::string name = argv[0];
+        size_t slash = name.find_last_of('/');
+        driverName() =
+            slash == std::string::npos ? name : name.substr(slash + 1);
+    }
+}
+
 /**
  * Parse the standard driver command line. Every bench accepts
- * --help/-h (print usage, exit 0) and --smoke (tiny budgets for CI);
- * anything else is an error so typos fail loudly.
+ * --help/-h (print usage, exit 0), --smoke (tiny budgets for CI) and
+ * --json <path> (machine-readable result blob); anything else is an
+ * error so typos fail loudly.
  *
  * @param what one-line description printed by --help.
  */
 inline void
 parseDriverArgs(int argc, char **argv, const char *what)
 {
+    beginDriver(argc, argv);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--smoke]\n\n%s\n\n"
-                        "  --smoke  reduced budgets/workloads for CI "
-                        "smoke runs\n"
+            std::printf("usage: %s [--smoke] [--json <path>]\n\n%s\n\n"
+                        "  --smoke        reduced budgets/workloads for "
+                        "CI smoke runs\n"
+                        "  --json <path>  write a machine-readable "
+                        "result blob\n"
                         "  RACEVAL_BUDGET=<n> overrides the racing "
                         "budget\n", argv[0], what);
             std::exit(0);
         } else if (arg == "--smoke") {
             smokeMode() = true;
+        } else if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --json needs a path\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            jsonPath() = argv[++i];
         } else {
             std::fprintf(stderr, "%s: unknown argument '%s' "
                          "(try --help)\n", argv[0], arg.c_str());
@@ -69,18 +196,38 @@ parseDriverArgs(int argc, char **argv, const char *what)
 }
 
 /**
- * Rewrite --smoke into a tiny --benchmark_min_time for the Google
- * Benchmark drivers, so they share the ctest smoke interface without
- * teaching gbench a new flag. Call before benchmark::Initialize.
+ * Pre-parse for the Google Benchmark drivers: consume --help, --smoke
+ * and --json <path> ourselves (compacting argv) and rewrite smoke mode
+ * into a tiny --benchmark_min_time, so the gbench binaries share the
+ * ctest smoke/json interface. Call before benchmark::Initialize.
  */
 inline void
-rewriteSmokeFlag(int argc, char **argv)
+parseGbenchArgs(int &argc, char **argv, const char *what)
 {
+    beginDriver(argc, argv);
     static char min_time[] = "--benchmark_min_time=0.01s";
+    int out = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--smoke")
-            argv[i] = min_time;
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--smoke] [--json <path>] "
+                        "[--benchmark_* flags]\n\n%s\n", argv[0], what);
+            std::exit(0);
+        } else if (arg == "--smoke") {
+            smokeMode() = true;
+            argv[out++] = min_time;
+        } else if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --json needs a path\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            jsonPath() = argv[++i];
+        } else {
+            argv[out++] = argv[i];
+        }
     }
+    argc = out;
 }
 
 /** Racing budget: RACEVAL_BUDGET env overrides the scaled default. */
@@ -92,7 +239,9 @@ budgetFromEnv(uint64_t fallback = 6000)
     return smokeScaled<uint64_t>(fallback, 150);
 }
 
-/** Standard flow options for benches. */
+/** Standard flow options for benches. RACEVAL_EVAL_CACHE=<path>
+ *  persists the engine's EvalCache there, so repeated driver runs
+ *  start warm. */
 inline validate::FlowOptions
 benchFlowOptions()
 {
@@ -100,6 +249,8 @@ benchFlowOptions()
     opts.budget = budgetFromEnv();
     opts.threads = 0; // all hardware threads
     opts.verbose = false;
+    if (const char *env = std::getenv("RACEVAL_EVAL_CACHE"))
+        opts.evalCachePath = env;
     return opts;
 }
 
@@ -128,11 +279,20 @@ note(const std::string &text)
     std::printf("%s\n", text.c_str());
 }
 
+/** Print (and record into the --json blob) a paper-vs-measured row. */
 inline void
 paperVsMeasured(const char *metric, double paper, double measured)
 {
     std::printf("%-44s paper %8.2f | measured %8.2f\n", metric, paper,
                 measured);
+    jsonMetric(metric, measured);
+}
+
+/** Print the engine report of a flow (and keep it for writeJson). */
+inline void
+printEngineStats(const engine::EngineStats &stats)
+{
+    std::printf("\n%s\n", stats.summary().c_str());
 }
 
 } // namespace raceval::bench

@@ -55,5 +55,7 @@ main(int argc, char **argv)
                     report.race.experimentsUsed),
                 report.race.iterations, report.latencies.l1d,
                 report.latencies.l2);
+    bench::printEngineStats(report.engineStats);
+    bench::writeJson(&report.engineStats);
     return 0;
 }

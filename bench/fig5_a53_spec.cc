@@ -47,5 +47,8 @@ main(int argc, char **argv)
     std::printf("(tuned ubench error was %.1f%%, untuned %.1f%%)\n",
                 100.0 * report.tunedUbenchAvg,
                 100.0 * report.untunedUbenchAvg);
+    engine::EngineStats stats = flow.engine().stats();
+    bench::printEngineStats(stats);
+    bench::writeJson(&stats);
     return 0;
 }

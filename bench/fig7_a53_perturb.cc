@@ -30,13 +30,20 @@ perturbReport(bool out_of_order, double paper_tuned,
     const auto &sspace = flow.paramSpace();
     const core::CoreParams &base = report.publicModel;
 
-    // Objective: mean ubench CPI error (maximized by the search).
-    // Smoke runs subsample the micro-benchmarks to bound the cost of
-    // the coordinate-ascent evaluations.
-    auto error_fn = [&](const tuner::Configuration &config) {
-        return flow.ubenchError(sspace.apply(config, base), nullptr,
-                                bench::smokeScaled<size_t>(1, 8));
-    };
+    // Objective: mean ubench CPI error (maximized by the search),
+    // evaluated through the flow's engine: each probe generation is
+    // one deduplicated batch of cached trace replays. Smoke runs
+    // subsample the micro-benchmarks to bound the cost of the
+    // coordinate-ascent evaluations.
+    auto error_fn =
+        [&](const std::vector<tuner::Configuration> &probes) {
+            std::vector<core::CoreParams> models;
+            models.reserve(probes.size());
+            for (const tuner::Configuration &probe : probes)
+                models.push_back(sspace.apply(probe, base));
+            return flow.ubenchErrorBatch(
+                models, bench::smokeScaled<size_t>(1, 8));
+        };
     validate::PerturbResult worst = validate::worstNearOptimum(
         sspace, report.race.best, error_fn,
         bench::smokeScaled(16u, 2u));
@@ -67,6 +74,10 @@ perturbReport(bool out_of_order, double paper_tuned,
                            100.0 * stats::maxOf(worst_err));
     std::printf("search: %u evaluations (greedy + randomized; the "
                 "paper searches exhaustively)\n", worst.evaluations);
+    bench::jsonMetric("perturb evaluations", worst.evaluations);
+    engine::EngineStats stats = flow.engine().stats();
+    bench::printEngineStats(stats);
+    bench::writeJson(&stats);
 }
 
 } // namespace

@@ -28,12 +28,19 @@ main(int argc, char **argv)
     const auto &sspace = flow.paramSpace();
     const core::CoreParams &base = report.publicModel;
 
-    // Smoke runs subsample the micro-benchmarks to bound the cost of
-    // the coordinate-ascent evaluations.
-    auto error_fn = [&](const tuner::Configuration &config) {
-        return flow.ubenchError(sspace.apply(config, base), nullptr,
-                                bench::smokeScaled<size_t>(1, 8));
-    };
+    // Probes evaluate through the flow's engine as deduplicated
+    // batches of cached trace replays. Smoke runs subsample the
+    // micro-benchmarks to bound the cost of the coordinate-ascent
+    // evaluations.
+    auto error_fn =
+        [&](const std::vector<tuner::Configuration> &probes) {
+            std::vector<core::CoreParams> models;
+            models.reserve(probes.size());
+            for (const tuner::Configuration &probe : probes)
+                models.push_back(sspace.apply(probe, base));
+            return flow.ubenchErrorBatch(
+                models, bench::smokeScaled<size_t>(1, 8));
+        };
     validate::PerturbResult worst = validate::worstNearOptimum(
         sspace, report.race.best, error_fn,
         bench::smokeScaled(12u, 2u));
@@ -60,5 +67,9 @@ main(int argc, char **argv)
                            100.0 * stats::mean(worst_err));
     std::printf("search: %u evaluations (greedy + randomized; the "
                 "paper searches exhaustively)\n", worst.evaluations);
+    bench::jsonMetric("perturb evaluations", worst.evaluations);
+    engine::EngineStats stats = flow.engine().stats();
+    bench::printEngineStats(stats);
+    bench::writeJson(&stats);
     return 0;
 }

@@ -24,10 +24,12 @@ main(int argc, char **argv)
                   "instruction counts");
     std::printf("%-12s %-16s %12s %12s %12s\n", "name", "category",
                 "paper", "scaled", "measured");
+    uint64_t total = 0;
     for (const auto &info : ubench::all()) {
         isa::Program prog = ubench::build(info);
         vm::FunctionalCore core(prog);
         uint64_t measured = core.run();
+        total += measured;
         std::printf("%-12s %-16s %12llu %12llu %12llu\n", info.name,
                     ubench::categoryName(info.category),
                     static_cast<unsigned long long>(info.paperDynInsts),
@@ -38,5 +40,8 @@ main(int argc, char **argv)
     bench::note("\nscaling: paper counts halved until <= 260K "
                 "(DESIGN.md section 7); measured counts track the "
                 "scaled target within loop-body rounding.");
+    bench::jsonMetric("ubench count", double(ubench::all().size()));
+    bench::jsonMetric("total dynamic insts", double(total));
+    bench::writeJson();
     return 0;
 }

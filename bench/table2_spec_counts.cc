@@ -22,10 +22,12 @@ main(int argc, char **argv)
                   "instruction counts");
     std::printf("%-11s %-28s %14s %10s %10s\n", "benchmark",
                 "paper region", "paper insts", "scaled", "measured");
+    uint64_t total = 0;
     for (const auto &info : workload::all()) {
         isa::Program prog = bench::workloadProgram(info);
         vm::FunctionalCore core(prog);
         uint64_t measured = core.run();
+        total += measured;
         std::printf("%-11s %-28s %14llu %10llu %10llu\n", info.name,
                     info.sourceLoc,
                     static_cast<unsigned long long>(info.paperDynInsts),
@@ -35,5 +37,8 @@ main(int argc, char **argv)
     }
     bench::note("\nscaling: Table II counts x 1e-4 (DESIGN.md "
                 "section 7).");
+    bench::jsonMetric("workload count", double(workload::all().size()));
+    bench::jsonMetric("total dynamic insts", double(total));
+    bench::writeJson();
     return 0;
 }

@@ -1,45 +1,254 @@
 /**
  * @file
- * Tuning turnaround (paper SS III-C): the paper reports ~7h for a 10K
- * budget and ~2d for 100K on a 24-context host. This binary measures
- * experiments/second of the racing loop at bench scale and projects
- * the wall time of paper-sized budgets.
+ * Tuning turnaround (paper §III-C): the paper reports ~7h for a 10K
+ * budget and ~2d for 100K on a 24-context host; evaluation throughput
+ * bounds the whole methodology. This binary races the same A53 tuning
+ * task (fixed budget, fixed seed) down three paths and reports
+ * experiments/second of each:
+ *
+ *   pre-engine   every evaluation functionally re-executes the
+ *                benchmark (the seed repo's hot path),
+ *   engine/cold  the evaluation engine with empty caches: each
+ *                benchmark is recorded once, every evaluation is a
+ *                trace replay, batches are deduplicated,
+ *   engine/warm  the same engine again: the EvalCache serves the
+ *                whole race.
+ *
+ * The three paths produce bit-identical RaceResults (checked); the
+ * speedup is pure evaluation-engine machinery.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <optional>
+
 #include "bench/bench_common.hh"
 #include "common/log.hh"
-#include "validate/flow.hh"
+#include "core/inorder.hh"
+#include "engine/engine.hh"
+#include "tuner/race.hh"
+#include "ubench/ubench.hh"
+#include "validate/oracle.hh"
+#include "validate/sniper_space.hh"
+#include "vm/functional.hh"
 
 using namespace raceval;
 
 namespace
 {
 
-void
-BM_RacingExperiments(benchmark::State &state)
+/** The shared racing task: built once, raced by every path. */
+struct Task
 {
-    uint64_t budget = static_cast<uint64_t>(state.range(0));
-    uint64_t experiments = 0;
-    for (auto _ : state) {
-        validate::FlowOptions opts;
-        opts.budget = budget;
-        opts.threads = 0;
-        validate::ValidationFlow flow(false, opts);
-        validate::FlowReport report = flow.run();
-        experiments += report.race.experimentsUsed;
+    validate::SniperParamSpace sspace{false};
+    std::vector<isa::Program> programs;
+    std::unique_ptr<validate::HardwareOracle> oracle;
+    core::CoreParams base = core::publicInfoA53();
+    tuner::RacerOptions ropts;
+
+    Task()
+    {
+        oracle = std::make_unique<validate::HardwareOracle>(
+            hw::makeMachine(hw::secretA53(), false));
+        for (const auto &info : ubench::all())
+            programs.push_back(ubench::build(info));
+        // Pre-measure the board outside the timed region, exactly like
+        // the validation flow does before racing.
+        for (const isa::Program &prog : programs)
+            oracle->measure(prog);
+        ropts.maxExperiments = bench::budgetFromEnv(1200);
+        ropts.seed = 20190324;
     }
-    state.counters["experiments/s"] = benchmark::Counter(
-        static_cast<double>(experiments), benchmark::Counter::kIsRate);
-    state.counters["tunedErr%"] = 0.0; // filled by the last run below
+
+    double
+    cpiError(const core::CoreStats &sim, const isa::Program &prog)
+    {
+        double hw_cpi = oracle->measure(prog).cpi();
+        return hw_cpi > 0.0 ? std::abs(sim.cpi() - hw_cpi) / hw_cpi
+                            : 0.0;
+    }
+};
+
+Task &
+task()
+{
+    static Task instance;
+    return instance;
 }
 
-BENCHMARK(BM_RacingExperiments)
-    ->Arg(400)
-    ->Arg(1200)
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1);
+struct PathResult
+{
+    double seconds = 0.0;
+    uint64_t experiments = 0; //!< budget-consuming evaluations
+    std::optional<tuner::RaceResult> race;
+};
+
+PathResult preEngine, engineCold, engineWarm;
+/** Evaluation requests the race trajectory issues (same all paths). */
+uint64_t requestsPerRace = 0;
+std::unique_ptr<engine::EvalEngine> sharedEngine;
+engine::EngineStats finalEngineStats;
+
+std::unique_ptr<engine::EvalEngine>
+makeEngine()
+{
+    Task &t = task();
+    auto eng = std::make_unique<engine::EvalEngine>(false);
+    for (const isa::Program &prog : t.programs)
+        eng->addInstance(prog);
+    eng->setModelFn([&t](const tuner::Configuration &config) {
+        return t.sspace.apply(config, t.base);
+    });
+    eng->setCostFn(
+        [&t](const core::CoreStats &sim, size_t instance) {
+            return t.cpiError(sim, t.programs[instance]);
+        },
+        /*cost_tag=*/1);
+    return eng;
+}
+
+template <typename Fn>
+PathResult
+timedRace(Fn &&make_racer)
+{
+    PathResult out;
+    auto start = std::chrono::steady_clock::now();
+    tuner::RaceResult result = make_racer();
+    out.seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    out.experiments = result.experimentsUsed;
+    out.race = std::move(result);
+    return out;
+}
+
+void
+BM_PreEngineRacing(benchmark::State &state)
+{
+    Task &t = task();
+    tuner::CostFn live = [&t](const tuner::Configuration &config,
+                              size_t instance) {
+        core::CoreParams model = t.sspace.apply(config, t.base);
+        vm::FunctionalCore source(t.programs[instance]);
+        core::InOrderCore sim(model);
+        return t.cpiError(sim.run(source), t.programs[instance]);
+    };
+    for (auto _ : state) {
+        preEngine = timedRace([&] {
+            tuner::IteratedRacer racer(t.sspace.space(), live,
+                                       t.programs.size(), t.ropts);
+            racer.addInitialCandidate(t.sspace.encode(t.base));
+            return racer.run();
+        });
+    }
+    state.counters["experiments"] =
+        static_cast<double>(preEngine.experiments);
+    state.counters["s"] = preEngine.seconds;
+}
+
+void
+BM_EngineRacingCold(benchmark::State &state)
+{
+    Task &t = task();
+    for (auto _ : state) {
+        sharedEngine = makeEngine();
+        engineCold = timedRace([&] {
+            tuner::IteratedRacer racer(t.sspace.space(), *sharedEngine,
+                                       t.programs.size(), t.ropts);
+            racer.addInitialCandidate(t.sspace.encode(t.base));
+            return racer.run();
+        });
+        requestsPerRace = sharedEngine->stats().requests;
+    }
+    state.counters["experiments"] =
+        static_cast<double>(engineCold.experiments);
+    state.counters["s"] = engineCold.seconds;
+}
+
+void
+BM_EngineRacingWarm(benchmark::State &state)
+{
+    Task &t = task();
+    if (!sharedEngine)
+        sharedEngine = makeEngine(); // filtered run: warm == cold
+    for (auto _ : state) {
+        engineWarm = timedRace([&] {
+            tuner::IteratedRacer racer(t.sspace.space(), *sharedEngine,
+                                       t.programs.size(), t.ropts);
+            racer.addInitialCandidate(t.sspace.encode(t.base));
+            return racer.run();
+        });
+    }
+    finalEngineStats = sharedEngine->stats();
+    state.counters["s"] = engineWarm.seconds;
+}
+
+BENCHMARK(BM_PreEngineRacing)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(BM_EngineRacingCold)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(BM_EngineRacingWarm)->Unit(benchmark::kSecond)->Iterations(1);
+
+double
+rate(const PathResult &path)
+{
+    return path.seconds > 0.0
+        ? static_cast<double>(requestsPerRace) / path.seconds : 0.0;
+}
+
+bool
+sameRace(const tuner::RaceResult &a, const tuner::RaceResult &b)
+{
+    return a.best == b.best && a.bestMeanCost == b.bestMeanCost
+        && a.bestCosts == b.bestCosts
+        && a.experimentsUsed == b.experimentsUsed
+        && a.iterations == b.iterations;
+}
+
+void
+report()
+{
+    if (!preEngine.race || !engineCold.race || !engineWarm.race)
+        return; // filtered run; gbench output already printed
+
+    bool identical = sameRace(*preEngine.race, *engineCold.race)
+        && sameRace(*engineCold.race, *engineWarm.race);
+
+    std::printf("\n=== racing throughput: %llu-experiment A53 task, "
+                "%llu evaluation requests per race ===\n",
+                static_cast<unsigned long long>(preEngine.experiments),
+                static_cast<unsigned long long>(requestsPerRace));
+    std::printf("%-14s %10s %16s %10s\n", "path", "seconds",
+                "experiments/s", "speedup");
+    std::printf("%-14s %10.2f %16.0f %9.2fx\n", "pre-engine",
+                preEngine.seconds, rate(preEngine), 1.0);
+    std::printf("%-14s %10.2f %16.0f %9.2fx\n", "engine/cold",
+                engineCold.seconds, rate(engineCold),
+                preEngine.seconds / engineCold.seconds);
+    std::printf("%-14s %10.2f %16.0f %9.2fx\n", "engine/warm",
+                engineWarm.seconds, rate(engineWarm),
+                preEngine.seconds / engineWarm.seconds);
+    std::printf("RaceResults bit-identical across paths: %s\n",
+                identical ? "yes" : "NO (BUG)");
+    bench::printEngineStats(finalEngineStats);
+    std::printf("\npaper scale: 10K trials ~= 7 hours, 100K ~= 2 days "
+                "on 24 threads; scale the experiments/s column to "
+                "project this host.\n");
+
+    bench::jsonMetric("experiments", double(preEngine.experiments));
+    bench::jsonMetric("requests_per_race", double(requestsPerRace));
+    bench::jsonMetric("pre_engine_seconds", preEngine.seconds);
+    bench::jsonMetric("engine_cold_seconds", engineCold.seconds);
+    bench::jsonMetric("engine_warm_seconds", engineWarm.seconds);
+    bench::jsonMetric("pre_engine_exp_per_s", rate(preEngine));
+    bench::jsonMetric("engine_cold_exp_per_s", rate(engineCold));
+    bench::jsonMetric("engine_warm_exp_per_s", rate(engineWarm));
+    bench::jsonMetric("cold_speedup",
+                      preEngine.seconds / engineCold.seconds);
+    bench::jsonMetric("warm_speedup",
+                      preEngine.seconds / engineWarm.seconds);
+    bench::jsonMetric("bit_identical", identical ? 1.0 : 0.0);
+}
 
 } // namespace
 
@@ -47,11 +256,13 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    bench::rewriteSmokeFlag(argc, argv);
+    bench::parseGbenchArgs(argc, argv,
+                           "Racing throughput: pre-engine live "
+                           "execution vs the trace-replay evaluation "
+                           "engine (cold and warm cache).");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    std::printf("\npaper scale: 10K trials ~= 7 hours, 100K ~= 2 days "
-                "on 24 threads; scale the experiments/s counter to "
-                "project this host.\n");
+    report();
+    bench::writeJson(&finalEngineStats);
     return 0;
 }

@@ -4,13 +4,16 @@
  * benchmark's dynamic stream to a trace file with the functional
  * front-end ("on the ARM board"), then replay it into two different
  * core configurations ("on the x86 simulation servers") without
- * re-executing the program.
+ * re-executing the program. The second half shows the same discipline
+ * through the evaluation engine: an EvalEngine records each instance
+ * once and serves every (model, instance) request as a cached replay.
  */
 
 #include <cstdio>
 #include <string_view>
 
 #include "core/inorder.hh"
+#include "engine/engine.hh"
 #include "sift/sift.hh"
 #include "ubench/ubench.hh"
 #include "vm/functional.hh"
@@ -52,5 +55,17 @@ main(int argc, char **argv)
                     stats.cpi());
     }
     std::remove("cch.sift");
+
+    // The same workflow, managed: the engine's TraceBank records each
+    // registered instance once; evaluateModel() replays and caches.
+    engine::EvalEngine eng(/*out_of_order=*/false);
+    size_t instance = eng.addInstance(prog);
+    for (unsigned penalty : {4u, 12u, 4u /* cache hit */}) {
+        core::CoreParams p = core::publicInfoA53();
+        p.mispredictPenalty = penalty;
+        std::printf("engine: penalty %2u -> CPI %.3f\n", penalty,
+                    eng.evaluateModel(p, instance).simCpi);
+    }
+    std::printf("%s\n", eng.stats().summary().c_str());
     return 0;
 }

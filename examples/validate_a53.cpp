@@ -49,5 +49,6 @@ main(int argc, char **argv)
     std::printf("\ntuned configuration:\n  %s\n",
                 flow.paramSpace().space()
                     .describe(report.race.best).c_str());
+    std::printf("\n%s\n", report.engineStats.summary().c_str());
     return 0;
 }

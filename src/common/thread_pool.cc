@@ -1,5 +1,6 @@
 #include "common/thread_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 
 namespace raceval
@@ -73,17 +74,25 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
 {
     if (n == 0)
         return;
+    // One closure per worker, each grabbing chunks of indices off a
+    // shared counter. Chunking amortizes the atomic (and the
+    // std::function indirection) over many indices when n >> threads,
+    // while ~4 chunks per worker keeps the tail balanced when per-index
+    // cost varies.
+    size_t chunk = std::max<size_t>(1, n / (4 * workers.size()));
     auto counter = std::make_shared<std::atomic<size_t>>(0);
     size_t num_tasks = std::min(n, workers.size());
     std::vector<std::function<void()>> tasks;
     tasks.reserve(num_tasks);
     for (size_t t = 0; t < num_tasks; ++t) {
-        tasks.emplace_back([counter, n, &body] {
+        tasks.emplace_back([counter, n, chunk, &body] {
             for (;;) {
-                size_t i = counter->fetch_add(1);
-                if (i >= n)
+                size_t begin = counter->fetch_add(chunk);
+                if (begin >= n)
                     return;
-                body(i);
+                size_t end = std::min(n, begin + chunk);
+                for (size_t i = begin; i < end; ++i)
+                    body(i);
             }
         });
     }

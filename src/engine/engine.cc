@@ -1,0 +1,384 @@
+#include "engine/engine.hh"
+
+#include <chrono>
+
+#include "common/log.hh"
+#include "core/inorder.hh"
+#include "core/ooo.hh"
+
+namespace raceval::engine
+{
+
+namespace
+{
+
+uint64_t
+mixedKey(const EvalKey &key)
+{
+    return Fingerprinter::mix64(key.model
+                                ^ Fingerprinter::mix64(key.instance));
+}
+
+} // namespace
+
+// ----------------------------------------------------------- EngineStats
+
+std::string
+EngineStats::summary() const
+{
+    std::string out;
+    out += strprintf(
+        "engine: %llu instances, %llu recorded (%llu insts; "
+        "%llu resident / %llu spilled; %.1f MiB events, %.1f MiB sift)\n",
+        static_cast<unsigned long long>(bank.instances),
+        static_cast<unsigned long long>(bank.recordings),
+        static_cast<unsigned long long>(bank.recordedInsts),
+        static_cast<unsigned long long>(bank.residentTraces),
+        static_cast<unsigned long long>(bank.spilledTraces),
+        static_cast<double>(bank.residentBytes) / (1024.0 * 1024.0),
+        static_cast<double>(bank.encodedBytes) / (1024.0 * 1024.0));
+    out += strprintf(
+        "        cache: %llu hits / %llu misses (%.1f%% hit rate), "
+        "%llu entries, %llu evictions\n",
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        100.0 * cache.hitRate(),
+        static_cast<unsigned long long>(cache.entries),
+        static_cast<unsigned long long>(cache.evictions));
+    out += strprintf(
+        "        %llu requests -> %llu fresh evals (%llu replays) in "
+        "%.2f s = %.0f experiments/s; %llu batches "
+        "(%llu submitted, %llu deduplicated)",
+        static_cast<unsigned long long>(requests),
+        static_cast<unsigned long long>(evaluations),
+        static_cast<unsigned long long>(bank.replays),
+        evalSeconds, experimentsPerSecond(),
+        static_cast<unsigned long long>(batches),
+        static_cast<unsigned long long>(batchSubmissions),
+        static_cast<unsigned long long>(batchDeduplicated));
+    return out;
+}
+
+std::string
+EngineStats::json() const
+{
+    return strprintf(
+        "{\"instances\": %llu, \"recordings\": %llu, "
+        "\"recorded_insts\": %llu, \"resident_traces\": %llu, "
+        "\"spilled_traces\": %llu, \"replays\": %llu, "
+        "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+        "\"cache_hit_rate\": %.4f, \"cache_entries\": %llu, "
+        "\"cache_evictions\": %llu, \"requests\": %llu, "
+        "\"fresh_evals\": %llu, \"eval_seconds\": %.4f, "
+        "\"experiments_per_s\": %.1f, \"batches\": %llu, "
+        "\"batch_submitted\": %llu, \"batch_deduplicated\": %llu}",
+        static_cast<unsigned long long>(bank.instances),
+        static_cast<unsigned long long>(bank.recordings),
+        static_cast<unsigned long long>(bank.recordedInsts),
+        static_cast<unsigned long long>(bank.residentTraces),
+        static_cast<unsigned long long>(bank.spilledTraces),
+        static_cast<unsigned long long>(bank.replays),
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        cache.hitRate(),
+        static_cast<unsigned long long>(cache.entries),
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(requests),
+        static_cast<unsigned long long>(evaluations),
+        evalSeconds, experimentsPerSecond(),
+        static_cast<unsigned long long>(batches),
+        static_cast<unsigned long long>(batchSubmissions),
+        static_cast<unsigned long long>(batchDeduplicated));
+}
+
+// ------------------------------------------------------------ EvalEngine
+
+EvalEngine::EvalEngine(bool out_of_order, EngineOptions options)
+    : ooo(out_of_order), opts(options),
+      bank(options.memoryResidentMaxInsts),
+      cache(options.cacheShards, options.cacheMaxEntriesPerShard),
+      pool(options.threads)
+{
+}
+
+size_t
+EvalEngine::addInstance(const isa::Program &program)
+{
+    uint64_t program_fp = fingerprint(program);
+    size_t id = bank.add(program);
+
+    // Resolve any warm-start entries that were waiting for this
+    // program to be registered.
+    std::lock_guard<std::mutex> lock(pendingMutex);
+    auto it = pendingWarmStart.find(program_fp);
+    if (it != pendingWarmStart.end()) {
+        for (const auto &[model, value] : it->second)
+            cache.insert(EvalKey{model, id}, value);
+        pendingWarmStart.erase(it);
+    }
+    return id;
+}
+
+EvalKey
+EvalEngine::modelKey(const core::CoreParams &model, size_t instance) const
+{
+    // One key family for everything: raced configurations are
+    // materialized first and keyed by model content, so racing, error
+    // reports and perturbation sweeps all share cache entries. The
+    // cost tag keeps different metrics apart.
+    return EvalKey{Fingerprinter::mix64(fingerprint(model)
+                       ^ Fingerprinter::mix64(costTag)),
+                   instance};
+}
+
+core::CoreParams
+EvalEngine::materialize(const tuner::Configuration &config) const
+{
+    RV_ASSERT(modelFn != nullptr,
+              "engine: configuration evaluation without a model fn");
+    return modelFn(config);
+}
+
+core::CoreStats
+EvalEngine::replayRun(const core::CoreParams &model, size_t instance)
+{
+    std::unique_ptr<vm::TraceSource> source = bank.open(instance);
+    if (ooo) {
+        core::OooCore sim(model);
+        return sim.run(*source);
+    }
+    core::InOrderCore sim(model);
+    return sim.run(*source);
+}
+
+EvalValue
+EvalEngine::computeFresh(const core::CoreParams &model, size_t instance)
+{
+    core::CoreStats run = replayRun(model, instance);
+    EvalValue value;
+    value.simCpi = run.cpi();
+    value.cost = costFn ? costFn(run, instance) : value.simCpi;
+    ++evaluations;
+    return value;
+}
+
+void
+EvalEngine::chargeWall(std::chrono::steady_clock::time_point start)
+{
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    evalNanos += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+}
+
+double
+EvalEngine::evaluate(const tuner::Configuration &config, size_t instance)
+{
+    return evaluateModel(materialize(config), instance).cost;
+}
+
+EvalValue
+EvalEngine::evaluateModel(const core::CoreParams &model, size_t instance)
+{
+    ++requests;
+    EvalKey key = modelKey(model, instance);
+    EvalValue value;
+    if (cache.lookup(key, value))
+        return value;
+    auto start = std::chrono::steady_clock::now();
+    value = computeFresh(model, instance);
+    chargeWall(start);
+    cache.insert(key, value);
+    return value;
+}
+
+bool
+EvalEngine::isCached(const tuner::Configuration &config,
+                     size_t instance) const
+{
+    return cache.contains(modelKey(materialize(config), instance));
+}
+
+std::vector<double>
+EvalEngine::evaluateMany(const std::vector<tuner::EvalPair> &pairs)
+{
+    BatchEvaluator batch(*this);
+    std::vector<BatchEvaluator::Ticket> tickets;
+    tickets.reserve(pairs.size());
+    for (const auto &[config, instance] : pairs)
+        tickets.push_back(batch.submit(config, instance));
+    batch.collect();
+    std::vector<double> costs;
+    costs.reserve(pairs.size());
+    for (BatchEvaluator::Ticket ticket : tickets)
+        costs.push_back(batch.cost(ticket));
+    return costs;
+}
+
+namespace
+{
+
+/** Persisted-cache compatibility stamp: in-order and OoO runs of the
+ *  same model never share results. */
+uint64_t
+persistDigest(bool ooo)
+{
+    return Fingerprinter().mix(uint64_t{0x524e47ull}).mix(ooo).value();
+}
+
+} // namespace
+
+size_t
+EvalEngine::saveCache(const std::string &path) const
+{
+    // Translate the instance half of each key from the bank-local id
+    // to the program's content fingerprint before writing, so the
+    // file is valid for any future run that registers the same
+    // programs -- in any order, with any extras. Still-pending
+    // warm-start entries (programs this run never registered) are
+    // written back untouched rather than dropped.
+    EvalCache on_disk(1);
+    for (const auto &[key, value] : cache.entries()) {
+        on_disk.insert(
+            EvalKey{key.model, fingerprint(bank.program(key.instance))},
+            value);
+    }
+    {
+        std::lock_guard<std::mutex> lock(pendingMutex);
+        for (const auto &[program_fp, entries] : pendingWarmStart) {
+            for (const auto &[model, value] : entries)
+                on_disk.insert(EvalKey{model, program_fp}, value);
+        }
+    }
+    return on_disk.save(path, persistDigest(ooo));
+}
+
+size_t
+EvalEngine::loadCache(const std::string &path)
+{
+    EvalCache from_disk(1);
+    bool compatible = true;
+    if (from_disk.load(path, persistDigest(ooo), &compatible) == 0) {
+        warmRefused = !compatible;
+        return 0;
+    }
+
+    // Index registered programs by fingerprint; resolve what we can
+    // now, park the rest until addInstance() registers their program.
+    std::unordered_map<uint64_t, size_t> registered;
+    for (size_t id = 0; id < bank.size(); ++id)
+        registered.emplace(fingerprint(bank.program(id)), id);
+
+    size_t accepted = 0;
+    std::lock_guard<std::mutex> lock(pendingMutex);
+    for (const auto &[key, value] : from_disk.entries()) {
+        auto it = registered.find(key.instance);
+        if (it != registered.end())
+            cache.insert(EvalKey{key.model, it->second}, value);
+        else
+            pendingWarmStart[key.instance].emplace_back(key.model,
+                                                        value);
+        ++accepted;
+    }
+    return accepted;
+}
+
+EngineStats
+EvalEngine::stats() const
+{
+    EngineStats out;
+    out.bank = bank.stats();
+    out.cache = cache.stats();
+    out.requests = requests.load();
+    out.evaluations = evaluations.load();
+    out.batches = batches.load();
+    out.batchSubmissions = batchSubmissions.load();
+    out.batchDeduplicated = batchDeduplicated.load();
+    out.evalSeconds = static_cast<double>(evalNanos.load()) / 1e9;
+    return out;
+}
+
+// -------------------------------------------------------- BatchEvaluator
+
+BatchEvaluator::BatchEvaluator(EvalEngine &engine_) : engine(engine_) {}
+
+BatchEvaluator::Ticket
+BatchEvaluator::submit(const tuner::Configuration &config, size_t instance)
+{
+    return submitModel(engine.materialize(config), instance);
+}
+
+BatchEvaluator::Ticket
+BatchEvaluator::submitModel(const core::CoreParams &model, size_t instance)
+{
+    ++engine.requests;
+    ++engine.batchSubmissions;
+    EvalKey key = engine.modelKey(model, instance);
+    uint64_t mixed = mixedKey(key);
+    auto it = slotIndex.find(mixed);
+    if (it != slotIndex.end()) {
+        ++engine.batchDeduplicated;
+        tickets.push_back(it->second);
+        return tickets.size() - 1;
+    }
+
+    Slot slot;
+    slot.key = key;
+    slot.instance = instance;
+    if (engine.cache.lookup(key, slot.value))
+        slot.served = true;
+    else
+        slot.model = model;
+    slotIndex.emplace(mixed, slots.size());
+    slots.push_back(std::move(slot));
+    collected = false;
+    tickets.push_back(slots.size() - 1);
+    return tickets.size() - 1;
+}
+
+void
+BatchEvaluator::collect()
+{
+    if (collected)
+        return;
+    std::vector<size_t> fresh;
+    for (size_t s = 0; s < slots.size(); ++s) {
+        if (!slots[s].served)
+            fresh.push_back(s);
+    }
+    if (!fresh.empty()) {
+        // One wall-clock charge for the whole parallel wave, so
+        // experimentsPerSecond() reports real throughput rather than
+        // summed per-thread time.
+        auto start = std::chrono::steady_clock::now();
+        engine.pool.parallelFor(fresh.size(), [&](size_t k) {
+            Slot &slot = slots[fresh[k]];
+            slot.value = engine.computeFresh(slot.model, slot.instance);
+            engine.cache.insert(slot.key, slot.value);
+            slot.served = true;
+        });
+        engine.chargeWall(start);
+    }
+    ++engine.batches;
+    collected = true;
+}
+
+double
+BatchEvaluator::cost(Ticket ticket) const
+{
+    RV_ASSERT(ticket < tickets.size(), "batch: bad ticket %zu", ticket);
+    const Slot &slot = slots[tickets[ticket]];
+    RV_ASSERT(slot.served, "batch: result read before collect()");
+    return slot.value.cost;
+}
+
+double
+BatchEvaluator::simCpi(Ticket ticket) const
+{
+    RV_ASSERT(ticket < tickets.size(), "batch: bad ticket %zu", ticket);
+    const Slot &slot = slots[tickets[ticket]];
+    RV_ASSERT(slot.served, "batch: result read before collect()");
+    return slot.value.simCpi;
+}
+
+} // namespace raceval::engine

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * The batched, cached, trace-replay evaluation engine -- the service
+ * every consumer of simulation results goes through.
+ *
+ * The paper's methodology is bounded by evaluation throughput
+ * (10K-100K (configuration, instance) experiments per racing run,
+ * paper §III-C). The engine attacks that hot path with the
+ * record-once/replay-many discipline:
+ *
+ *   - a TraceBank functionally executes each benchmark exactly once
+ *     and memoizes the dynamic instruction stream, so every candidate
+ *     evaluation is a pure trace replay into a timing model;
+ *   - a sharded EvalCache keyed by content fingerprints makes repeated
+ *     and near-identical evaluations (elite re-races, perturbation
+ *     sweeps) free, and can persist across runs;
+ *   - a BatchEvaluator executes a whole racing step as one
+ *     deduplicated batch over the thread pool;
+ *   - EngineStats reports the resulting experiments/s to the drivers.
+ */
+
+#ifndef RACEVAL_ENGINE_ENGINE_HH
+#define RACEVAL_ENGINE_ENGINE_HH
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/params.hh"
+#include "core/stats.hh"
+#include "engine/eval_cache.hh"
+#include "engine/trace_bank.hh"
+#include "tuner/evaluator.hh"
+
+namespace raceval::engine
+{
+
+/** Engine construction knobs. */
+struct EngineOptions
+{
+    /** Worker threads for batch evaluation (0 = hardware). */
+    unsigned threads = 0;
+    /** Traces above this instruction count stay sift-encoded only. */
+    uint64_t memoryResidentMaxInsts = 1ull << 20;
+    /** EvalCache lock shards. */
+    size_t cacheShards = 8;
+    /** Per-shard entry cap (0 = unbounded). */
+    size_t cacheMaxEntriesPerShard = 0;
+};
+
+/** Aggregate engine report, surfaced by the drivers. */
+struct EngineStats
+{
+    TraceBankStats bank;
+    EvalCacheStats cache;
+    uint64_t requests = 0;    //!< evaluation requests served
+    uint64_t evaluations = 0; //!< fresh simulations actually run
+    uint64_t batches = 0;     //!< collected batches
+    uint64_t batchSubmissions = 0; //!< tickets submitted to batches
+    uint64_t batchDeduplicated = 0; //!< tickets folded into another
+    /** Wall time spent evaluating: each batch wave charges its wall
+     *  clock once, however many workers ran it. */
+    double evalSeconds = 0.0;
+
+    /** @return fresh simulations per second of evaluation wall time. */
+    double
+    experimentsPerSecond() const
+    {
+        return evalSeconds > 0.0
+            ? static_cast<double>(evaluations) / evalSeconds : 0.0;
+    }
+
+    /** Multi-line human-readable report. */
+    std::string summary() const;
+
+    /** JSON object (for the --json bench blobs). */
+    std::string json() const;
+};
+
+/**
+ * Cost metric over one simulated run.
+ *
+ * @param stats timing-model output for (model, instance).
+ * @param instance the bank instance id that was replayed.
+ * @return the objective value; must be deterministic and thread-safe.
+ */
+using SimCostFn = std::function<double(const core::CoreStats &stats,
+                                       size_t instance)>;
+
+/** config -> model materializer (e.g. SniperParamSpace::apply). */
+using ModelFn =
+    std::function<core::CoreParams(const tuner::Configuration &config)>;
+
+class BatchEvaluator;
+
+/**
+ * The evaluation engine.
+ *
+ * Implements tuner::CostEvaluator, so an IteratedRacer wired to the
+ * engine races entirely on cached trace replays. Also serves raw
+ * model evaluations (evaluateModel) for the validation flow's error
+ * reports and the perturbation sweeps.
+ *
+ * Thread-safety: evaluate()/evaluateModel()/batches may be used from
+ * multiple threads; the cost and model functions must be thread-safe.
+ */
+class EvalEngine : public tuner::CostEvaluator
+{
+  public:
+    /**
+     * @param out_of_order replay into the OoO (A72-class) model rather
+     *        than the in-order (A53-class) model.
+     * @param options engine knobs.
+     */
+    explicit EvalEngine(bool out_of_order, EngineOptions options = {});
+
+    /**
+     * Register a benchmark instance (deduplicated by content).
+     *
+     * @return the instance id used in every evaluation call.
+     */
+    size_t addInstance(const isa::Program &program);
+
+    /** @return registered instance count. */
+    size_t numInstances() const { return bank.size(); }
+
+    /**
+     * Set the configuration materializer. Required before any
+     * Configuration-keyed evaluation.
+     */
+    void setModelFn(ModelFn fn) { modelFn = std::move(fn); }
+
+    /**
+     * Set the cost metric.
+     *
+     * @param fn the metric; when unset, cost = simulated CPI.
+     * @param cost_tag salt folded into every cache key so results from
+     *        different metrics never alias (e.g. the CostKind).
+     */
+    void
+    setCostFn(SimCostFn fn, uint64_t cost_tag)
+    {
+        costFn = std::move(fn);
+        costTag = cost_tag;
+    }
+
+    /// @name Evaluation
+    /// @{
+
+    /** Evaluate a raced configuration on an instance: materialized
+     *  through the model fn, then cached by model content -- racing,
+     *  error reports and perturbation sweeps share entries. */
+    double evaluate(const tuner::Configuration &config, size_t instance);
+
+    /** Evaluate a raw model on an instance (cache-aware). */
+    EvalValue evaluateModel(const core::CoreParams &model,
+                            size_t instance);
+
+    /** Replay an instance into a model, bypassing the cache. */
+    core::CoreStats replayRun(const core::CoreParams &model,
+                              size_t instance);
+
+    /** @return true when the pair is already in the EvalCache. */
+    bool isCached(const tuner::Configuration &config,
+                  size_t instance) const;
+
+    // tuner::CostEvaluator: the racing hot path.
+    std::vector<double>
+    evaluateMany(const std::vector<tuner::EvalPair> &pairs) override;
+
+    /// @}
+
+    /// @name Cache persistence
+    /// @{
+    /**
+     * Persist the EvalCache. On disk the instance half of every key
+     * is the *program fingerprint* rather than the bank-local id, so
+     * files survive instance registration order and count changing
+     * between runs.
+     *
+     * @return entries written (0 on I/O failure -- a warm-start file
+     *         is a hint, failure to write one never kills a run).
+     */
+    size_t saveCache(const std::string &path) const;
+
+    /**
+     * Load a previously saved cache. Entries whose program is already
+     * registered resolve immediately; the rest stay pending and
+     * resolve when addInstance() registers their program. Files saved
+     * by an engine of the other model kind are refused.
+     *
+     * @return entries accepted (resolved + pending).
+     */
+    size_t loadCache(const std::string &path);
+
+    /** @return true when loadCache() found a file belonging to a
+     *  differently-shaped engine -- do not saveCache() over it. */
+    bool warmStartRefused() const { return warmRefused; }
+    /// @}
+
+    TraceBank &traceBank() { return bank; }
+    EvalCache &evalCache() { return cache; }
+    ThreadPool &threadPool() { return pool; }
+
+    EngineStats stats() const;
+
+  private:
+    friend class BatchEvaluator;
+
+    EvalKey modelKey(const core::CoreParams &model,
+                     size_t instance) const;
+    /** Apply the model fn (asserts one is set). */
+    core::CoreParams materialize(const tuner::Configuration &config)
+        const;
+    /** Record-replay-score one experiment (the only place timing
+     *  models run). */
+    EvalValue computeFresh(const core::CoreParams &model,
+                           size_t instance);
+    /** Add wall time since @p start to the evaluation clock. */
+    void chargeWall(std::chrono::steady_clock::time_point start);
+
+    bool ooo;
+    EngineOptions opts;
+    TraceBank bank;
+    EvalCache cache;
+    ThreadPool pool;
+    ModelFn modelFn;
+    SimCostFn costFn;
+    uint64_t costTag = 0;
+
+    /** Loaded warm-start entries whose instance is not registered
+     *  yet: program fingerprint -> [(model key half, value)]. */
+    mutable std::mutex pendingMutex;
+    std::unordered_map<uint64_t,
+                       std::vector<std::pair<uint64_t, EvalValue>>>
+        pendingWarmStart;
+    bool warmRefused = false;
+
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> evaluations{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> batchSubmissions{0};
+    std::atomic<uint64_t> batchDeduplicated{0};
+    std::atomic<uint64_t> evalNanos{0};
+};
+
+/**
+ * Asynchronous submit/collect over the engine.
+ *
+ * submit() is cheap and deduplicating: identical keys in one batch
+ * share a single slot (and a single simulation). collect() runs every
+ * fresh slot over the engine's thread pool as one parallel wave and
+ * fills the cache; afterwards cost()/simCpi() answer by ticket.
+ */
+class BatchEvaluator
+{
+  public:
+    using Ticket = size_t;
+
+    explicit BatchEvaluator(EvalEngine &engine);
+
+    /** Queue a raced configuration; @return the result ticket. */
+    Ticket submit(const tuner::Configuration &config, size_t instance);
+
+    /** Queue a raw model; @return the result ticket. */
+    Ticket submitModel(const core::CoreParams &model, size_t instance);
+
+    /** Evaluate every pending slot; idempotent. */
+    void collect();
+
+    /** @return objective for a ticket (collect() must have run). */
+    double cost(Ticket ticket) const;
+
+    /** @return simulated CPI for a ticket (collect() must have run). */
+    double simCpi(Ticket ticket) const;
+
+    /** @return tickets submitted so far. */
+    size_t submitted() const { return tickets.size(); }
+
+    /** @return unique experiments the batch will/did run. */
+    size_t uniqueSlots() const { return slots.size(); }
+
+  private:
+    struct Slot
+    {
+        EvalKey key;
+        size_t instance;
+        core::CoreParams model; //!< unused once served
+        EvalValue value;
+        bool served = false; //!< filled from cache at submit time
+    };
+
+    EvalEngine &engine;
+    std::vector<size_t> tickets; //!< ticket -> slot index
+    std::vector<Slot> slots;
+    std::unordered_map<uint64_t, size_t> slotIndex; //!< mixed key -> slot
+    bool collected = false;
+};
+
+} // namespace raceval::engine
+
+#endif // RACEVAL_ENGINE_ENGINE_HH

@@ -1,0 +1,222 @@
+#include "engine/eval_cache.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace raceval::engine
+{
+
+namespace
+{
+
+/** On-disk header: magic + entry count. */
+const char cacheMagic[8] = {'R', 'V', 'E', 'C', 'A', 'C', 'H', '2'};
+
+/** One on-disk record (fixed little-endian layout on every target we
+ *  build for; the cache file is a warm-start hint, not an archive). */
+struct DiskEntry
+{
+    uint64_t model;
+    uint64_t instance;
+    double cost;
+    double simCpi;
+};
+
+} // namespace
+
+EvalCache::EvalCache(size_t num_shards, size_t max_entries_per_shard)
+    : maxPerShard(max_entries_per_shard)
+{
+    if (num_shards == 0)
+        num_shards = 1;
+    shards.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i)
+        shards.push_back(std::make_unique<Shard>());
+}
+
+EvalCache::Shard &
+EvalCache::shardFor(const EvalKey &key)
+{
+    KeyHash hash;
+    return *shards[hash(key) % shards.size()];
+}
+
+const EvalCache::Shard &
+EvalCache::shardFor(const EvalKey &key) const
+{
+    KeyHash hash;
+    return *shards[hash(key) % shards.size()];
+}
+
+bool
+EvalCache::lookup(const EvalKey &key, EvalValue &out)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        ++shard.misses;
+        return false;
+    }
+    ++shard.hits;
+    out = it->second;
+    return true;
+}
+
+bool
+EvalCache::contains(const EvalKey &key) const
+{
+    const Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.map.count(key) != 0;
+}
+
+void
+EvalCache::insert(const EvalKey &key, const EvalValue &value)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (maxPerShard && shard.map.size() >= maxPerShard
+        && !shard.map.count(key)) {
+        // Epoch eviction: drop an arbitrary quarter to make room for
+        // the next epoch of inserts without per-hit bookkeeping.
+        size_t target = maxPerShard - maxPerShard / 4;
+        while (shard.map.size() >= target) {
+            shard.map.erase(shard.map.begin());
+            ++shard.evictions;
+        }
+    }
+    if (shard.map.emplace(key, value).second)
+        ++shard.insertions;
+}
+
+void
+EvalCache::clear()
+{
+    for (auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->map.clear();
+    }
+}
+
+std::vector<std::pair<EvalKey, EvalValue>>
+EvalCache::entries() const
+{
+    std::vector<std::pair<EvalKey, EvalValue>> out;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        out.insert(out.end(), shard->map.begin(), shard->map.end());
+    }
+    return out;
+}
+
+size_t
+EvalCache::size() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->map.size();
+    }
+    return total;
+}
+
+EvalCacheStats
+EvalCache::stats() const
+{
+    EvalCacheStats out;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        out.hits += shard->hits;
+        out.misses += shard->misses;
+        out.insertions += shard->insertions;
+        out.evictions += shard->evictions;
+        out.entries += shard->map.size();
+    }
+    return out;
+}
+
+size_t
+EvalCache::save(const std::string &path, uint64_t digest) const
+{
+    std::vector<DiskEntry> records;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[key, value] : shard->map) {
+            records.push_back(DiskEntry{key.model, key.instance,
+                                        value.cost, value.simCpi});
+        }
+    }
+
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file) {
+        warn("eval cache: cannot open '%s' for writing, not saving",
+             path.c_str());
+        return 0;
+    }
+    uint64_t count = records.size();
+    bool ok = std::fwrite(cacheMagic, 1, sizeof(cacheMagic), file)
+            == sizeof(cacheMagic)
+        && std::fwrite(&digest, sizeof(digest), 1, file) == 1
+        && std::fwrite(&count, sizeof(count), 1, file) == 1
+        && (records.empty()
+            || std::fwrite(records.data(), sizeof(DiskEntry),
+                           records.size(), file) == records.size());
+    std::fclose(file);
+    if (!ok) {
+        warn("eval cache: short write to '%s'", path.c_str());
+        return 0;
+    }
+    return records.size();
+}
+
+size_t
+EvalCache::load(const std::string &path, uint64_t digest,
+                bool *compatible)
+{
+    if (compatible)
+        *compatible = true;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return 0; // cold start
+    char magic[sizeof(cacheMagic)];
+    uint64_t file_digest = 0;
+    uint64_t count = 0;
+    if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic)
+        || std::memcmp(magic, cacheMagic, sizeof(magic)) != 0
+        || std::fread(&file_digest, sizeof(file_digest), 1, file) != 1
+        || std::fread(&count, sizeof(count), 1, file) != 1) {
+        std::fclose(file);
+        warn("eval cache: '%s' is not a cache file, ignoring",
+             path.c_str());
+        if (compatible)
+            *compatible = false;
+        return 0;
+    }
+    if (file_digest != digest) {
+        std::fclose(file);
+        warn("eval cache: '%s' was saved by a differently-shaped "
+             "engine (digest mismatch), ignoring", path.c_str());
+        if (compatible)
+            *compatible = false;
+        return 0;
+    }
+    size_t loaded = 0;
+    DiskEntry record;
+    for (uint64_t i = 0; i < count; ++i) {
+        if (std::fread(&record, sizeof(record), 1, file) != 1) {
+            warn("eval cache: '%s' truncated after %zu entries",
+                 path.c_str(), loaded);
+            break;
+        }
+        insert(EvalKey{record.model, record.instance},
+               EvalValue{record.cost, record.simCpi});
+        ++loaded;
+    }
+    std::fclose(file);
+    return loaded;
+}
+
+} // namespace raceval::engine

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Sharded, thread-safe cache of evaluation results, keyed by content
+ * fingerprints of (model, instance).
+ *
+ * The racing loop and the perturbation sweeps re-evaluate
+ * near-identical configurations constantly (elites re-race every
+ * iteration, Figs. 7/8 probe one step around the optimum); the cache
+ * turns every repeat into a lookup. Optional save/load to disk lets
+ * repeated runs start warm.
+ */
+
+#ifndef RACEVAL_ENGINE_EVAL_CACHE_HH
+#define RACEVAL_ENGINE_EVAL_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/fingerprint.hh"
+
+namespace raceval::engine
+{
+
+/** Cache key: content fingerprint of the model side plus instance id. */
+struct EvalKey
+{
+    uint64_t model = 0;    //!< configuration/model fingerprint (salted)
+    uint64_t instance = 0; //!< benchmark instance id
+
+    bool operator==(const EvalKey &) const = default;
+};
+
+/** What one evaluation produced. */
+struct EvalValue
+{
+    double cost = 0.0;   //!< the objective (cost-function output)
+    double simCpi = 0.0; //!< simulated CPI (for error reports)
+};
+
+/** Aggregate cache counters. */
+struct EvalCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0; //!< current resident entries
+
+    /** @return hits / (hits + misses), 0 when empty. */
+    double
+    hitRate() const
+    {
+        uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits)
+            / static_cast<double>(total) : 0.0;
+    }
+};
+
+/**
+ * The sharded result cache.
+ *
+ * Shard count is fixed at construction; keys map to shards by mixed
+ * fingerprint, so concurrent workers contend only when they touch the
+ * same shard. When a per-shard capacity is set, inserts that overflow
+ * evict an arbitrary quarter of the shard (epoch eviction: cheap, no
+ * LRU bookkeeping on the hit path).
+ */
+class EvalCache
+{
+  public:
+    /**
+     * @param num_shards lock shards (rounded up to at least 1).
+     * @param max_entries_per_shard 0 = unbounded.
+     */
+    explicit EvalCache(size_t num_shards = 8,
+                       size_t max_entries_per_shard = 0);
+
+    /** Look up a key; counts a hit or a miss. */
+    bool lookup(const EvalKey &key, EvalValue &out);
+
+    /** @return true when present (no counter side effects). */
+    bool contains(const EvalKey &key) const;
+
+    /** Insert (first write wins; re-inserts of a present key are
+     *  no-ops, keeping deterministic first-result semantics). */
+    void insert(const EvalKey &key, const EvalValue &value);
+
+    /** Drop every entry (counters survive). */
+    void clear();
+
+    /** @return current entry count. */
+    size_t size() const;
+
+    /** @return a copy of every (key, value) pair. */
+    std::vector<std::pair<EvalKey, EvalValue>> entries() const;
+
+    EvalCacheStats stats() const;
+
+    /**
+     * Persist every entry to a binary file.
+     *
+     * The cache file is a warm-start hint, not an archive: an
+     * unwritable path warns and writes nothing rather than killing a
+     * finished run.
+     *
+     * @param digest caller-provided compatibility stamp (the engine
+     *        digests its model kind); load() refuses files whose
+     *        digest does not match.
+     * @return entries written (0 on I/O failure).
+     */
+    size_t save(const std::string &path, uint64_t digest = 0) const;
+
+    /**
+     * Merge entries from a previously saved file.
+     *
+     * Missing files are not an error (a cold start); a digest
+     * mismatch (cache saved by a differently-shaped engine) warns and
+     * loads nothing.
+     *
+     * @param[out] compatible when given, set to false only when the
+     *        file exists but belongs to someone else (bad magic or
+     *        digest mismatch) -- i.e. overwriting it would destroy
+     *        another engine's warm start.
+     * @return entries loaded (0 when the file does not exist or does
+     *         not match).
+     */
+    size_t load(const std::string &path, uint64_t digest = 0,
+                bool *compatible = nullptr);
+
+  private:
+    struct KeyHash
+    {
+        size_t
+        operator()(const EvalKey &key) const
+        {
+            return static_cast<size_t>(
+                Fingerprinter::mix64(key.model ^ (key.instance
+                    * 0x9e3779b97f4a7c15ull)));
+        }
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<EvalKey, EvalValue, KeyHash> map;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+    };
+
+    Shard &shardFor(const EvalKey &key);
+    const Shard &shardFor(const EvalKey &key) const;
+
+    size_t maxPerShard;
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+} // namespace raceval::engine
+
+#endif // RACEVAL_ENGINE_EVAL_CACHE_HH

@@ -1,0 +1,99 @@
+#include "engine/fingerprint.hh"
+
+namespace raceval::engine
+{
+
+namespace
+{
+
+void
+mixCache(Fingerprinter &fp, const cache::CacheParams &c)
+{
+    fp.mix(c.sizeBytes)
+        .mix(uint64_t{c.assoc})
+        .mix(uint64_t{c.lineBytes})
+        .mix(uint64_t{c.latency})
+        .mix(c.serialTagData)
+        .mix(static_cast<uint64_t>(c.hash))
+        .mix(static_cast<uint64_t>(c.repl))
+        .mix(uint64_t{c.victimEntries})
+        .mix(uint64_t{c.mshrs})
+        .mix(uint64_t{c.portsPerCycle})
+        .mix(static_cast<uint64_t>(c.prefetch))
+        .mix(uint64_t{c.prefetchDegree})
+        .mix(uint64_t{c.strideEntries})
+        .mix(uint64_t{c.ghbEntries})
+        .mix(c.prefetchOnPrefetchHit);
+}
+
+} // namespace
+
+uint64_t
+fingerprint(const tuner::Configuration &config)
+{
+    Fingerprinter fp;
+    fp.mix(static_cast<uint64_t>(config.size()));
+    for (size_t i = 0; i < config.size(); ++i)
+        fp.mix(uint64_t{config[i]});
+    return fp.value();
+}
+
+uint64_t
+fingerprint(const core::CoreParams &p)
+{
+    Fingerprinter fp;
+    fp.mix(uint64_t{p.fetchWidth})
+        .mix(uint64_t{p.dispatchWidth})
+        .mix(uint64_t{p.commitWidth})
+        .mix(uint64_t{p.mispredictPenalty})
+        .mix(uint64_t{p.takenBranchBubble})
+        .mix(uint64_t{p.numIntAlu})
+        .mix(uint64_t{p.numIntMul})
+        .mix(uint64_t{p.numFpSimd})
+        .mix(uint64_t{p.numLoadPorts})
+        .mix(uint64_t{p.numStorePorts})
+        .mix(uint64_t{p.numBranch})
+        .mix(p.intDivPipelined)
+        .mix(p.fpDivPipelined)
+        .mix(uint64_t{p.storeBufferEntries})
+        .mix(p.forwarding)
+        .mix(uint64_t{p.forwardLatency})
+        .mix(uint64_t{p.robEntries})
+        .mix(uint64_t{p.iqEntries})
+        .mix(uint64_t{p.lqEntries})
+        .mix(uint64_t{p.sqEntries});
+    for (unsigned lat : p.latency)
+        fp.mix(uint64_t{lat});
+    mixCache(fp, p.mem.l1i);
+    mixCache(fp, p.mem.l1d);
+    mixCache(fp, p.mem.l2);
+    fp.mix(uint64_t{p.mem.dram.latency})
+        .mix(uint64_t{p.mem.dram.cyclesPerLine})
+        .mix(p.mem.timedPrefetch)
+        .mix(p.mem.prefetchConsumesBandwidth);
+    fp.mix(static_cast<uint64_t>(p.bp.kind))
+        .mix(uint64_t{p.bp.tableBits})
+        .mix(uint64_t{p.bp.historyBits})
+        .mix(uint64_t{p.bp.btbBits})
+        .mix(uint64_t{p.bp.rasEntries})
+        .mix(p.bp.indirect)
+        .mix(uint64_t{p.bp.indirectBits})
+        .mix(uint64_t{p.bp.indirectHistory});
+    return fp.value();
+}
+
+uint64_t
+fingerprint(const isa::Program &program)
+{
+    Fingerprinter fp;
+    fp.str(program.name).mix(program.codeBase);
+    fp.bytes(program.code.data(), 4 * program.code.size());
+    fp.mix(static_cast<uint64_t>(program.data.size()));
+    for (const auto &segment : program.data) {
+        fp.mix(segment.base);
+        fp.bytes(segment.bytes.data(), segment.bytes.size());
+    }
+    return fp.value();
+}
+
+} // namespace raceval::engine

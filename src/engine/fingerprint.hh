@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Content fingerprints for the evaluation engine's cache keys.
+ *
+ * Every cacheable entity -- a tuner Configuration, a materialized
+ * CoreParams model, a program image -- is reduced to a 64-bit content
+ * hash. Two entities with the same fingerprint are treated as the same
+ * experiment input, so fingerprints must cover every field that can
+ * change a simulation result (and nothing cosmetic: a model's display
+ * name is deliberately excluded).
+ */
+
+#ifndef RACEVAL_ENGINE_FINGERPRINT_HH
+#define RACEVAL_ENGINE_FINGERPRINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "core/params.hh"
+#include "isa/program.hh"
+#include "tuner/space.hh"
+
+namespace raceval::engine
+{
+
+/** Incremental 64-bit content hasher (splitmix64 finalizer mixing). */
+class Fingerprinter
+{
+  public:
+    /** Mix one 64-bit word. */
+    Fingerprinter &
+    mix(uint64_t value)
+    {
+        state = mix64(state ^ mix64(value + 0x9e3779b97f4a7c15ull));
+        return *this;
+    }
+
+    /** Mix a double by bit pattern. */
+    Fingerprinter &
+    mix(double value)
+    {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(value));
+        std::memcpy(&bits, &value, sizeof(bits));
+        return mix(bits);
+    }
+
+    /** Mix a boolean. */
+    Fingerprinter &mix(bool value) { return mix(uint64_t{value}); }
+
+    /** Mix raw bytes (length-prefixed). */
+    Fingerprinter &
+    bytes(const void *data, size_t len)
+    {
+        mix(static_cast<uint64_t>(len));
+        const auto *p = static_cast<const uint8_t *>(data);
+        while (len >= 8) {
+            uint64_t word;
+            std::memcpy(&word, p, 8);
+            mix(word);
+            p += 8;
+            len -= 8;
+        }
+        uint64_t tail = 0;
+        std::memcpy(&tail, p, len);
+        return mix(tail);
+    }
+
+    /** Mix a string (length-prefixed). */
+    Fingerprinter &
+    str(const std::string &s)
+    {
+        return bytes(s.data(), s.size());
+    }
+
+    /** @return the accumulated fingerprint. */
+    uint64_t value() const { return state; }
+
+    /** One-shot strong 64-bit mix (public for key derivation). */
+    static uint64_t
+    mix64(uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+  private:
+    uint64_t state = 0x2545f4914f6cdd1dull;
+};
+
+/** @return content fingerprint of a tuner configuration. */
+uint64_t fingerprint(const tuner::Configuration &config);
+
+/**
+ * @return content fingerprint of a full core model. Covers every
+ * timing-relevant field of CoreParams (pipeline, FUs, latency table,
+ * memory hierarchy, branch unit); excludes the display name.
+ */
+uint64_t fingerprint(const core::CoreParams &params);
+
+/** @return content fingerprint of a program image (name included:
+ *  distinct benchmarks with identical bytes stay distinct instances). */
+uint64_t fingerprint(const isa::Program &program);
+
+} // namespace raceval::engine
+
+#endif // RACEVAL_ENGINE_FINGERPRINT_HH

@@ -1,0 +1,163 @@
+#include "engine/trace_bank.hh"
+
+#include "common/log.hh"
+#include "engine/fingerprint.hh"
+#include "vm/functional.hh"
+
+namespace raceval::engine
+{
+
+/**
+ * Replay of a memory-resident trace: static decode shared from the
+ * SiftTrace, dynamic facts from the packed event vector.
+ */
+class TraceBank::MemoryCursor final : public vm::TraceSource
+{
+  public:
+    MemoryCursor(std::shared_ptr<const sift::SiftTrace> trace,
+                 std::shared_ptr<const std::vector<ReplayEvent>> events)
+        : trace(std::move(trace)), events(std::move(events))
+    {
+    }
+
+    bool
+    next(vm::DynInst &out) override
+    {
+        if (pos >= events->size())
+            return false;
+        const ReplayEvent &ev = (*events)[pos++];
+        out.pc = trace->program().pcOf(ev.index);
+        out.inst = trace->decodedAt(ev.index);
+        out.memAddr = ev.memAddr;
+        out.nextPc = ev.nextPc;
+        out.taken = ev.taken;
+        return true;
+    }
+
+    void reset() override { pos = 0; }
+    const std::string &name() const override { return trace->name(); }
+    const isa::Program *program() const override
+    {
+        return &trace->program();
+    }
+
+  private:
+    std::shared_ptr<const sift::SiftTrace> trace;
+    std::shared_ptr<const std::vector<ReplayEvent>> events;
+    size_t pos = 0;
+};
+
+TraceBank::TraceBank(uint64_t memory_resident_max_insts)
+    : maxResidentInsts(memory_resident_max_insts)
+{
+}
+
+size_t
+TraceBank::add(const isa::Program &program)
+{
+    uint64_t fp = fingerprint(program);
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = byFingerprint.find(fp);
+    if (it != byFingerprint.end())
+        return it->second;
+    size_t id = entries.size();
+    auto entry = std::make_unique<Entry>();
+    entry->program = program;
+    entries.push_back(std::move(entry));
+    byFingerprint.emplace(fp, id);
+    counters.instances = entries.size();
+    return id;
+}
+
+size_t
+TraceBank::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+const isa::Program &
+TraceBank::program(size_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    RV_ASSERT(id < entries.size(), "trace bank: bad instance id %zu", id);
+    return entries[id]->program;
+}
+
+TraceBank::Entry &
+TraceBank::entryFor(size_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    RV_ASSERT(id < entries.size(), "trace bank: bad instance id %zu", id);
+    return *entries[id];
+}
+
+void
+TraceBank::record(Entry &entry)
+{
+    std::call_once(entry.recordOnce, [&] {
+        vm::FunctionalCore live(entry.program);
+        auto trace = std::make_shared<const sift::SiftTrace>(
+            sift::encodeTrace(entry.program, live));
+
+        std::shared_ptr<const std::vector<ReplayEvent>> events;
+        if (trace->instCount() <= maxResidentInsts) {
+            auto vec = std::make_shared<std::vector<ReplayEvent>>();
+            vec->reserve(trace->instCount());
+            sift::SiftCursor cursor(trace);
+            vm::DynInst dyn;
+            uint64_t code_base = trace->program().codeBase;
+            while (cursor.next(dyn)) {
+                vec->push_back(ReplayEvent{
+                    dyn.memAddr, dyn.nextPc,
+                    static_cast<uint32_t>((dyn.pc - code_base) / 4),
+                    dyn.taken});
+            }
+            events = std::move(vec);
+        }
+
+        std::lock_guard<std::mutex> lock(mutex);
+        entry.trace = std::move(trace);
+        entry.events = std::move(events);
+        ++counters.recordings;
+        counters.recordedInsts += entry.trace->instCount();
+        counters.encodedBytes += entry.trace->encodedBytes();
+        if (entry.events) {
+            ++counters.residentTraces;
+            counters.residentBytes +=
+                entry.events->size() * sizeof(ReplayEvent);
+        } else {
+            ++counters.spilledTraces;
+        }
+    });
+}
+
+std::unique_ptr<vm::TraceSource>
+TraceBank::open(size_t id)
+{
+    Entry &entry = entryFor(id);
+    record(entry);
+    std::lock_guard<std::mutex> lock(mutex);
+    ++counters.replays;
+    if (entry.events)
+        return std::make_unique<MemoryCursor>(entry.trace, entry.events);
+    return std::make_unique<sift::SiftCursor>(entry.trace);
+}
+
+uint64_t
+TraceBank::instCount(size_t id)
+{
+    Entry &entry = entryFor(id);
+    record(entry);
+    std::lock_guard<std::mutex> lock(mutex);
+    return entry.trace->instCount();
+}
+
+TraceBankStats
+TraceBank::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+} // namespace raceval::engine

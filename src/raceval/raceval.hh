@@ -21,6 +21,10 @@
 #include "core/ooo.hh"
 #include "core/params.hh"
 #include "core/stats.hh"
+#include "engine/engine.hh"
+#include "engine/eval_cache.hh"
+#include "engine/fingerprint.hh"
+#include "engine/trace_bank.hh"
 #include "hw/machine.hh"
 #include "isa/assembler.hh"
 #include "isa/decoder.hh"
@@ -30,6 +34,7 @@
 #include "stats/descriptive.hh"
 #include "stats/distributions.hh"
 #include "stats/tests.hh"
+#include "tuner/evaluator.hh"
 #include "tuner/race.hh"
 #include "tuner/space.hh"
 #include "ubench/ubench.hh"

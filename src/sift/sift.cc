@@ -134,22 +134,9 @@ readFile(const std::string &path)
     return bytes;
 }
 
-SiftReader::SiftReader(std::vector<uint8_t> buffer,
-                       isa::DecoderOptions decoder_options)
+SiftTrace::SiftTrace(std::vector<uint8_t> buffer,
+                     isa::DecoderOptions decoder_options)
     : bytes(std::move(buffer))
-{
-    parseHeader(decoder_options);
-    reset();
-}
-
-SiftReader::SiftReader(const std::string &path,
-                       isa::DecoderOptions decoder_options)
-    : SiftReader(readFile(path), decoder_options)
-{
-}
-
-void
-SiftReader::parseHeader(isa::DecoderOptions decoder_options)
 {
     RV_ASSERT(bytes.size() >= sizeof(magic)
               && std::memcmp(bytes.data(), magic, sizeof(magic)) == 0,
@@ -197,27 +184,34 @@ SiftReader::parseHeader(isa::DecoderOptions decoder_options)
     }
 }
 
-void
-SiftReader::reset()
+SiftCursor::SiftCursor(std::shared_ptr<const SiftTrace> trace_)
+    : trace(std::move(trace_))
 {
-    cursor = eventStart;
+    RV_ASSERT(trace != nullptr, "sift: cursor over null trace");
+    reset();
+}
+
+void
+SiftCursor::reset()
+{
+    cursor = trace->eventStart;
     emitted = 0;
-    pc = prog.entry();
+    pc = trace->prog.entry();
     prevMemAddr = 0;
 }
 
 bool
-SiftReader::next(vm::DynInst &out)
+SiftCursor::next(vm::DynInst &out)
 {
-    if (emitted >= totalInsts)
+    if (emitted >= trace->totalInsts)
         return false;
 
-    uint64_t index = (pc - prog.codeBase) / 4;
-    RV_ASSERT(pc >= prog.codeBase && index < decoded.size(),
+    uint64_t index = (pc - trace->prog.codeBase) / 4;
+    RV_ASSERT(pc >= trace->prog.codeBase && index < trace->decoded.size(),
               "sift: replay pc 0x%llx out of range",
               static_cast<unsigned long long>(pc));
 
-    const isa::DecodedInst &inst = decoded[index];
+    const isa::DecodedInst &inst = trace->decoded[index];
     out.pc = pc;
     out.inst = inst;
     out.memAddr = 0;
@@ -225,16 +219,17 @@ SiftReader::next(vm::DynInst &out)
     out.nextPc = pc + 4;
 
     if (inst.isLoad || inst.isStore) {
-        int64_t delta = zigzagDecode(getVarint(bytes, cursor));
+        int64_t delta = zigzagDecode(getVarint(trace->bytes, cursor));
         out.memAddr = static_cast<uint64_t>(
             static_cast<int64_t>(prevMemAddr) + delta);
         prevMemAddr = out.memAddr;
     } else if (inst.isBranch) {
-        RV_ASSERT(cursor < bytes.size(), "sift: truncated branch event");
-        uint8_t taken = bytes[cursor++];
+        RV_ASSERT(cursor < trace->bytes.size(),
+                  "sift: truncated branch event");
+        uint8_t taken = trace->bytes[cursor++];
         out.taken = taken != 0;
         if (out.taken) {
-            int64_t delta = zigzagDecode(getVarint(bytes, cursor));
+            int64_t delta = zigzagDecode(getVarint(trace->bytes, cursor));
             out.nextPc = static_cast<uint64_t>(
                 static_cast<int64_t>(pc) + 4 * delta);
         }
@@ -243,6 +238,20 @@ SiftReader::next(vm::DynInst &out)
     pc = out.nextPc;
     ++emitted;
     return true;
+}
+
+SiftReader::SiftReader(std::vector<uint8_t> buffer,
+                       isa::DecoderOptions decoder_options)
+    : trace(std::make_shared<const SiftTrace>(std::move(buffer),
+                                              decoder_options)),
+      cursor(trace)
+{
+}
+
+SiftReader::SiftReader(const std::string &path,
+                       isa::DecoderOptions decoder_options)
+    : SiftReader(readFile(path), decoder_options)
+{
 }
 
 } // namespace raceval::sift

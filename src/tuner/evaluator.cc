@@ -1,0 +1,51 @@
+#include "tuner/evaluator.hh"
+
+#include "common/log.hh"
+
+namespace raceval::tuner
+{
+
+SimpleCostEvaluator::SimpleCostEvaluator(CostFn cost_fn, unsigned threads)
+    : cost(std::move(cost_fn)), pool(threads)
+{
+    RV_ASSERT(cost != nullptr, "evaluator without a cost function");
+}
+
+uint64_t
+SimpleCostEvaluator::key(const Configuration &config, size_t instance)
+{
+    return config.hash() * 1315423911ull
+        ^ (static_cast<uint64_t>(instance) + 0x9e3779b97f4a7c15ull);
+}
+
+std::vector<double>
+SimpleCostEvaluator::evaluateMany(const std::vector<EvalPair> &pairs)
+{
+    // Collect the unique uncached pairs.
+    std::vector<size_t> fresh;
+    std::unordered_map<uint64_t, size_t> fresh_index;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        uint64_t k = key(pairs[i].first, pairs[i].second);
+        if (memo.count(k) || fresh_index.count(k))
+            continue;
+        fresh_index.emplace(k, fresh.size());
+        fresh.push_back(i);
+    }
+
+    std::vector<double> fresh_costs(fresh.size());
+    pool.parallelFor(fresh.size(), [&](size_t k) {
+        const EvalPair &pair = pairs[fresh[k]];
+        fresh_costs[k] = cost(pair.first, pair.second);
+    });
+    for (size_t k = 0; k < fresh.size(); ++k) {
+        const EvalPair &pair = pairs[fresh[k]];
+        memo.emplace(key(pair.first, pair.second), fresh_costs[k]);
+    }
+
+    std::vector<double> out(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i)
+        out[i] = memo.at(key(pairs[i].first, pairs[i].second));
+    return out;
+}
+
+} // namespace raceval::tuner

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "common/log.hh"
-#include "common/thread_pool.hh"
 #include "stats/descriptive.hh"
 #include "stats/tests.hh"
 
@@ -15,9 +13,9 @@ namespace raceval::tuner
 namespace
 {
 
-/** Memoization key: configuration content + instance id. */
+/** Budget-accounting key: configuration content + instance id. */
 uint64_t
-evalKey(const Configuration &config, size_t instance)
+experimentKey(const Configuration &config, size_t instance)
 {
     return config.hash() * 1315423911ull
         ^ (static_cast<uint64_t>(instance) + 0x9e3779b97f4a7c15ull);
@@ -25,9 +23,22 @@ evalKey(const Configuration &config, size_t instance)
 
 } // namespace
 
+IteratedRacer::IteratedRacer(const ParameterSpace &space,
+                             CostEvaluator &evaluator,
+                             size_t num_instances, RacerOptions options)
+    : space(space), evaluator(&evaluator), numInstances(num_instances),
+      opts(options)
+{
+    RV_ASSERT(space.size() > 0, "empty parameter space");
+    RV_ASSERT(numInstances > 0, "no benchmark instances");
+}
+
 IteratedRacer::IteratedRacer(const ParameterSpace &space, CostFn cost,
                              size_t num_instances, RacerOptions options)
-    : space(space), cost(std::move(cost)), numInstances(num_instances),
+    : space(space),
+      ownedEvaluator(std::make_unique<SimpleCostEvaluator>(
+          std::move(cost), options.threads)),
+      evaluator(ownedEvaluator.get()), numInstances(num_instances),
       opts(options)
 {
     RV_ASSERT(space.size() > 0, "empty parameter space");
@@ -85,55 +96,44 @@ IteratedRacer::sampleAroundElite(const Configuration &elite,
     return config;
 }
 
-double
-IteratedRacer::evaluate(const Configuration &config, size_t instance)
-{
-    return cost(config, instance);
-}
-
 std::vector<IteratedRacer::Candidate>
 IteratedRacer::race(std::vector<Candidate> candidates, Rng &rng)
 {
-    ThreadPool pool(opts.threads);
     std::vector<size_t> order = rng.permutation(numInstances);
 
     for (size_t t = 0; t < numInstances; ++t) {
         size_t instance = order[t];
 
-        // Collect candidates needing a fresh evaluation.
-        std::vector<size_t> fresh;
+        // The whole racing step is one batch: every live candidate on
+        // this instance. Only pairs new to this race cost budget;
+        // repeats (elites re-racing an instance) are free, and the
+        // evaluator deduplicates and caches behind the scenes.
+        std::vector<EvalPair> step;
+        std::vector<size_t> alive;
+        uint64_t fresh = 0;
         for (size_t c = 0; c < candidates.size(); ++c) {
             if (!candidates[c].alive)
                 continue;
-            if (!memo.count(evalKey(candidates[c].config, instance)))
-                fresh.push_back(c);
+            alive.push_back(c);
+            if (!charged.count(
+                    experimentKey(candidates[c].config, instance)))
+                ++fresh;
+            step.emplace_back(candidates[c].config, instance);
         }
-        if (experimentsUsed + fresh.size() > opts.maxExperiments)
+        if (experimentsUsed + fresh > opts.maxExperiments)
             break; // budget exhausted mid-race
 
-        std::vector<double> fresh_costs(fresh.size(), 0.0);
-        pool.parallelFor(fresh.size(), [&](size_t k) {
-            fresh_costs[k] =
-                evaluate(candidates[fresh[k]].config, instance);
-        });
-        for (size_t k = 0; k < fresh.size(); ++k) {
-            memo[evalKey(candidates[fresh[k]].config, instance)] =
-                fresh_costs[k];
+        std::vector<double> step_costs = evaluator->evaluateMany(step);
+        experimentsUsed += fresh;
+        for (size_t k = 0; k < alive.size(); ++k) {
+            charged.insert(
+                experimentKey(candidates[alive[k]].config, instance));
         }
-        experimentsUsed += fresh.size();
 
-        for (Candidate &cand : candidates) {
-            if (cand.alive)
-                cand.costs.push_back(
-                    memo.at(evalKey(cand.config, instance)));
-        }
+        for (size_t k = 0; k < alive.size(); ++k)
+            candidates[alive[k]].costs.push_back(step_costs[k]);
 
         // Statistical elimination.
-        std::vector<size_t> alive;
-        for (size_t c = 0; c < candidates.size(); ++c) {
-            if (candidates[c].alive)
-                alive.push_back(c);
-        }
         if (t + 1 < opts.instancesBeforeFirstTest || alive.size() < 2)
             continue;
 
@@ -258,13 +258,14 @@ IteratedRacer::run()
 
     RV_ASSERT(!elites.empty(), "iterated race produced no survivors");
 
-    // Final full evaluation of the winner across every instance.
+    // Final full evaluation of the winner across every instance (all
+    // or nearly all served from the evaluator's cache).
     result.best = elites[0].first;
-    result.bestCosts.resize(numInstances);
-    ThreadPool pool(opts.threads);
-    pool.parallelFor(numInstances, [&](size_t i) {
-        result.bestCosts[i] = evaluate(result.best, i);
-    });
+    std::vector<EvalPair> final_pairs;
+    final_pairs.reserve(numInstances);
+    for (size_t i = 0; i < numInstances; ++i)
+        final_pairs.emplace_back(result.best, i);
+    result.bestCosts = evaluator->evaluateMany(final_pairs);
     result.bestMeanCost = stats::mean(result.bestCosts);
     result.experimentsUsed = experimentsUsed;
     result.elites = std::move(elites);

@@ -17,23 +17,17 @@
 #ifndef RACEVAL_TUNER_RACE_HH
 #define RACEVAL_TUNER_RACE_HH
 
-#include <functional>
+#include <memory>
 #include <string>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hh"
+#include "tuner/evaluator.hh"
 #include "tuner/space.hh"
 
 namespace raceval::tuner
 {
-
-/**
- * Cost of one configuration on one benchmark instance; must be
- * thread-safe and deterministic (results are memoized).
- */
-using CostFn = std::function<double(const Configuration &,
-                                    size_t instance)>;
 
 /** Tuner options (defaults sized for the scaled reproduction). */
 struct RacerOptions
@@ -51,7 +45,9 @@ struct RacerOptions
     /** Candidates sampled per iteration (0 = auto from budget). */
     unsigned candidatesPerIteration = 0;
     uint64_t seed = 20190324; // ISPASS'19
-    /** Worker threads for parallel evaluation (0 = hardware). */
+    /** Worker threads for parallel evaluation (0 = hardware); only
+     *  used by the convenience CostFn constructor -- an external
+     *  CostEvaluator brings its own parallelism. */
     unsigned threads = 0;
     /** Narrate rounds via inform(). */
     bool verbose = false;
@@ -76,6 +72,24 @@ class IteratedRacer
 {
   public:
     /**
+     * Race over an external evaluation service (e.g. the trace-replay
+     * engine::EvalEngine): every racing step is handed to the
+     * evaluator as one deduplicated batch, and cached results are free
+     * (they do not consume the experiment budget).
+     *
+     * @param space parameter declarations.
+     * @param evaluator batched cost evaluation (borrowed; must outlive
+     *        the racer).
+     * @param num_instances benchmark instance count.
+     * @param options tuning knobs.
+     */
+    IteratedRacer(const ParameterSpace &space, CostEvaluator &evaluator,
+                  size_t num_instances, RacerOptions options = {});
+
+    /**
+     * Convenience: race over a plain cost lambda through an internal
+     * SimpleCostEvaluator (memoization + options.threads workers).
+     *
      * @param space parameter declarations.
      * @param cost cost oracle (thread-safe, deterministic).
      * @param num_instances benchmark instance count.
@@ -110,15 +124,22 @@ class IteratedRacer
      *  instance). */
     std::vector<Candidate> race(std::vector<Candidate> candidates,
                                 Rng &rng);
-    double evaluate(const Configuration &config, size_t instance);
 
     const ParameterSpace &space;
-    CostFn cost;
+    /** Owned only by the CostFn convenience constructor. */
+    std::unique_ptr<CostEvaluator> ownedEvaluator;
+    CostEvaluator *evaluator;
     size_t numInstances;
     RacerOptions opts;
     uint64_t experimentsUsed = 0;
-    /** Memoized (config content, instance) -> cost. */
-    std::unordered_map<uint64_t, double> memo;
+    /**
+     * (config, instance) pairs this race has already charged against
+     * its budget. Deliberately racer-local rather than asking the
+     * evaluator: a warm shared cache then speeds a race up without
+     * changing its trajectory -- re-running the same race over a
+     * populated engine cache stays bit-identical, just faster.
+     */
+    std::unordered_set<uint64_t> charged;
     std::vector<Configuration> initialCandidates;
 };
 

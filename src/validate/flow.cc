@@ -17,8 +17,69 @@ ValidationFlow::ValidationFlow(bool out_of_order, FlowOptions options)
 {
     hwOracle = std::make_unique<HardwareOracle>(
         hw::makeMachine(ooo ? hw::secretA72() : hw::secretA53(), ooo));
-    for (const auto &info : ubench::all())
-        ubenchPrograms.push_back(ubench::build(info));
+
+    engine::EngineOptions engine_opts;
+    engine_opts.threads = opts.threads;
+    evalEngine =
+        std::make_unique<engine::EvalEngine>(ooo, engine_opts);
+    for (const auto &info : ubench::all()) {
+        ubenchInstances.push_back(
+            evalEngine->addInstance(ubench::build(info)));
+        // Racing instance ids and bank ids must coincide: the racer
+        // hands the engine bare instance indices.
+        RV_ASSERT(ubenchInstances.back() == ubenchInstances.size() - 1,
+                  "ubench instance ids must be dense");
+    }
+
+    // The racing objective: CPI error vs the board, optionally with
+    // the branch-misprediction-rate term of step #5. The cost tag
+    // keeps the two metrics apart in the shared EvalCache.
+    CostKind cost_kind = opts.costKind;
+    evalEngine->setCostFn(
+        [this, cost_kind](const core::CoreStats &sim, size_t instance) {
+            hw::PerfCounters hwm = hwOracle->measure(
+                evalEngine->traceBank().program(instance));
+            double cpi_err = hwm.cpi() > 0.0
+                ? std::abs(sim.cpi() - hwm.cpi()) / hwm.cpi() : 0.0;
+            if (cost_kind == CostKind::Cpi)
+                return cpi_err;
+            // Step #5 refinement: weight in the branch misprediction
+            // rate so control-flow components cannot hide behind a low
+            // overall CPI error.
+            double hw_rate = hwm.instructions
+                ? static_cast<double>(hwm.branchMisses)
+                    / static_cast<double>(hwm.instructions) : 0.0;
+            double sim_rate = sim.instructions
+                ? static_cast<double>(sim.branch.mispredicts)
+                    / static_cast<double>(sim.instructions) : 0.0;
+            double rate_err = std::abs(sim_rate - hw_rate)
+                / std::max(0.005, hw_rate);
+            return cpi_err + 0.5 * rate_err;
+        },
+        static_cast<uint64_t>(cost_kind) + 1);
+
+    if (!opts.evalCachePath.empty()) {
+        size_t loaded = evalEngine->loadCache(opts.evalCachePath);
+        if (opts.verbose && loaded > 0) {
+            inform("engine: warm-started %zu cached evaluations from "
+                   "'%s'", loaded, opts.evalCachePath.c_str());
+        }
+    }
+}
+
+ValidationFlow::~ValidationFlow()
+{
+    if (opts.evalCachePath.empty())
+        return;
+    if (evalEngine->warmStartRefused()) {
+        // The file at this path belongs to a differently-shaped
+        // engine (e.g. the A72 flow's cache while we ran the A53
+        // flow); overwriting it would destroy that warm start.
+        warn("flow: not saving eval cache over incompatible '%s'",
+             opts.evalCachePath.c_str());
+        return;
+    }
+    evalEngine->saveCache(opts.evalCachePath);
 }
 
 core::CoreStats
@@ -34,14 +95,24 @@ ValidationFlow::simulate(const core::CoreParams &model,
     return sim.run(source);
 }
 
+double
+ValidationFlow::cpiError(double sim_cpi, size_t instance)
+{
+    double hw_cpi =
+        hwOracle->measure(evalEngine->traceBank().program(instance))
+            .cpi();
+    return hw_cpi > 0.0 ? std::abs(sim_cpi - hw_cpi) / hw_cpi : 0.0;
+}
+
 BenchError
 ValidationFlow::evaluateOn(const core::CoreParams &model,
                            const isa::Program &program)
 {
+    size_t instance = evalEngine->addInstance(program);
     BenchError err;
     err.name = program.name;
     err.hwCpi = hwOracle->measure(program).cpi();
-    err.simCpi = simulate(model, program).cpi();
+    err.simCpi = evalEngine->evaluateModel(model, instance).simCpi;
     return err;
 }
 
@@ -52,14 +123,60 @@ ValidationFlow::ubenchError(const core::CoreParams &model,
 {
     if (stride == 0)
         stride = 1;
+    engine::BatchEvaluator batch(*evalEngine);
+    std::vector<size_t> picked;
+    std::vector<engine::BatchEvaluator::Ticket> tickets;
+    for (size_t i = 0; i < ubenchInstances.size(); i += stride) {
+        picked.push_back(ubenchInstances[i]);
+        tickets.push_back(
+            batch.submitModel(model, ubenchInstances[i]));
+    }
+    batch.collect();
+
     std::vector<double> errors;
-    for (size_t i = 0; i < ubenchPrograms.size(); i += stride) {
-        BenchError err = evaluateOn(model, ubenchPrograms[i]);
+    for (size_t k = 0; k < picked.size(); ++k) {
+        const isa::Program &prog =
+            evalEngine->traceBank().program(picked[k]);
+        BenchError err;
+        err.name = prog.name;
+        err.hwCpi = hwOracle->measure(prog).cpi();
+        err.simCpi = batch.simCpi(tickets[k]);
         errors.push_back(err.error());
         if (detail)
             detail->push_back(err);
     }
     return stats::mean(errors);
+}
+
+std::vector<double>
+ValidationFlow::ubenchErrorBatch(
+    const std::vector<core::CoreParams> &models, size_t stride)
+{
+    if (stride == 0)
+        stride = 1;
+    engine::BatchEvaluator batch(*evalEngine);
+    std::vector<engine::BatchEvaluator::Ticket> tickets;
+    std::vector<size_t> picked;
+    for (size_t i = 0; i < ubenchInstances.size(); i += stride)
+        picked.push_back(ubenchInstances[i]);
+    for (const core::CoreParams &model : models) {
+        for (size_t instance : picked)
+            tickets.push_back(batch.submitModel(model, instance));
+    }
+    batch.collect();
+
+    std::vector<double> out;
+    out.reserve(models.size());
+    size_t t = 0;
+    for (size_t m = 0; m < models.size(); ++m) {
+        std::vector<double> errors;
+        errors.reserve(picked.size());
+        for (size_t instance : picked)
+            errors.push_back(cpiError(batch.simCpi(tickets[t++]),
+                                      instance));
+        out.push_back(stats::mean(errors));
+    }
+    return out;
 }
 
 FlowReport
@@ -80,47 +197,27 @@ ValidationFlow::run()
                report.latencies.l1d, report.latencies.l2);
     }
     report.publicModel = base;
+    // This first full sweep also measures every instance on the board
+    // (the oracle memoizes, so racing below reads its cache).
     report.untunedUbenchAvg =
         ubenchError(base, &report.untunedUbench);
 
-    // Pre-measure every instance once so the parallel racing workers
-    // only ever read the oracle cache.
-    for (const isa::Program &prog : ubenchPrograms)
-        hwOracle->measure(prog);
-
-    // Step #4: iterated racing over the undisclosed parameters.
-    CostKind cost_kind = opts.costKind;
-    auto cost_fn = [this, &base, cost_kind](
-        const tuner::Configuration &config, size_t instance) {
-        const isa::Program &prog = ubenchPrograms[instance];
-        core::CoreParams model = sniperSpace.apply(config, base);
-        core::CoreStats sim = simulate(model, prog);
-        hw::PerfCounters hwm = hwOracle->measure(prog);
-        double cpi_err = hwm.cpi() > 0.0
-            ? std::abs(sim.cpi() - hwm.cpi()) / hwm.cpi() : 0.0;
-        if (cost_kind == CostKind::Cpi)
-            return cpi_err;
-        // Step #5 refinement: weight in the branch misprediction rate
-        // so control-flow components cannot hide behind a low overall
-        // CPI error.
-        double hw_rate = hwm.instructions
-            ? static_cast<double>(hwm.branchMisses)
-                / static_cast<double>(hwm.instructions) : 0.0;
-        double sim_rate = sim.instructions
-            ? static_cast<double>(sim.branch.mispredicts)
-                / static_cast<double>(sim.instructions) : 0.0;
-        double rate_err = std::abs(sim_rate - hw_rate)
-            / std::max(0.005, hw_rate);
-        return cpi_err + 0.5 * rate_err;
-    };
+    // Step #4: iterated racing over the undisclosed parameters. The
+    // engine is the evaluator: every racing step is one deduplicated
+    // batch of trace replays, memoized in the EvalCache.
+    raceBase = base;
+    evalEngine->setModelFn(
+        [this](const tuner::Configuration &config) {
+            return sniperSpace.apply(config, raceBase);
+        });
 
     tuner::RacerOptions racer_opts;
     racer_opts.maxExperiments = opts.budget;
     racer_opts.threads = opts.threads;
     racer_opts.seed = opts.seed;
     racer_opts.verbose = opts.verbose;
-    tuner::IteratedRacer racer(sniperSpace.space(), cost_fn,
-                               ubenchPrograms.size(), racer_opts);
+    tuner::IteratedRacer racer(sniperSpace.space(), *evalEngine,
+                               ubenchInstances.size(), racer_opts);
     racer.addInitialCandidate(sniperSpace.encode(base));
     report.race = racer.run();
 
@@ -129,6 +226,7 @@ ValidationFlow::run()
     report.tunedUbenchAvg =
         ubenchError(report.tunedModel, &report.tunedUbench);
 
+    report.engineStats = evalEngine->stats();
     if (opts.verbose) {
         inform("flow: untuned avg ubench CPI error %.1f%%, "
                "tuned %.1f%% (%llu experiments)",
@@ -136,6 +234,7 @@ ValidationFlow::run()
                100.0 * report.tunedUbenchAvg,
                static_cast<unsigned long long>(
                    report.race.experimentsUsed));
+        inform("%s", report.engineStats.summary().c_str());
     }
     return report;
 }

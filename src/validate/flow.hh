@@ -8,6 +8,12 @@
  *   #5 inspect per-component error; optionally rerun with a
  *      component-weighted cost function,
  *   #6 emit the tuned model.
+ *
+ * Every simulation result the flow consumes -- racing costs, error
+ * reports, held-out SPEC evaluations -- is served by the trace-replay
+ * evaluation engine (src/engine): each benchmark is functionally
+ * executed once, and every candidate evaluation afterwards is a cached
+ * trace replay.
  */
 
 #ifndef RACEVAL_VALIDATE_FLOW_HH
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "core/params.hh"
+#include "engine/engine.hh"
 #include "tuner/race.hh"
 #include "validate/latency_probe.hh"
 #include "validate/oracle.hh"
@@ -56,6 +63,9 @@ struct FlowOptions
     uint64_t seed = 20190324;
     CostKind costKind = CostKind::Cpi;
     bool verbose = false;
+    /** When set, the engine's EvalCache is loaded from this path at
+     *  start and saved back after run() -- repeated runs start warm. */
+    std::string evalCachePath;
 };
 
 /** Everything the flow produces. */
@@ -69,6 +79,7 @@ struct FlowReport
     std::vector<BenchError> tunedUbench;
     double untunedUbenchAvg = 0.0;
     double tunedUbenchAvg = 0.0;
+    engine::EngineStats engineStats;     //!< evaluation-engine report
 };
 
 /**
@@ -88,6 +99,11 @@ class ValidationFlow
      */
     ValidationFlow(bool out_of_order, FlowOptions options = {});
 
+    /** Saves the engine's EvalCache to options.evalCachePath (when
+     *  set), so everything evaluated over the flow's lifetime --
+     *  including post-run() SPEC sweeps -- warms the next run. */
+    ~ValidationFlow();
+
     /** Execute steps #1 through #6. */
     FlowReport run();
 
@@ -97,12 +113,22 @@ class ValidationFlow
     /** @return the raced parameter space. */
     const SniperParamSpace &paramSpace() const { return sniperSpace; }
 
-    /** Simulate one program on a model and report CPI error. */
+    /** @return the evaluation engine serving this flow. */
+    engine::EvalEngine &engine() { return *evalEngine; }
+
+    /**
+     * Simulate one program on a model and report CPI error.
+     *
+     * The program is registered with the engine's TraceBank (recorded
+     * once, deduplicated by content) and the result is cached, so
+     * sweeps over many models per program cost one replay each.
+     */
     BenchError evaluateOn(const core::CoreParams &model,
                           const isa::Program &program);
 
     /**
-     * Mean absolute CPI error of a model over the micro-benchmarks.
+     * Mean absolute CPI error of a model over the micro-benchmarks,
+     * evaluated as one engine batch.
      *
      * @param stride evaluate every stride-th micro-benchmark only;
      *        values > 1 trade fidelity for speed (smoke runs).
@@ -111,17 +137,37 @@ class ValidationFlow
                        std::vector<BenchError> *detail = nullptr,
                        size_t stride = 1);
 
-    /** Run the simulator model (in-order or OoO per construction). */
+    /**
+     * Batched flavour: mean ubench CPI error of many models at once
+     * (one deduplicated engine batch across models x instances). Used
+     * by the perturbation sweeps.
+     */
+    std::vector<double>
+    ubenchErrorBatch(const std::vector<core::CoreParams> &models,
+                     size_t stride = 1);
+
+    /**
+     * Run the simulator model (in-order or OoO per construction) on a
+     * program, one-shot: live functional execution, no registration
+     * with the engine. Use evaluateOn() for programs that will be
+     * evaluated repeatedly -- it records, replays and caches.
+     */
     core::CoreStats simulate(const core::CoreParams &model,
                              const isa::Program &program) const;
 
   private:
+    /** Absolute relative CPI error vs the board for an instance. */
+    double cpiError(double sim_cpi, size_t instance);
+
     bool ooo;
     FlowOptions opts;
     SniperParamSpace sniperSpace;
     std::unique_ptr<HardwareOracle> hwOracle;
-    /** Micro-benchmark programs, built once. */
-    std::vector<isa::Program> ubenchPrograms;
+    std::unique_ptr<engine::EvalEngine> evalEngine;
+    /** Engine instance ids of the micro-benchmarks, in suite order. */
+    std::vector<size_t> ubenchInstances;
+    /** Base model the raced configurations overlay (set in run()). */
+    core::CoreParams raceBase;
 };
 
 } // namespace raceval::validate

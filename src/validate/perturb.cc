@@ -40,34 +40,44 @@ neighborChoices(const tuner::Parameter &param, uint16_t current)
 
 PerturbResult
 worstNearOptimum(const SniperParamSpace &sspace,
-                 const tuner::Configuration &tuned, const ErrorFn &error,
+                 const tuner::Configuration &tuned,
+                 const BatchErrorFn &error,
                  unsigned random_refinements, uint64_t seed)
 {
     const tuner::ParameterSpace &space = sspace.space();
     PerturbResult result;
-    result.tunedError = error(tuned);
+    result.tunedError = error({tuned}).front();
     result.worst = tuned;
     result.worstError = result.tunedError;
     ++result.evaluations;
 
     // Greedy coordinate ascent: for each parameter take the one-step
     // deviation that hurts accuracy the most, accumulating deviations
-    // (the paper perturbs multiple parameters simultaneously).
+    // (the paper perturbs multiple parameters simultaneously). The
+    // probes of one parameter are independent given the accumulated
+    // `current`, so each parameter step is one batch.
     tuner::Configuration current = tuned;
     double current_error = result.tunedError;
     for (size_t pass = 0; pass < 2; ++pass) {
         for (size_t i = 0; i < space.size(); ++i) {
-            uint16_t best_choice = current[i];
-            double best_error = current_error;
-            for (uint16_t choice :
-                 neighborChoices(space.at(i), tuned[i])) {
+            std::vector<uint16_t> choices =
+                neighborChoices(space.at(i), tuned[i]);
+            std::vector<tuner::Configuration> probes;
+            probes.reserve(choices.size());
+            for (uint16_t choice : choices) {
                 tuner::Configuration probe = current;
                 probe[i] = choice;
-                double err = error(probe);
-                ++result.evaluations;
-                if (err > best_error) {
-                    best_error = err;
-                    best_choice = choice;
+                probes.push_back(std::move(probe));
+            }
+            std::vector<double> errors = error(probes);
+            result.evaluations += probes.size();
+
+            uint16_t best_choice = current[i];
+            double best_error = current_error;
+            for (size_t c = 0; c < choices.size(); ++c) {
+                if (errors[c] > best_error) {
+                    best_error = errors[c];
+                    best_choice = choices[c];
                 }
             }
             current[i] = best_choice;
@@ -80,8 +90,11 @@ worstNearOptimum(const SniperParamSpace &sspace,
     }
 
     // Randomized refinement: random one-step deviation patterns catch
-    // interactions the greedy pass misses.
+    // interactions the greedy pass misses. All refinements are
+    // independent of each other: one batch.
     Rng rng(seed);
+    std::vector<tuner::Configuration> probes;
+    probes.reserve(random_refinements);
     for (unsigned r = 0; r < random_refinements; ++r) {
         tuner::Configuration probe = tuned;
         for (size_t i = 0; i < space.size(); ++i) {
@@ -91,14 +104,36 @@ worstNearOptimum(const SniperParamSpace &sspace,
             if (!choices.empty())
                 probe[i] = choices[rng.nextBelow(choices.size())];
         }
-        double err = error(probe);
-        ++result.evaluations;
-        if (err > result.worstError) {
-            result.worstError = err;
-            result.worst = probe;
+        probes.push_back(std::move(probe));
+    }
+    if (!probes.empty()) {
+        std::vector<double> errors = error(probes);
+        result.evaluations += probes.size();
+        for (size_t r = 0; r < probes.size(); ++r) {
+            if (errors[r] > result.worstError) {
+                result.worstError = errors[r];
+                result.worst = probes[r];
+            }
         }
     }
     return result;
+}
+
+PerturbResult
+worstNearOptimum(const SniperParamSpace &sspace,
+                 const tuner::Configuration &tuned, const ErrorFn &error,
+                 unsigned random_refinements, uint64_t seed)
+{
+    BatchErrorFn batched =
+        [&error](const std::vector<tuner::Configuration> &probes) {
+            std::vector<double> out;
+            out.reserve(probes.size());
+            for (const tuner::Configuration &probe : probes)
+                out.push_back(error(probe));
+            return out;
+        };
+    return worstNearOptimum(sspace, tuned, batched, random_refinements,
+                            seed);
 }
 
 } // namespace raceval::validate

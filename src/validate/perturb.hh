@@ -7,13 +7,17 @@
  *
  * The paper searches exhaustively; this reproduction uses greedy
  * coordinate ascent plus randomized multi-parameter refinement, which
- * lower-bounds the true worst case (see EXPERIMENTS.md).
+ * lower-bounds the true worst case (see EXPERIMENTS.md). All probes of
+ * one greedy step (and all random refinements) are independent, so the
+ * search evaluates them as batches -- the evaluation engine
+ * deduplicates and caches them across the sweep.
  */
 
 #ifndef RACEVAL_VALIDATE_PERTURB_HH
 #define RACEVAL_VALIDATE_PERTURB_HH
 
 #include <functional>
+#include <vector>
 
 #include "tuner/space.hh"
 #include "validate/sniper_space.hh"
@@ -23,6 +27,14 @@ namespace raceval::validate
 
 /** Objective: mean CPI error of a configuration (to be maximized). */
 using ErrorFn = std::function<double(const tuner::Configuration &)>;
+
+/**
+ * Batched objective: mean CPI errors of many configurations at once,
+ * in input order. Implementations are expected to deduplicate and
+ * cache (ValidationFlow::ubenchErrorBatch through the engine does).
+ */
+using BatchErrorFn = std::function<std::vector<double>(
+    const std::vector<tuner::Configuration> &)>;
 
 /** Result of the worst-neighbor search. */
 struct PerturbResult
@@ -42,10 +54,18 @@ struct PerturbResult
  *
  * @param space the raced space.
  * @param tuned the optimum to perturb around.
- * @param error objective (mean CPI error across benchmarks).
+ * @param error batched objective (mean CPI error across benchmarks).
  * @param random_refinements extra randomized multi-step probes.
  * @param seed rng seed for the refinement phase.
  */
+PerturbResult worstNearOptimum(const SniperParamSpace &space,
+                               const tuner::Configuration &tuned,
+                               const BatchErrorFn &error,
+                               unsigned random_refinements = 24,
+                               uint64_t seed = 7);
+
+/** Convenience overload over a scalar objective (probes evaluated one
+ *  at a time; identical search trajectory). */
 PerturbResult worstNearOptimum(const SniperParamSpace &space,
                                const tuner::Configuration &tuned,
                                const ErrorFn &error,

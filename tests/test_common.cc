@@ -117,6 +117,33 @@ TEST(ThreadPool, ParallelForHitsEveryIndex)
         EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ParallelForChunksLargeRanges)
+{
+    // Regression for the chunked parallelFor: with n >> threads every
+    // index must still be visited exactly once, including the ragged
+    // final chunk.
+    ThreadPool pool(3);
+    const size_t n = 100003; // prime: never divides evenly into chunks
+    std::vector<std::atomic<uint8_t>> hits(n);
+    std::atomic<uint64_t> sum{0};
+    pool.parallelFor(n, [&](size_t i) {
+        hits[i]++;
+        sum += i;
+    });
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    EXPECT_EQ(sum.load(), uint64_t{n} * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ParallelForSmallerThanPool)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(3, [&](size_t i) { hits[i]++; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, RunAllDrainsBatch)
 {
     ThreadPool pool(2);

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <ctime>
 
 #include "common/rng.hh"
 #include "core/inorder.hh"
@@ -73,11 +75,24 @@ TEST(Shape, HiddenPrefetcherHurtsStreamingBench)
 TEST(Shape, AbstractModelFasterThanDetailed)
 {
     isa::Program prog = ubench::find("CCh")->builder(150000, true);
-    auto time_run = [&prog](auto &&runner) {
-        auto t0 = std::chrono::steady_clock::now();
-        runner();
-        auto t1 = std::chrono::steady_clock::now();
-        return std::chrono::duration<double>(t1 - t0).count();
+    // The claim is about compute cost, so measure best-of-three
+    // process-CPU time: wall clock loses whole scheduler quanta to
+    // concurrently running suites when ctest runs in parallel on few
+    // cores, CPU time does not.
+    auto cpu_seconds = [] {
+        timespec ts;
+        clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+        return static_cast<double>(ts.tv_sec)
+            + 1e-9 * static_cast<double>(ts.tv_nsec);
+    };
+    auto time_run = [&prog, &cpu_seconds](auto &&runner) {
+        double best = 1e100;
+        for (int rep = 0; rep < 3; ++rep) {
+            double t0 = cpu_seconds();
+            runner();
+            best = std::min(best, cpu_seconds() - t0);
+        }
+        return best;
     };
     core::InOrderCore sim(core::publicInfoA53());
     auto board = hw::makeMachine(hw::secretA53(), false);
