@@ -1,0 +1,384 @@
+#include "campaign/checkpoint.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace raceval::campaign
+{
+
+namespace
+{
+
+// --------------------------------------------------------------- writing
+
+/** Append a configuration as a JSON array of choice indices. */
+void
+writeConfig(std::string &out, const tuner::Configuration &config)
+{
+    out += '[';
+    for (size_t i = 0; i < config.size(); ++i)
+        out += strprintf("%s%u", i ? "," : "", unsigned{config[i]});
+    out += ']';
+}
+
+/** Append a double array; %.17g round-trips IEEE-754 exactly. */
+void
+writeDoubles(std::string &out, const std::vector<double> &values)
+{
+    out += '[';
+    for (size_t i = 0; i < values.size(); ++i)
+        out += strprintf("%s%.17g", i ? "," : "", values[i]);
+    out += ']';
+}
+
+void
+writeEntry(std::string &out, const CheckpointEntry &entry)
+{
+    // Task names are driver-chosen identifiers; escape the two
+    // characters that could break the quoting.
+    std::string name;
+    for (char c : entry.name) {
+        if (c == '"' || c == '\\')
+            name += '\\';
+        name += c;
+    }
+    out += strprintf("    {\n      \"name\": \"%s\",\n", name.c_str());
+    // The fingerprint is a full 64-bit hash: keep it a hex string so
+    // no JSON reader ever rounds it through a double.
+    out += strprintf("      \"fingerprint\": \"0x%016" PRIx64 "\",\n",
+                     entry.fingerprint);
+    out += "      \"best\": ";
+    writeConfig(out, entry.result.best);
+    out += strprintf(",\n      \"best_mean_cost\": %.17g,\n",
+                     entry.result.bestMeanCost);
+    out += "      \"best_costs\": ";
+    writeDoubles(out, entry.result.bestCosts);
+    out += strprintf(",\n      \"experiments_used\": %" PRIu64 ",\n",
+                     entry.result.experimentsUsed);
+    out += strprintf("      \"iterations\": %u,\n",
+                     entry.result.iterations);
+    out += "      \"elites\": [";
+    for (size_t e = 0; e < entry.result.elites.size(); ++e) {
+        out += e ? ",\n        " : "\n        ";
+        out += "{\"config\": ";
+        writeConfig(out, entry.result.elites[e].first);
+        out += strprintf(", \"mean_cost\": %.17g}",
+                         entry.result.elites[e].second);
+    }
+    out += entry.result.elites.empty() ? "]\n    }" : "\n      ]\n    }";
+}
+
+// --------------------------------------------------------------- parsing
+
+/**
+ * Minimal JSON value / recursive-descent parser -- just enough for the
+ * checkpoint format written above (objects, arrays, strings with
+ * backslash escapes, numbers, true/false/null).
+ */
+struct Json
+{
+    enum class Kind : uint8_t
+    {
+        Null, Bool, Number, String, Array, Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Json> array;
+    std::vector<std::pair<std::string, Json>> object;
+
+    const Json *
+    find(const char *key) const
+    {
+        for (const auto &[k, v] : object) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+};
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    bool ok = true;
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n'
+                           || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        ok = false;
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        Json out;
+        skipWs();
+        if (p >= end) {
+            ok = false;
+            return out;
+        }
+        switch (*p) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f':
+          case 'n': return parseWord();
+          default: return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        Json out;
+        out.kind = Json::Kind::Object;
+        consume('{');
+        skipWs();
+        if (p < end && *p == '}') {
+            ++p;
+            return out;
+        }
+        while (ok) {
+            Json key = parseString();
+            consume(':');
+            Json value = parseValue();
+            out.object.emplace_back(std::move(key.string),
+                                    std::move(value));
+            skipWs();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            consume('}');
+            break;
+        }
+        return out;
+    }
+
+    Json
+    parseArray()
+    {
+        Json out;
+        out.kind = Json::Kind::Array;
+        consume('[');
+        skipWs();
+        if (p < end && *p == ']') {
+            ++p;
+            return out;
+        }
+        while (ok) {
+            out.array.push_back(parseValue());
+            skipWs();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            consume(']');
+            break;
+        }
+        return out;
+    }
+
+    Json
+    parseString()
+    {
+        Json out;
+        out.kind = Json::Kind::String;
+        if (!consume('"'))
+            return out;
+        while (p < end && *p != '"') {
+            if (*p == '\\' && p + 1 < end)
+                ++p;
+            out.string += *p++;
+        }
+        consume('"');
+        return out;
+    }
+
+    Json
+    parseWord()
+    {
+        Json out;
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+            out.kind = Json::Kind::Bool;
+            out.boolean = true;
+            p += 4;
+        } else if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+            out.kind = Json::Kind::Bool;
+            p += 5;
+        } else if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
+            p += 4;
+        } else {
+            ok = false;
+        }
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        Json out;
+        out.kind = Json::Kind::Number;
+        char *after = nullptr;
+        out.number = std::strtod(p, &after);
+        if (after == p)
+            ok = false;
+        p = after;
+        return out;
+    }
+};
+
+tuner::Configuration
+readConfig(const Json &json)
+{
+    tuner::Configuration config(json.array.size());
+    for (size_t i = 0; i < json.array.size(); ++i)
+        config[i] = static_cast<uint16_t>(json.array[i].number);
+    return config;
+}
+
+std::vector<double>
+readDoubles(const Json &json)
+{
+    std::vector<double> out;
+    out.reserve(json.array.size());
+    for (const Json &v : json.array)
+        out.push_back(v.number);
+    return out;
+}
+
+/** Pull one task entry out of its parsed object; false when a
+ *  required field is missing or mistyped. */
+bool
+readEntry(const Json &json, CheckpointEntry &out)
+{
+    const Json *name = json.find("name");
+    const Json *fp = json.find("fingerprint");
+    const Json *best = json.find("best");
+    const Json *mean = json.find("best_mean_cost");
+    const Json *costs = json.find("best_costs");
+    const Json *used = json.find("experiments_used");
+    const Json *iters = json.find("iterations");
+    const Json *elites = json.find("elites");
+    if (!name || name->kind != Json::Kind::String
+        || !fp || fp->kind != Json::Kind::String
+        || !best || best->kind != Json::Kind::Array
+        || !mean || mean->kind != Json::Kind::Number
+        || !costs || costs->kind != Json::Kind::Array
+        || !used || used->kind != Json::Kind::Number
+        || !iters || iters->kind != Json::Kind::Number
+        || !elites || elites->kind != Json::Kind::Array)
+        return false;
+
+    out.name = name->string;
+    out.fingerprint = std::strtoull(fp->string.c_str(), nullptr, 16);
+    out.result.best = readConfig(*best);
+    out.result.bestMeanCost = mean->number;
+    out.result.bestCosts = readDoubles(*costs);
+    out.result.experimentsUsed =
+        static_cast<uint64_t>(used->number);
+    out.result.iterations = static_cast<unsigned>(iters->number);
+    for (const Json &elite : elites->array) {
+        const Json *config = elite.find("config");
+        const Json *cost = elite.find("mean_cost");
+        if (!config || !cost)
+            return false;
+        out.result.elites.emplace_back(readConfig(*config),
+                                       cost->number);
+    }
+    return true;
+}
+
+} // namespace
+
+size_t
+saveCheckpoint(const std::string &path,
+               const std::vector<CheckpointEntry> &entries)
+{
+    std::string out = "{\n  \"version\": 1,\n  \"tasks\": [\n";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        writeEntry(out, entries[i]);
+        out += i + 1 < entries.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+
+    // Temp file + rename: a crash mid-write leaves the previous
+    // checkpoint intact.
+    std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "w");
+    if (!file) {
+        warn("campaign: cannot write checkpoint '%s'", path.c_str());
+        return 0;
+    }
+    bool wrote = std::fwrite(out.data(), 1, out.size(), file)
+        == out.size();
+    wrote = (std::fclose(file) == 0) && wrote;
+    if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("campaign: failed to finalize checkpoint '%s'",
+             path.c_str());
+        std::remove(tmp.c_str());
+        return 0;
+    }
+    return entries.size();
+}
+
+std::vector<CheckpointEntry>
+loadCheckpoint(const std::string &path)
+{
+    std::vector<CheckpointEntry> out;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return out; // fresh start
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        text.append(buf, got);
+    std::fclose(file);
+
+    Parser parser{text.data(), text.data() + text.size()};
+    Json root = parser.parseValue();
+    const Json *tasks =
+        parser.ok && root.kind == Json::Kind::Object
+            ? root.find("tasks") : nullptr;
+    if (!tasks || tasks->kind != Json::Kind::Array) {
+        warn("campaign: malformed checkpoint '%s' ignored",
+             path.c_str());
+        return out;
+    }
+    for (const Json &task : tasks->array) {
+        CheckpointEntry entry;
+        if (readEntry(task, entry)) {
+            out.push_back(std::move(entry));
+        } else {
+            warn("campaign: skipping malformed checkpoint entry in "
+                 "'%s'", path.c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace raceval::campaign

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * JSON checkpointing of campaign progress.
+ *
+ * A campaign is many independent racing tasks; killing and restarting
+ * one should never repeat finished work. The checkpoint file holds one
+ * entry per completed task -- its name, a content fingerprint of the
+ * task definition, and the full RaceResult -- and is rewritten through
+ * a temp-file rename after every task completion, so a crash leaves
+ * either the previous or the next consistent state on disk, never a
+ * torn file.
+ *
+ * Doubles are serialized with %.17g, which round-trips IEEE-754
+ * exactly: a resumed campaign reports bit-identical RaceResults to the
+ * uninterrupted run.
+ */
+
+#ifndef RACEVAL_CAMPAIGN_CHECKPOINT_HH
+#define RACEVAL_CAMPAIGN_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tuner/race.hh"
+
+namespace raceval::campaign
+{
+
+/** One completed task in a checkpoint file. */
+struct CheckpointEntry
+{
+    std::string name;
+    /** Content fingerprint of the task definition at completion time;
+     *  resume ignores entries whose fingerprint no longer matches, so
+     *  editing a task (seed, budget, workloads, model) re-races it
+     *  instead of resurrecting a stale result. */
+    uint64_t fingerprint = 0;
+    tuner::RaceResult result;
+};
+
+/**
+ * Write a checkpoint (temp file + atomic rename).
+ *
+ * An unwritable path warns and writes nothing: a checkpoint is a
+ * convenience, losing one never kills a running campaign.
+ *
+ * @return entries written (0 on I/O failure).
+ */
+size_t saveCheckpoint(const std::string &path,
+                      const std::vector<CheckpointEntry> &entries);
+
+/**
+ * Load a checkpoint. A missing file is a fresh start (empty result);
+ * a malformed file warns and is treated as empty.
+ */
+std::vector<CheckpointEntry> loadCheckpoint(const std::string &path);
+
+} // namespace raceval::campaign
+
+#endif // RACEVAL_CAMPAIGN_CHECKPOINT_HH

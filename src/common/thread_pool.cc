@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace raceval
 {
@@ -45,11 +46,6 @@ ThreadPool::workerLoop()
             queue.pop_front();
         }
         task();
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            if (--inFlight == 0)
-                batchDone.notify_all();
-        }
     }
 }
 
@@ -58,15 +54,35 @@ ThreadPool::runAll(std::vector<std::function<void()>> tasks)
 {
     if (tasks.empty())
         return;
+
+    // Per-batch completion state: concurrent runAll() callers (e.g. a
+    // campaign's racer threads sharing one engine pool) each wait only
+    // for their own batch, never for a pool-global quiescent point --
+    // otherwise a small batch would convoy behind every other caller's
+    // in-flight work.
+    struct BatchState
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        size_t remaining;
+    };
+    auto state = std::make_shared<BatchState>();
+    state->remaining = tasks.size();
+
     {
         std::lock_guard<std::mutex> lock(mutex);
-        inFlight += tasks.size();
-        for (auto &task : tasks)
-            queue.push_back(std::move(task));
+        for (auto &task : tasks) {
+            queue.push_back([state, task = std::move(task)] {
+                task();
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (--state->remaining == 0)
+                    state->done.notify_all();
+            });
+        }
     }
     wakeWorker.notify_all();
-    std::unique_lock<std::mutex> lock(mutex);
-    batchDone.wait(lock, [this] { return inFlight == 0; });
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] { return state->remaining == 0; });
 }
 
 void

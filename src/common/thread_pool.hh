@@ -43,6 +43,10 @@ class ThreadPool
     /**
      * Run every task in the batch and block until all complete.
      *
+     * Safe to call from several threads at once: each caller waits on
+     * its own batch's completion, so concurrent batches interleave at
+     * the workers without convoying behind one another.
+     *
      * Tasks must be independent; exceptions escaping a task terminate (the
      * library reports errors via fatal()/panic() instead).
      */
@@ -60,8 +64,6 @@ class ThreadPool
     std::deque<std::function<void()>> queue;
     std::mutex mutex;
     std::condition_variable wakeWorker;
-    std::condition_variable batchDone;
-    size_t inFlight = 0;
     bool stopping = false;
 };
 

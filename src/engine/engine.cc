@@ -120,14 +120,15 @@ EvalEngine::addInstance(const isa::Program &program)
 }
 
 EvalKey
-EvalEngine::modelKey(const core::CoreParams &model, size_t instance) const
+EvalEngine::modelKey(const core::CoreParams &model, size_t instance,
+                     size_t domain) const
 {
     // One key family for everything: raced configurations are
     // materialized first and keyed by model content, so racing, error
     // reports and perturbation sweeps all share cache entries. The
-    // cost tag keeps different metrics apart.
+    // domain's cost tag keeps different metrics apart.
     return EvalKey{Fingerprinter::mix64(fingerprint(model)
-                       ^ Fingerprinter::mix64(costTag)),
+                       ^ Fingerprinter::mix64(domains[domain].tag)),
                    instance};
 }
 
@@ -152,12 +153,14 @@ EvalEngine::replayRun(const core::CoreParams &model, size_t instance)
 }
 
 EvalValue
-EvalEngine::computeFresh(const core::CoreParams &model, size_t instance)
+EvalEngine::computeFresh(const core::CoreParams &model, size_t instance,
+                         size_t domain)
 {
     core::CoreStats run = replayRun(model, instance);
+    const SimCostFn &cost = domains[domain].fn;
     EvalValue value;
     value.simCpi = run.cpi();
-    value.cost = costFn ? costFn(run, instance) : value.simCpi;
+    value.cost = cost ? cost(run, instance) : value.simCpi;
     ++evaluations;
     return value;
 }
@@ -181,12 +184,12 @@ EvalValue
 EvalEngine::evaluateModel(const core::CoreParams &model, size_t instance)
 {
     ++requests;
-    EvalKey key = modelKey(model, instance);
+    EvalKey key = modelKey(model, instance, 0);
     EvalValue value;
     if (cache.lookup(key, value))
         return value;
     auto start = std::chrono::steady_clock::now();
-    value = computeFresh(model, instance);
+    value = computeFresh(model, instance, 0);
     chargeWall(start);
     cache.insert(key, value);
     return value;
@@ -196,7 +199,7 @@ bool
 EvalEngine::isCached(const tuner::Configuration &config,
                      size_t instance) const
 {
-    return cache.contains(modelKey(materialize(config), instance));
+    return cache.contains(modelKey(materialize(config), instance, 0));
 }
 
 std::vector<double>
@@ -309,11 +312,14 @@ BatchEvaluator::submit(const tuner::Configuration &config, size_t instance)
 }
 
 BatchEvaluator::Ticket
-BatchEvaluator::submitModel(const core::CoreParams &model, size_t instance)
+BatchEvaluator::submitModel(const core::CoreParams &model,
+                            size_t instance, size_t domain)
 {
+    RV_ASSERT(domain < engine.domains.size(),
+              "batch: unknown cost domain %zu", domain);
     ++engine.requests;
     ++engine.batchSubmissions;
-    EvalKey key = engine.modelKey(model, instance);
+    EvalKey key = engine.modelKey(model, instance, domain);
     uint64_t mixed = mixedKey(key);
     auto it = slotIndex.find(mixed);
     if (it != slotIndex.end()) {
@@ -325,6 +331,7 @@ BatchEvaluator::submitModel(const core::CoreParams &model, size_t instance)
     Slot slot;
     slot.key = key;
     slot.instance = instance;
+    slot.domain = domain;
     if (engine.cache.lookup(key, slot.value))
         slot.served = true;
     else
@@ -353,7 +360,8 @@ BatchEvaluator::collect()
         auto start = std::chrono::steady_clock::now();
         engine.pool.parallelFor(fresh.size(), [&](size_t k) {
             Slot &slot = slots[fresh[k]];
-            slot.value = engine.computeFresh(slot.model, slot.instance);
+            slot.value = engine.computeFresh(slot.model, slot.instance,
+                                             slot.domain);
             engine.cache.insert(slot.key, slot.value);
             slot.served = true;
         });

@@ -131,6 +131,10 @@ class EvalEngine : public tuner::CostEvaluator
     /** @return registered instance count. */
     size_t numInstances() const { return bank.size(); }
 
+    /** @return true when this engine replays into the out-of-order
+     *  model kind (construction-time choice). */
+    bool outOfOrder() const { return ooo; }
+
     /**
      * Set the configuration materializer. Required before any
      * Configuration-keyed evaluation.
@@ -138,7 +142,7 @@ class EvalEngine : public tuner::CostEvaluator
     void setModelFn(ModelFn fn) { modelFn = std::move(fn); }
 
     /**
-     * Set the cost metric.
+     * Set the default cost metric (cost domain 0).
      *
      * @param fn the metric; when unset, cost = simulated CPI.
      * @param cost_tag salt folded into every cache key so results from
@@ -147,8 +151,42 @@ class EvalEngine : public tuner::CostEvaluator
     void
     setCostFn(SimCostFn fn, uint64_t cost_tag)
     {
-        costFn = std::move(fn);
-        costTag = cost_tag;
+        domains[0].fn = std::move(fn);
+        domains[0].tag = cost_tag;
+    }
+
+    /**
+     * Register an additional cost metric and return its domain id.
+     *
+     * Cost domains let independent consumers (e.g. the racing tasks of
+     * a campaign, each scoring against its own hardware target) share
+     * one engine -- and therefore one TraceBank and one EvalCache --
+     * without their objective values ever aliasing: the domain tag is
+     * salted into every cache key. Domain 0 is the setCostFn default.
+     *
+     * Register domains before evaluation starts; registration is not
+     * synchronized against concurrent evaluation.
+     *
+     * @param fn the metric (thread-safe, deterministic).
+     * @param cost_tag per-domain cache-key salt; give distinct metrics
+     *        distinct tags.
+     */
+    size_t
+    addCostDomain(SimCostFn fn, uint64_t cost_tag)
+    {
+        domains.push_back(CostDomain{std::move(fn), cost_tag});
+        return domains.size() - 1;
+    }
+
+    /** @return registered cost-domain count (>= 1: the default). */
+    size_t numCostDomains() const { return domains.size(); }
+
+    /** @return a domain's cache-key salt (the metric's identity, e.g.
+     *  for content fingerprints of work keyed to this domain). */
+    uint64_t
+    costDomainTag(size_t domain) const
+    {
+        return domains[domain].tag;
     }
 
     /// @name Evaluation
@@ -206,6 +244,7 @@ class EvalEngine : public tuner::CostEvaluator
     /// @}
 
     TraceBank &traceBank() { return bank; }
+    const TraceBank &traceBank() const { return bank; }
     EvalCache &evalCache() { return cache; }
     ThreadPool &threadPool() { return pool; }
 
@@ -214,15 +253,22 @@ class EvalEngine : public tuner::CostEvaluator
   private:
     friend class BatchEvaluator;
 
-    EvalKey modelKey(const core::CoreParams &model,
-                     size_t instance) const;
+    /** One registered cost metric (see addCostDomain). */
+    struct CostDomain
+    {
+        SimCostFn fn;     //!< nullptr = simulated CPI
+        uint64_t tag = 0; //!< cache-key salt
+    };
+
+    EvalKey modelKey(const core::CoreParams &model, size_t instance,
+                     size_t domain) const;
     /** Apply the model fn (asserts one is set). */
     core::CoreParams materialize(const tuner::Configuration &config)
         const;
     /** Record-replay-score one experiment (the only place timing
      *  models run). */
     EvalValue computeFresh(const core::CoreParams &model,
-                           size_t instance);
+                           size_t instance, size_t domain);
     /** Add wall time since @p start to the evaluation clock. */
     void chargeWall(std::chrono::steady_clock::time_point start);
 
@@ -232,8 +278,8 @@ class EvalEngine : public tuner::CostEvaluator
     EvalCache cache;
     ThreadPool pool;
     ModelFn modelFn;
-    SimCostFn costFn;
-    uint64_t costTag = 0;
+    /** Registered cost metrics; [0] is the setCostFn default. */
+    std::vector<CostDomain> domains{1};
 
     /** Loaded warm-start entries whose instance is not registered
      *  yet: program fingerprint -> [(model key half, value)]. */
@@ -269,8 +315,14 @@ class BatchEvaluator
     /** Queue a raced configuration; @return the result ticket. */
     Ticket submit(const tuner::Configuration &config, size_t instance);
 
-    /** Queue a raw model; @return the result ticket. */
-    Ticket submitModel(const core::CoreParams &model, size_t instance);
+    /**
+     * Queue a raw model; @return the result ticket.
+     *
+     * @param domain cost domain scoring this experiment (0 = the
+     *        engine's setCostFn default).
+     */
+    Ticket submitModel(const core::CoreParams &model, size_t instance,
+                       size_t domain = 0);
 
     /** Evaluate every pending slot; idempotent. */
     void collect();
@@ -292,6 +344,7 @@ class BatchEvaluator
     {
         EvalKey key;
         size_t instance;
+        size_t domain = 0;
         core::CoreParams model; //!< unused once served
         EvalValue value;
         bool served = false; //!< filled from cache at submit time

@@ -11,11 +11,12 @@ SimpleCostEvaluator::SimpleCostEvaluator(CostFn cost_fn, unsigned threads)
     RV_ASSERT(cost != nullptr, "evaluator without a cost function");
 }
 
-uint64_t
-SimpleCostEvaluator::key(const Configuration &config, size_t instance)
+size_t
+SimpleCostEvaluator::PairHash::operator()(const EvalPair &pair) const
 {
-    return config.hash() * 1315423911ull
-        ^ (static_cast<uint64_t>(instance) + 0x9e3779b97f4a7c15ull);
+    return static_cast<size_t>(
+        pair.first.hash() * 1315423911ull
+        ^ (static_cast<uint64_t>(pair.second) + 0x9e3779b97f4a7c15ull));
 }
 
 std::vector<double>
@@ -23,12 +24,11 @@ SimpleCostEvaluator::evaluateMany(const std::vector<EvalPair> &pairs)
 {
     // Collect the unique uncached pairs.
     std::vector<size_t> fresh;
-    std::unordered_map<uint64_t, size_t> fresh_index;
+    std::unordered_map<EvalPair, size_t, PairHash> fresh_index;
     for (size_t i = 0; i < pairs.size(); ++i) {
-        uint64_t k = key(pairs[i].first, pairs[i].second);
-        if (memo.count(k) || fresh_index.count(k))
+        if (memo.count(pairs[i]) || fresh_index.count(pairs[i]))
             continue;
-        fresh_index.emplace(k, fresh.size());
+        fresh_index.emplace(pairs[i], fresh.size());
         fresh.push_back(i);
     }
 
@@ -37,14 +37,12 @@ SimpleCostEvaluator::evaluateMany(const std::vector<EvalPair> &pairs)
         const EvalPair &pair = pairs[fresh[k]];
         fresh_costs[k] = cost(pair.first, pair.second);
     });
-    for (size_t k = 0; k < fresh.size(); ++k) {
-        const EvalPair &pair = pairs[fresh[k]];
-        memo.emplace(key(pair.first, pair.second), fresh_costs[k]);
-    }
+    for (size_t k = 0; k < fresh.size(); ++k)
+        memo.emplace(pairs[fresh[k]], fresh_costs[k]);
 
     std::vector<double> out(pairs.size());
     for (size_t i = 0; i < pairs.size(); ++i)
-        out[i] = memo.at(key(pairs[i].first, pairs[i].second));
+        out[i] = memo.at(pairs[i]);
     return out;
 }
 

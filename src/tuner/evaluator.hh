@@ -88,10 +88,16 @@ class SimpleCostEvaluator : public CostEvaluator
     size_t cacheSize() const { return memo.size(); }
 
   private:
-    static uint64_t key(const Configuration &config, size_t instance);
+    /** Exact-pair hash: costs are memoized by full (configuration,
+     *  instance) content, never by a foldable 64-bit digest that could
+     *  collide and alias two different experiments. */
+    struct PairHash
+    {
+        size_t operator()(const EvalPair &pair) const;
+    };
 
     CostFn cost;
-    std::unordered_map<uint64_t, double> memo;
+    std::unordered_map<EvalPair, double, PairHash> memo;
     ThreadPool pool;
 };
 

@@ -10,19 +10,6 @@
 namespace raceval::tuner
 {
 
-namespace
-{
-
-/** Budget-accounting key: configuration content + instance id. */
-uint64_t
-experimentKey(const Configuration &config, size_t instance)
-{
-    return config.hash() * 1315423911ull
-        ^ (static_cast<uint64_t>(instance) + 0x9e3779b97f4a7c15ull);
-}
-
-} // namespace
-
 IteratedRacer::IteratedRacer(const ParameterSpace &space,
                              CostEvaluator &evaluator,
                              size_t num_instances, RacerOptions options)
@@ -31,6 +18,7 @@ IteratedRacer::IteratedRacer(const ParameterSpace &space,
 {
     RV_ASSERT(space.size() > 0, "empty parameter space");
     RV_ASSERT(numInstances > 0, "no benchmark instances");
+    RV_ASSERT(opts.maxExperiments > 0, "zero experiment budget");
 }
 
 IteratedRacer::IteratedRacer(const ParameterSpace &space, CostFn cost,
@@ -43,6 +31,7 @@ IteratedRacer::IteratedRacer(const ParameterSpace &space, CostFn cost,
 {
     RV_ASSERT(space.size() > 0, "empty parameter space");
     RV_ASSERT(numInstances > 0, "no benchmark instances");
+    RV_ASSERT(opts.maxExperiments > 0, "zero experiment budget");
 }
 
 void
@@ -97,7 +86,8 @@ IteratedRacer::sampleAroundElite(const Configuration &elite,
 }
 
 std::vector<IteratedRacer::Candidate>
-IteratedRacer::race(std::vector<Candidate> candidates, Rng &rng)
+IteratedRacer::race(std::vector<Candidate> candidates, Rng &rng,
+                    bool salvage)
 {
     std::vector<size_t> order = rng.permutation(numInstances);
 
@@ -116,22 +106,40 @@ IteratedRacer::race(std::vector<Candidate> candidates, Rng &rng)
                 continue;
             alive.push_back(c);
             if (!charged.count(
-                    experimentKey(candidates[c].config, instance)))
+                    ChargedKey{candidates[c].config, instance}))
                 ++fresh;
             step.emplace_back(candidates[c].config, instance);
         }
-        if (experimentsUsed + fresh > opts.maxExperiments)
-            break; // budget exhausted mid-race
+        bool truncated = false;
+        if (experimentsUsed + fresh > opts.maxExperiments) {
+            // Budget exhausted mid-race. If nothing has been costed
+            // yet (only possible on the very first step: every later
+            // step inherits costs from the one before), a plain break
+            // would end the whole run empty-handed -- spend the
+            // remaining budget on a truncated first step instead so
+            // the racer can still return a best-effort result.
+            if (!salvage || t != 0)
+                break;
+            uint64_t remaining = opts.maxExperiments - experimentsUsed;
+            alive.resize(static_cast<size_t>(
+                std::min<uint64_t>(alive.size(), remaining)));
+            step.resize(alive.size());
+            fresh = alive.size();
+            truncated = true;
+        }
 
         std::vector<double> step_costs = evaluator->evaluateMany(step);
         experimentsUsed += fresh;
         for (size_t k = 0; k < alive.size(); ++k) {
             charged.insert(
-                experimentKey(candidates[alive[k]].config, instance));
+                ChargedKey{candidates[alive[k]].config, instance});
         }
 
         for (size_t k = 0; k < alive.size(); ++k)
             candidates[alive[k]].costs.push_back(step_costs[k]);
+
+        if (truncated)
+            break; // budget spent; rank whatever got costed
 
         // Statistical elimination.
         if (t + 1 < opts.instancesBeforeFirstTest || alive.size() < 2)
@@ -201,9 +209,14 @@ IteratedRacer::run()
             opts.instancesBeforeFirstTest + 3;
         unsigned num_candidates = opts.candidatesPerIteration;
         if (num_candidates == 0) {
+            // The hi bound must track eliteCount: clamp's behaviour is
+            // undefined once lo > hi, which a large eliteCount (>= 61)
+            // used to trigger.
+            uint64_t lo = uint64_t{opts.eliteCount} + 4;
+            uint64_t hi = std::max<uint64_t>(64, lo);
             num_candidates = static_cast<unsigned>(std::clamp<uint64_t>(
                 budget_this_iter / std::max(1u, expected_per_candidate),
-                opts.eliteCount + 4, 64));
+                lo, hi));
         }
 
         std::vector<Candidate> candidates;
@@ -234,8 +247,11 @@ IteratedRacer::run()
             }
         }
 
-        std::vector<Candidate> survivors = race(std::move(candidates),
-                                                rng);
+        // Salvage is only armed while there is no elite to fall back
+        // on, so any race that already produced a result keeps its
+        // exact historical trajectory.
+        std::vector<Candidate> survivors =
+            race(std::move(candidates), rng, elites.empty());
         if (survivors.empty())
             break;
 

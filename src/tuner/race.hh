@@ -59,7 +59,13 @@ struct RaceResult
     Configuration best;
     /** Mean cost of `best` across all instances. */
     double bestMeanCost = 0.0;
-    /** Per-instance costs of `best`. */
+    /** Per-instance costs of `best`, from a final full evaluation
+     *  across every instance. That evaluation is reporting, not
+     *  search: it is never charged against maxExperiments. Normally
+     *  the racer has already raced the winner on (nearly) every
+     *  instance so it is served from the evaluator's cache; after a
+     *  budget-truncated best-effort race it may run fresh
+     *  evaluations beyond the stated budget. */
     std::vector<double> bestCosts;
     uint64_t experimentsUsed = 0;
     unsigned iterations = 0;
@@ -119,11 +125,19 @@ class IteratedRacer
     Configuration sampleUniform(Rng &rng) const;
     Configuration sampleAroundElite(const Configuration &elite,
                                     unsigned iteration, Rng &rng) const;
-    /** Race candidates over instances; returns survivors sorted by
-     *  mean cost (fills costs for every survivor on every raced
-     *  instance). */
+    /**
+     * Race candidates over instances; returns survivors sorted by
+     * mean cost (fills costs for every survivor on every raced
+     * instance).
+     *
+     * @param salvage when the budget cannot cover even the first
+     *        racing step, spend what remains on a truncated step
+     *        rather than returning empty-handed. Passed only while no
+     *        elites exist yet, so races that already produced a result
+     *        keep their exact historical trajectory.
+     */
     std::vector<Candidate> race(std::vector<Candidate> candidates,
-                                Rng &rng);
+                                Rng &rng, bool salvage);
 
     const ParameterSpace &space;
     /** Owned only by the CostFn convenience constructor. */
@@ -132,14 +146,37 @@ class IteratedRacer
     size_t numInstances;
     RacerOptions opts;
     uint64_t experimentsUsed = 0;
+    /** Exact budget-accounting key (no lossy 64-bit folding: a hash
+     *  collision would silently undercharge the budget). */
+    struct ChargedKey
+    {
+        Configuration config;
+        size_t instance = 0;
+
+        bool operator==(const ChargedKey &) const = default;
+    };
+
+    struct ChargedKeyHash
+    {
+        size_t
+        operator()(const ChargedKey &key) const
+        {
+            return static_cast<size_t>(
+                key.config.hash() * 1315423911ull
+                ^ (static_cast<uint64_t>(key.instance)
+                   + 0x9e3779b97f4a7c15ull));
+        }
+    };
+
     /**
      * (config, instance) pairs this race has already charged against
-     * its budget. Deliberately racer-local rather than asking the
-     * evaluator: a warm shared cache then speeds a race up without
-     * changing its trajectory -- re-running the same race over a
-     * populated engine cache stays bit-identical, just faster.
+     * its budget, compared by exact content. Deliberately racer-local
+     * rather than asking the evaluator: a warm shared cache then
+     * speeds a race up without changing its trajectory -- re-running
+     * the same race over a populated engine cache stays bit-identical,
+     * just faster.
      */
-    std::unordered_set<uint64_t> charged;
+    std::unordered_set<ChargedKey, ChargedKeyHash> charged;
     std::vector<Configuration> initialCandidates;
 };
 

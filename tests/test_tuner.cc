@@ -129,6 +129,71 @@ TEST(Racer, DeterministicUnderSeed)
     EXPECT_EQ(r1.run().best, r2.run().best);
 }
 
+TEST(Racer, TinyBudgetReturnsBestEffortResult)
+{
+    // A budget smaller than one racing step (candidates x 1 instance)
+    // used to die on the "no survivors" assert; now the racer spends
+    // what it has on a truncated first step and ranks those.
+    ParameterSpace space = toySpace();
+    auto cost = [&space](const Configuration &c, size_t) {
+        return double(space.ordinalValue(c, "a"));
+    };
+    for (uint64_t budget : {1ull, 3ull, 7ull}) {
+        RacerOptions opts;
+        opts.maxExperiments = budget;
+        opts.seed = 3;
+        IteratedRacer racer(space, cost, 10, opts);
+        RaceResult result = racer.run();
+        EXPECT_GE(result.experimentsUsed, 1u);
+        EXPECT_LE(result.experimentsUsed, budget);
+        EXPECT_GE(result.iterations, 1u);
+        EXPECT_FALSE(result.elites.empty());
+        // The winner still gets its full per-instance cost report.
+        EXPECT_EQ(result.bestCosts.size(), 10u);
+    }
+}
+
+TEST(Racer, TinyBudgetPicksBestOfCostedCandidates)
+{
+    // With budget 2 exactly two candidates get costed; the result must
+    // be the better of those two, not an arbitrary one.
+    ParameterSpace space = toySpace();
+    auto cost = [&space](const Configuration &c, size_t) {
+        return double(space.ordinalValue(c, "a"));
+    };
+    RacerOptions opts;
+    opts.maxExperiments = 2;
+    opts.seed = 3;
+    IteratedRacer racer(space, cost, 10, opts);
+    RaceResult result = racer.run();
+    EXPECT_EQ(result.experimentsUsed, 2u);
+    ASSERT_EQ(result.elites.size(), 2u);
+    EXPECT_LE(result.elites[0].second, result.elites[1].second);
+    EXPECT_EQ(result.bestMeanCost, result.elites[0].second);
+}
+
+TEST(Racer, LargeEliteCountDoesNotUnderflowCandidateClamp)
+{
+    // eliteCount >= 61 used to hand std::clamp a lo > hi pair (UB);
+    // the candidate count must now simply track eliteCount + 4.
+    ParameterSpace space = toySpace();
+    auto cost = [&space](const Configuration &c, size_t instance) {
+        return double(space.ordinalValue(c, "a"))
+            + 0.01 * double(instance % 3);
+    };
+    for (unsigned elites : {61u, 64u, 100u}) {
+        RacerOptions opts;
+        opts.maxExperiments = 2000;
+        opts.eliteCount = elites;
+        opts.seed = 11;
+        IteratedRacer racer(space, cost, 6, opts);
+        RaceResult result = racer.run();
+        EXPECT_FALSE(result.elites.empty());
+        EXPECT_LE(result.experimentsUsed, 2000u);
+        EXPECT_EQ(space.ordinalValue(result.best, "a"), 1);
+    }
+}
+
 TEST(Racer, EliteListSortedByCost)
 {
     ParameterSpace space = toySpace();
