@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "core/timing_model.hh"
 #include "engine/engine.hh"
+#include "ubench/ubench.hh"
 #include "validate/flow.hh"
 
 #include "workload/workload.hh"
@@ -141,6 +143,45 @@ writeJson(const engine::EngineStats *engine_stats = nullptr)
 
 /// @}
 
+/**
+ * `--list`: enumerate everything a driver can be pointed at -- the
+ * registered timing-model families, the hardware target presets, the
+ * micro-benchmark suite and the SPEC stand-in workloads.
+ */
+inline void
+printList()
+{
+    std::printf("timing-model families:\n");
+    for (const auto &info : core::TimingModelRegistry::instance().all())
+        std::printf("  %-9s %s\n", info.name, info.description);
+
+    std::printf("\nhardware target presets (validation boards):\n");
+    std::printf("  %-12s hidden A53-class in-order board "
+                "(hw::secretA53)\n", "secret-a53");
+    std::printf("  %-12s hidden A72-class out-of-order board "
+                "(hw::secretA72)\n", "secret-a72");
+    std::printf("\npublic-information base models (racing seeds):\n");
+    std::printf("  %-12s %s\n", "public-a53",
+                core::publicInfoA53().name.c_str());
+    std::printf("  %-12s %s\n", "public-a72",
+                core::publicInfoA72().name.c_str());
+
+    std::printf("\nmicro-benchmarks (paper Table I):\n");
+    for (const auto &info : ubench::all()) {
+        std::printf("  %-12s %-14s %10llu paper insts\n", info.name,
+                    ubench::categoryName(info.category),
+                    static_cast<unsigned long long>(
+                        info.paperDynInsts));
+    }
+
+    std::printf("\nSPEC CPU2017 stand-in workloads (paper Table II):\n");
+    for (const auto &info : workload::all()) {
+        std::printf("  %-12s %10llu paper insts\n", info.name,
+                    static_cast<unsigned long long>(
+                        info.paperDynInsts));
+    }
+}
+
 /** Shared preamble of both arg parsers: stamp the wall clock and
  *  record the driver name for the --json blob. */
 inline void
@@ -170,13 +211,19 @@ parseDriverArgs(int argc, char **argv, const char *what)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--smoke] [--json <path>]\n\n%s\n\n"
+            std::printf("usage: %s [--smoke] [--list] [--json <path>]"
+                        "\n\n%s\n\n"
                         "  --smoke        reduced budgets/workloads for "
                         "CI smoke runs\n"
+                        "  --list         enumerate workloads, hw "
+                        "presets and model families\n"
                         "  --json <path>  write a machine-readable "
                         "result blob\n"
                         "  RACEVAL_BUDGET=<n> overrides the racing "
                         "budget\n", argv[0], what);
+            std::exit(0);
+        } else if (arg == "--list") {
+            printList();
             std::exit(0);
         } else if (arg == "--smoke") {
             smokeMode() = true;
@@ -210,8 +257,11 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--smoke] [--json <path>] "
+            std::printf("usage: %s [--smoke] [--list] [--json <path>] "
                         "[--benchmark_* flags]\n\n%s\n", argv[0], what);
+            std::exit(0);
+        } else if (arg == "--list") {
+            printList();
             std::exit(0);
         } else if (arg == "--smoke") {
             smokeMode() = true;

@@ -28,6 +28,7 @@
 #include "bench/bench_common.hh"
 #include "campaign/campaign.hh"
 #include "common/log.hh"
+#include "core/timing_model.hh"
 #include "hw/machine.hh"
 #include "ubench/ubench.hh"
 #include "validate/oracle.hh"
@@ -68,13 +69,16 @@ main(int argc, char **argv)
     bench::header("Campaign racing: many tuning tasks, one shared "
                   "engine");
 
-    // Shared infrastructure: the A53 board stand-in, the raced space,
-    // and one evaluation engine every task runs through.
-    validate::SniperParamSpace sspace(false);
+    // Shared infrastructure: the A53 board stand-in, the raced spaces
+    // (one binding list per timing-model family), and one evaluation
+    // engine every task runs through -- tasks of different families
+    // share its TraceBank and EvalCache behind family-salted keys.
+    validate::SniperParamSpace sspace(core::ModelFamily::InOrder);
+    validate::SniperParamSpace ispace(core::ModelFamily::Interval);
     auto oracle = std::make_unique<validate::HardwareOracle>(
         hw::makeMachine(hw::secretA53(), false));
 
-    engine::EvalEngine eng(false);
+    engine::EvalEngine eng(core::ModelFamily::InOrder);
     std::vector<isa::Program> programs;
     std::vector<size_t> mem_ids, core_ids;
     for (const auto &info : ubench::all()) {
@@ -102,9 +106,9 @@ main(int argc, char **argv)
     // The task cross product. Both model presets are tuned against the
     // same board: "public" starts from the documented A53 facts, while
     // "derated" starts from a deliberately pessimistic preset, probing
-    // how robust racing is to the starting model. (Targets of the
-    // other timing-model kind -- the OoO A72 -- take a second engine
-    // and campaign, since an engine replays into one model kind.)
+    // how robust racing is to the starting model. The interval family
+    // rides in the same campaign: tasks carry a model-family tag, and
+    // the engine's family-salted cache keys keep their results apart.
     struct Preset
     {
         const char *name;
@@ -128,19 +132,23 @@ main(int argc, char **argv)
                            : std::vector<unsigned>{1, 2};
 
     auto make_task = [&](const Preset &preset, const Subset &subset,
-                         unsigned seed) {
+                         unsigned seed, core::ModelFamily family) {
+        const validate::SniperParamSpace &space =
+            family == core::ModelFamily::Interval ? ispace : sspace;
         campaign::CampaignTask task;
-        task.name = strprintf("a53-%s/%s/seed%u", preset.name,
-                              subset.name, seed);
-        task.space = &sspace.space();
+        task.name = strprintf("a53-%s-%s/%s/seed%u",
+                              core::modelFamilyName(family),
+                              preset.name, subset.name, seed);
+        task.space = &space.space();
         core::CoreParams base = preset.base;
-        task.modelFn = [&sspace, base](const tuner::Configuration &c) {
-            return sspace.apply(c, base);
+        task.modelFn = [&space, base](const tuner::Configuration &c) {
+            return space.apply(c, base);
         };
         task.instances = *subset.ids;
+        task.family = family;
         task.racer.maxExperiments = bench::budgetFromEnv(1200);
         task.racer.seed = 20190324 + seed;
-        task.initialCandidates = {sspace.encode(base)};
+        task.initialCandidates = {space.encode(base)};
         return task;
     };
 
@@ -155,24 +163,38 @@ main(int argc, char **argv)
         const Preset *preset;
         const Subset *subset;
         unsigned seed;
+        core::ModelFamily family;
     };
     std::vector<TaskSpec> specs;
     for (const Preset &preset : presets) {
         for (const Subset &subset : subsets) {
             for (unsigned seed : seed_replicates) {
-                specs.push_back(TaskSpec{&preset, &subset, seed});
-                runner.addTask(make_task(preset, subset, seed));
+                specs.push_back(TaskSpec{&preset, &subset, seed,
+                                         core::ModelFamily::InOrder});
             }
         }
+    }
+    // The interval family races the same board from the public preset
+    // through the shared engine -- the third model family is one more
+    // task declaration, not a second campaign.
+    for (const Subset &subset : subsets) {
+        for (unsigned seed : seed_replicates) {
+            specs.push_back(TaskSpec{&presets[0], &subset, seed,
+                                     core::ModelFamily::Interval});
+        }
+    }
+    for (const TaskSpec &spec : specs) {
+        runner.addTask(make_task(*spec.preset, *spec.subset, spec.seed,
+                                 spec.family));
     }
     size_t num_tasks = runner.numTasks();
 
     campaign::CampaignResult result = runner.run();
 
-    std::printf("%-24s %5s %12s %9s %8s %10s\n", "task", "iters",
+    std::printf("%-32s %5s %12s %9s %8s %10s\n", "task", "iters",
                 "experiments", "seconds", "exp/s", "best cost");
     for (const campaign::TaskOutcome &task : result.tasks) {
-        std::printf("%-24s %5u %12llu %9.2f %8.0f %9.4f%s\n",
+        std::printf("%-32s %5u %12llu %9.2f %8.0f %9.4f%s\n",
                     task.name.c_str(), task.result.iterations,
                     static_cast<unsigned long long>(
                         task.result.experimentsUsed),
@@ -191,7 +213,7 @@ main(int argc, char **argv)
         solo_opts.concurrency = 1;
         campaign::CampaignRunner solo(eng, solo_opts);
         solo.addTask(make_task(*specs[i].preset, *specs[i].subset,
-                               specs[i].seed));
+                               specs[i].seed, specs[i].family));
         campaign::CampaignResult alone = solo.run();
         if (!sameRace(alone.tasks[0].result, result.tasks[i].result))
             identical = false;

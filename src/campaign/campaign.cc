@@ -34,12 +34,14 @@ class SubsetEvaluator : public tuner::CostEvaluator
     std::vector<double>
     evaluateMany(const std::vector<tuner::EvalPair> &pairs) override
     {
+        core::ModelFamily family =
+            task.family.value_or(engine.modelFamily());
         engine::BatchEvaluator batch(engine);
         std::vector<engine::BatchEvaluator::Ticket> tickets;
         tickets.reserve(pairs.size());
         for (const auto &[config, local] : pairs) {
             tickets.push_back(batch.submitModel(
-                task.modelFn(config), task.instances[local],
+                family, task.modelFn(config), task.instances[local],
                 task.costDomain));
         }
         batch.collect();
@@ -76,12 +78,13 @@ taskFingerprint(const engine::EvalEngine &engine,
 {
     engine::Fingerprinter fp;
     fp.str(task.name);
-    // The engine's timing-model kind: CoreParams content carries no
-    // in-order/OoO distinction (the engine picks the core), so without
-    // this a checkpoint written against one kind would restore
-    // bit-wrong against the other (same guard as the EvalCache's
-    // persistence digest).
-    fp.mix(engine.outOfOrder());
+    // The task's timing-model family: CoreParams content carries no
+    // family distinction (the same struct configures every model), so
+    // without this a checkpoint written against one family would
+    // restore bit-wrong against another (same guard as the EvalCache's
+    // family-salted keys).
+    fp.mix(core::modelFamilySalt(
+        task.family.value_or(engine.modelFamily())));
 
     const tuner::RacerOptions &r = task.racer;
     fp.mix(r.maxExperiments)

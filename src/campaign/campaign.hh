@@ -33,10 +33,12 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "campaign/checkpoint.hh"
+#include "core/timing_model.hh"
 #include "engine/engine.hh"
 #include "tuner/race.hh"
 
@@ -60,6 +62,11 @@ struct CampaignTask
     std::vector<size_t> instances;
     /** Engine cost domain scoring this task (0 = engine default). */
     size_t costDomain = 0;
+    /** Timing-model family this task races (empty = the engine's
+     *  default family). Tasks of different families share the engine's
+     *  TraceBank and EvalCache; keys are family-salted, so their
+     *  results never alias. */
+    std::optional<core::ModelFamily> family;
     /** Racing knobs: budget, seed replicate, elimination params. */
     tuner::RacerOptions racer;
     /** Seed configurations (e.g. the target's public-info model). */

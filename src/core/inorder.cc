@@ -26,8 +26,7 @@ InOrderCore::resetState()
     contention.reset();
     cycle = 0;
     issuedThisCycle = 0;
-    fetchReadyAt = 0;
-    lastFetchLine = ~0ull;
+    frontend.reset();
     maxDone = 0;
     std::fill(regReady.begin(), regReady.end(), 0);
     std::fill(mshrFree.begin(), mshrFree.end(), 0);
@@ -55,24 +54,6 @@ InOrderCore::advanceSlot()
     }
 }
 
-void
-InOrderCore::frontend(const vm::DynInst &dyn)
-{
-    uint64_t line = dyn.pc / mem.lineBytes();
-    if (line == lastFetchLine)
-        return;
-    lastFetchLine = line;
-    cache::AccessResult fetch =
-        mem.access(dyn.pc, dyn.pc, false, true, cycle);
-    if (fetch.servedBy != cache::ServedBy::L1) {
-        // A pipelined front-end hides hit latency; only the beyond-L1
-        // cycles show up as a fetch bubble.
-        uint64_t bubble = fetch.latency - cparams.mem.l1i.latency;
-        if (cycle + bubble > fetchReadyAt)
-            fetchReadyAt = cycle + bubble;
-    }
-}
-
 bool
 InOrderCore::forwardedFromStore(uint64_t addr, unsigned size,
                                 uint64_t now) const
@@ -96,13 +77,14 @@ InOrderCore::run(vm::TraceSource &source)
     vm::DynInst dyn;
     while (source.next(dyn)) {
         ++stats.instructions;
-        frontend(dyn);
+        frontend.fetch(mem, cparams, dyn.pc, cycle);
 
         const isa::DecodedInst &inst = dyn.inst;
         OpClass cls = inst.cls;
 
         // Operand readiness (in-order: also bounded by the front end).
-        uint64_t ready = cycle > fetchReadyAt ? cycle : fetchReadyAt;
+        uint64_t ready =
+            cycle > frontend.readyAt ? cycle : frontend.readyAt;
         for (unsigned i = 0; i < inst.numSrcs; ++i) {
             uint64_t at = regReady[inst.src[i]];
             if (at > ready)
@@ -180,16 +162,10 @@ InOrderCore::run(vm::TraceSource &source)
           case OpClass::BranchCall:
           case OpClass::BranchRet: {
             bool mispredict = bp.predict(dyn);
-            if (mispredict) {
-                uint64_t redirect = done + cparams.mispredictPenalty;
-                if (redirect > fetchReadyAt)
-                    fetchReadyAt = redirect;
-                lastFetchLine = ~0ull;
-            } else if (dyn.taken && cparams.takenBranchBubble) {
-                uint64_t bubble = cycle + cparams.takenBranchBubble;
-                if (bubble > fetchReadyAt)
-                    fetchReadyAt = bubble;
-            }
+            if (mispredict)
+                frontend.redirect(done + cparams.mispredictPenalty);
+            else if (dyn.taken && cparams.takenBranchBubble)
+                frontend.stallUntil(cycle + cparams.takenBranchBubble);
             break;
           }
 

@@ -20,8 +20,10 @@
 #include "branch/predictor.hh"
 #include "cache/hierarchy.hh"
 #include "core/contention.hh"
+#include "core/frontend.hh"
 #include "core/params.hh"
 #include "core/stats.hh"
+#include "core/timing_model.hh"
 #include "vm/trace.hh"
 
 namespace raceval::core
@@ -32,7 +34,7 @@ namespace raceval::core
  * with a store buffer, limited hit-under-miss (MSHRs) and
  * store-to-load forwarding.
  */
-class InOrderCore
+class InOrderCore : public TimingModel
 {
   public:
     explicit InOrderCore(const CoreParams &params);
@@ -43,10 +45,10 @@ class InOrderCore
      * @param source dynamic instruction stream (reset() is called).
      * @return run statistics (CPI etc.).
      */
-    CoreStats run(vm::TraceSource &source);
+    CoreStats run(vm::TraceSource &source) override;
 
     /** @return the active configuration. */
-    const CoreParams &params() const { return cparams; }
+    const CoreParams &params() const override { return cparams; }
 
   private:
     CoreParams cparams;
@@ -57,8 +59,7 @@ class InOrderCore
     // --- per-run scoreboard state ---------------------------------------
     uint64_t cycle = 0;
     unsigned issuedThisCycle = 0;
-    uint64_t fetchReadyAt = 0;
-    uint64_t lastFetchLine = ~0ull;
+    FetchFrontEnd frontend;
     uint64_t maxDone = 0;
     std::vector<uint64_t> regReady;
     std::vector<uint64_t> mshrFree;
@@ -76,7 +77,6 @@ class InOrderCore
     size_t pendingStoreHead = 0;
 
     void resetState();
-    void frontend(const vm::DynInst &dyn);
     void advanceSlot();
 
     /** Stall issue until at least target (resets the slot counter). */

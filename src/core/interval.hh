@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sniper-style interval core timing model -- the third tunable model
+ * family, alongside the in-order and out-of-order accounting cores.
+ *
+ * Interval simulation (the analytical model behind Sniper) observes
+ * that a balanced superscalar core sustains its dispatch width except
+ * during *intervals* opened by miss events: a branch mispredict stalls
+ * the front end until the branch resolves and the pipeline refills; a
+ * long-latency load stalls dispatch when the reorder buffer fills
+ * behind it, and independent misses inside the same ROB window overlap
+ * (memory-level parallelism). This model walks the dynamic stream once
+ * charging exactly those windows: dispatch-width base slots, front-end
+ * bubbles (icache, mispredict), and ROB-bounded completion. Unlike the
+ * OoO family it deliberately ignores issue-queue/LSQ capacity, FU
+ * contention and store-buffer drain -- short-latency work is assumed
+ * hidden inside the interval, which is precisely the interval-core
+ * abstraction (and its abstraction gap).
+ *
+ * CoreParams knobs read: dispatch width, ROB size, the per-class
+ * latency table, every branch-predictor parameter, the mispredict
+ * penalty and taken-branch bubble, and the full cache hierarchy
+ * configuration. The store-buffer, forwarding and divide-pipelining
+ * knobs are deliberately ignored (and excluded from the interval
+ * family's raced space).
+ */
+
+#ifndef RACEVAL_CORE_INTERVAL_HH
+#define RACEVAL_CORE_INTERVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "core/frontend.hh"
+#include "core/params.hh"
+#include "core/stats.hh"
+#include "core/timing_model.hh"
+#include "vm/trace.hh"
+
+namespace raceval::core
+{
+
+/** Interval-analysis core model (dispatch intervals + penalty windows). */
+class IntervalCore : public TimingModel
+{
+  public:
+    explicit IntervalCore(const CoreParams &params);
+
+    /**
+     * Simulate one full trace from a clean machine state.
+     *
+     * @param source dynamic instruction stream (reset() is called).
+     * @return run statistics (CPI etc.).
+     */
+    CoreStats run(vm::TraceSource &source) override;
+
+    /** @return the active configuration. */
+    const CoreParams &params() const override { return cparams; }
+
+  private:
+    CoreParams cparams;
+    cache::MemoryHierarchy mem;
+    branch::BranchUnit bp;
+
+    // --- per-run interval state -----------------------------------------
+    uint64_t dispatchCycle = 0;
+    unsigned dispatchedThisCycle = 0;
+    FetchFrontEnd frontend;
+    uint64_t lastRetire = 0;
+    uint64_t seq = 0; //!< instruction sequence number
+
+    std::vector<uint64_t> regReady;
+    /** Completion-time ring of robEntries slots: dispatch of
+     *  instruction i waits for instruction i - robEntries to complete,
+     *  which is what turns an isolated long miss into a stall window
+     *  and lets misses inside one window overlap. */
+    std::vector<uint64_t> robFreeAt;
+
+    void resetState();
+};
+
+} // namespace raceval::core
+
+#endif // RACEVAL_CORE_INTERVAL_HH

@@ -29,8 +29,7 @@ OooCore::resetState()
     contention.reset();
     dispatchCycle = 0;
     dispatchedThisCycle = 0;
-    fetchReadyAt = 0;
-    lastFetchLine = ~0ull;
+    frontend.reset();
     lastRetire = 0;
     seq = 0;
     loadSeq = 0;
@@ -45,22 +44,6 @@ OooCore::resetState()
     std::fill(mshrFree.begin(), mshrFree.end(), 0);
     std::fill(pendingStores.begin(), pendingStores.end(), PendingStore{});
     pendingStoreHead = 0;
-}
-
-void
-OooCore::frontend(const vm::DynInst &dyn)
-{
-    uint64_t line = dyn.pc / mem.lineBytes();
-    if (line == lastFetchLine)
-        return;
-    lastFetchLine = line;
-    cache::AccessResult fetch =
-        mem.access(dyn.pc, dyn.pc, false, true, dispatchCycle);
-    if (fetch.servedBy != cache::ServedBy::L1) {
-        uint64_t bubble = fetch.latency - cparams.mem.l1i.latency;
-        if (dispatchCycle + bubble > fetchReadyAt)
-            fetchReadyAt = dispatchCycle + bubble;
-    }
 }
 
 bool
@@ -86,7 +69,7 @@ OooCore::run(vm::TraceSource &source)
     vm::DynInst dyn;
     while (source.next(dyn)) {
         ++stats.instructions;
-        frontend(dyn);
+        frontend.fetch(mem, cparams, dyn.pc, dispatchCycle);
 
         const isa::DecodedInst &inst = dyn.inst;
         OpClass cls = inst.cls;
@@ -94,8 +77,8 @@ OooCore::run(vm::TraceSource &source)
         bool is_store = cls == OpClass::Store;
 
         // --- dispatch: in-order, gated by window resources -------------
-        uint64_t dready = dispatchCycle > fetchReadyAt
-            ? dispatchCycle : fetchReadyAt;
+        uint64_t dready = dispatchCycle > frontend.readyAt
+            ? dispatchCycle : frontend.readyAt;
         uint64_t rob_free = robFreeAt[seq % robFreeAt.size()];
         if (rob_free > dready)
             dready = rob_free;
@@ -159,20 +142,13 @@ OooCore::run(vm::TraceSource &source)
             complete = start + lat;
         }
 
-        bool mispredict = false;
         if (inst.isBranch) {
-            mispredict = bp.predict(dyn);
-            if (mispredict) {
+            if (bp.predict(dyn)) {
                 // The front end restarts only once the branch resolves.
-                uint64_t redirect = complete + cparams.mispredictPenalty;
-                if (redirect > fetchReadyAt)
-                    fetchReadyAt = redirect;
-                lastFetchLine = ~0ull;
+                frontend.redirect(complete + cparams.mispredictPenalty);
             } else if (dyn.taken && cparams.takenBranchBubble) {
-                uint64_t bubble =
-                    dispatchCycle + cparams.takenBranchBubble;
-                if (bubble > fetchReadyAt)
-                    fetchReadyAt = bubble;
+                frontend.stallUntil(dispatchCycle
+                                    + cparams.takenBranchBubble);
             }
         }
 

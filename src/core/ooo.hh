@@ -21,15 +21,17 @@
 #include "branch/predictor.hh"
 #include "cache/hierarchy.hh"
 #include "core/contention.hh"
+#include "core/frontend.hh"
 #include "core/params.hh"
 #include "core/stats.hh"
+#include "core/timing_model.hh"
 #include "vm/trace.hh"
 
 namespace raceval::core
 {
 
 /** Out-of-order core model (ROB + IQ + LQ/SQ + FU contention). */
-class OooCore
+class OooCore : public TimingModel
 {
   public:
     explicit OooCore(const CoreParams &params);
@@ -40,10 +42,10 @@ class OooCore
      * @param source dynamic instruction stream (reset() is called).
      * @return run statistics (CPI etc.).
      */
-    CoreStats run(vm::TraceSource &source);
+    CoreStats run(vm::TraceSource &source) override;
 
     /** @return the active configuration. */
-    const CoreParams &params() const { return cparams; }
+    const CoreParams &params() const override { return cparams; }
 
   private:
     CoreParams cparams;
@@ -54,8 +56,7 @@ class OooCore
     // --- per-run scoreboard state ---------------------------------------
     uint64_t dispatchCycle = 0;
     unsigned dispatchedThisCycle = 0;
-    uint64_t fetchReadyAt = 0;
-    uint64_t lastFetchLine = ~0ull;
+    FetchFrontEnd frontend;
     uint64_t lastRetire = 0;
     uint64_t seq = 0;       //!< instruction sequence number
     uint64_t loadSeq = 0;
@@ -80,7 +81,6 @@ class OooCore
     size_t pendingStoreHead = 0;
 
     void resetState();
-    void frontend(const vm::DynInst &dyn);
     bool forwardedFromStore(uint64_t addr, unsigned size,
                             uint64_t now) const;
 };

@@ -3,8 +3,7 @@
 #include <chrono>
 
 #include "common/log.hh"
-#include "core/inorder.hh"
-#include "core/ooo.hh"
+#include "core/timing_model.hh"
 
 namespace raceval::engine
 {
@@ -93,8 +92,8 @@ EngineStats::json() const
 
 // ------------------------------------------------------------ EvalEngine
 
-EvalEngine::EvalEngine(bool out_of_order, EngineOptions options)
-    : ooo(out_of_order), opts(options),
+EvalEngine::EvalEngine(core::ModelFamily family, EngineOptions options)
+    : fam(family), opts(options),
       bank(options.memoryResidentMaxInsts),
       cache(options.cacheShards, options.cacheMaxEntriesPerShard),
       pool(options.threads)
@@ -120,15 +119,21 @@ EvalEngine::addInstance(const isa::Program &program)
 }
 
 EvalKey
-EvalEngine::modelKey(const core::CoreParams &model, size_t instance,
+EvalEngine::modelKey(core::ModelFamily family,
+                     const core::CoreParams &model, size_t instance,
                      size_t domain) const
 {
     // One key family for everything: raced configurations are
     // materialized first and keyed by model content, so racing, error
     // reports and perturbation sweeps all share cache entries. The
-    // domain's cost tag keeps different metrics apart.
-    return EvalKey{Fingerprinter::mix64(fingerprint(model)
-                       ^ Fingerprinter::mix64(domains[domain].tag)),
+    // domain's cost tag keeps different metrics apart; the timing
+    // family's salt keeps model families apart (CoreParams content
+    // alone cannot -- the same struct configures every family).
+    return EvalKey{Fingerprinter::mix64(
+                       fingerprint(model)
+                       ^ Fingerprinter::mix64(domains[domain].tag)
+                       ^ Fingerprinter::mix64(
+                           core::modelFamilySalt(family))),
                    instance};
 }
 
@@ -143,20 +148,23 @@ EvalEngine::materialize(const tuner::Configuration &config) const
 core::CoreStats
 EvalEngine::replayRun(const core::CoreParams &model, size_t instance)
 {
+    return replayRun(fam, model, instance);
+}
+
+core::CoreStats
+EvalEngine::replayRun(core::ModelFamily family,
+                      const core::CoreParams &model, size_t instance)
+{
     std::unique_ptr<vm::TraceSource> source = bank.open(instance);
-    if (ooo) {
-        core::OooCore sim(model);
-        return sim.run(*source);
-    }
-    core::InOrderCore sim(model);
-    return sim.run(*source);
+    return core::makeTimingModel(family, model)->run(*source);
 }
 
 EvalValue
-EvalEngine::computeFresh(const core::CoreParams &model, size_t instance,
+EvalEngine::computeFresh(core::ModelFamily family,
+                         const core::CoreParams &model, size_t instance,
                          size_t domain)
 {
-    core::CoreStats run = replayRun(model, instance);
+    core::CoreStats run = replayRun(family, model, instance);
     const SimCostFn &cost = domains[domain].fn;
     EvalValue value;
     value.simCpi = run.cpi();
@@ -183,13 +191,20 @@ EvalEngine::evaluate(const tuner::Configuration &config, size_t instance)
 EvalValue
 EvalEngine::evaluateModel(const core::CoreParams &model, size_t instance)
 {
+    return evaluateModel(fam, model, instance);
+}
+
+EvalValue
+EvalEngine::evaluateModel(core::ModelFamily family,
+                          const core::CoreParams &model, size_t instance)
+{
     ++requests;
-    EvalKey key = modelKey(model, instance, 0);
+    EvalKey key = modelKey(family, model, instance, 0);
     EvalValue value;
     if (cache.lookup(key, value))
         return value;
     auto start = std::chrono::steady_clock::now();
-    value = computeFresh(model, instance, 0);
+    value = computeFresh(family, model, instance, 0);
     chargeWall(start);
     cache.insert(key, value);
     return value;
@@ -199,7 +214,8 @@ bool
 EvalEngine::isCached(const tuner::Configuration &config,
                      size_t instance) const
 {
-    return cache.contains(modelKey(materialize(config), instance, 0));
+    return cache.contains(
+        modelKey(fam, materialize(config), instance, 0));
 }
 
 std::vector<double>
@@ -221,12 +237,20 @@ EvalEngine::evaluateMany(const std::vector<tuner::EvalPair> &pairs)
 namespace
 {
 
-/** Persisted-cache compatibility stamp: in-order and OoO runs of the
- *  same model never share results. */
+/**
+ * Persisted-cache format stamp. Since every key carries its timing
+ * family's salt, one cache file safely serves engines of every family
+ * (the stamp used to encode the engine's in-order/OoO kind; that
+ * distinction now lives in the keys, so files written by the
+ * pre-family format are refused by version).
+ */
 uint64_t
-persistDigest(bool ooo)
+persistDigest()
 {
-    return Fingerprinter().mix(uint64_t{0x524e47ull}).mix(ooo).value();
+    return Fingerprinter()
+        .mix(uint64_t{0x524e47ull})
+        .mix(uint64_t{2}) // family-salted key format
+        .value();
 }
 
 } // namespace
@@ -253,7 +277,7 @@ EvalEngine::saveCache(const std::string &path) const
                 on_disk.insert(EvalKey{model, program_fp}, value);
         }
     }
-    return on_disk.save(path, persistDigest(ooo));
+    return on_disk.save(path, persistDigest());
 }
 
 size_t
@@ -261,7 +285,7 @@ EvalEngine::loadCache(const std::string &path)
 {
     EvalCache from_disk(1);
     bool compatible = true;
-    if (from_disk.load(path, persistDigest(ooo), &compatible) == 0) {
+    if (from_disk.load(path, persistDigest(), &compatible) == 0) {
         warmRefused = !compatible;
         return 0;
     }
@@ -315,11 +339,19 @@ BatchEvaluator::Ticket
 BatchEvaluator::submitModel(const core::CoreParams &model,
                             size_t instance, size_t domain)
 {
+    return submitModel(engine.fam, model, instance, domain);
+}
+
+BatchEvaluator::Ticket
+BatchEvaluator::submitModel(core::ModelFamily family,
+                            const core::CoreParams &model,
+                            size_t instance, size_t domain)
+{
     RV_ASSERT(domain < engine.domains.size(),
               "batch: unknown cost domain %zu", domain);
     ++engine.requests;
     ++engine.batchSubmissions;
-    EvalKey key = engine.modelKey(model, instance, domain);
+    EvalKey key = engine.modelKey(family, model, instance, domain);
     uint64_t mixed = mixedKey(key);
     auto it = slotIndex.find(mixed);
     if (it != slotIndex.end()) {
@@ -332,6 +364,7 @@ BatchEvaluator::submitModel(const core::CoreParams &model,
     slot.key = key;
     slot.instance = instance;
     slot.domain = domain;
+    slot.family = family;
     if (engine.cache.lookup(key, slot.value))
         slot.served = true;
     else
@@ -360,7 +393,8 @@ BatchEvaluator::collect()
         auto start = std::chrono::steady_clock::now();
         engine.pool.parallelFor(fresh.size(), [&](size_t k) {
             Slot &slot = slots[fresh[k]];
-            slot.value = engine.computeFresh(slot.model, slot.instance,
+            slot.value = engine.computeFresh(slot.family, slot.model,
+                                             slot.instance,
                                              slot.domain);
             engine.cache.insert(slot.key, slot.value);
             slot.served = true;

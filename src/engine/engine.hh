@@ -35,6 +35,7 @@
 #include "common/thread_pool.hh"
 #include "core/params.hh"
 #include "core/stats.hh"
+#include "core/timing_model.hh"
 #include "engine/eval_cache.hh"
 #include "engine/trace_bank.hh"
 #include "tuner/evaluator.hh"
@@ -115,11 +116,23 @@ class EvalEngine : public tuner::CostEvaluator
 {
   public:
     /**
-     * @param out_of_order replay into the OoO (A72-class) model rather
-     *        than the in-order (A53-class) model.
+     * @param family the default timing-model family replayed into.
+     *        Per-call overloads may evaluate any registered family
+     *        over the same TraceBank and EvalCache: every cache key is
+     *        salted with the family's fingerprint, so results never
+     *        alias across families.
      * @param options engine knobs.
      */
-    explicit EvalEngine(bool out_of_order, EngineOptions options = {});
+    explicit EvalEngine(core::ModelFamily family,
+                        EngineOptions options = {});
+
+    /** Legacy two-family constructor (OoO vs in-order). */
+    explicit EvalEngine(bool out_of_order, EngineOptions options = {})
+        : EvalEngine(out_of_order ? core::ModelFamily::Ooo
+                                  : core::ModelFamily::InOrder,
+                     options)
+    {
+    }
 
     /**
      * Register a benchmark instance (deduplicated by content).
@@ -131,9 +144,12 @@ class EvalEngine : public tuner::CostEvaluator
     /** @return registered instance count. */
     size_t numInstances() const { return bank.size(); }
 
-    /** @return true when this engine replays into the out-of-order
-     *  model kind (construction-time choice). */
-    bool outOfOrder() const { return ooo; }
+    /** @return the default model family (construction-time choice). */
+    core::ModelFamily modelFamily() const { return fam; }
+
+    /** @return true when the default family is the out-of-order model
+     *  (legacy two-family probe). */
+    bool outOfOrder() const { return fam == core::ModelFamily::Ooo; }
 
     /**
      * Set the configuration materializer. Required before any
@@ -197,12 +213,27 @@ class EvalEngine : public tuner::CostEvaluator
      *  error reports and perturbation sweeps share entries. */
     double evaluate(const tuner::Configuration &config, size_t instance);
 
-    /** Evaluate a raw model on an instance (cache-aware). */
+    /** Evaluate a raw model on an instance (cache-aware), replaying
+     *  into the default family. */
     EvalValue evaluateModel(const core::CoreParams &model,
                             size_t instance);
 
-    /** Replay an instance into a model, bypassing the cache. */
+    /** Evaluate a raw model on an instance under an explicit timing
+     *  family (cache-aware; keys are family-salted, so families share
+     *  the cache without aliasing). */
+    EvalValue evaluateModel(core::ModelFamily family,
+                            const core::CoreParams &model,
+                            size_t instance);
+
+    /** Replay an instance into the default family, bypassing the
+     *  cache. */
     core::CoreStats replayRun(const core::CoreParams &model,
+                              size_t instance);
+
+    /** Replay an instance into an explicit family, bypassing the
+     *  cache. */
+    core::CoreStats replayRun(core::ModelFamily family,
+                              const core::CoreParams &model,
                               size_t instance);
 
     /** @return true when the pair is already in the EvalCache. */
@@ -231,15 +262,18 @@ class EvalEngine : public tuner::CostEvaluator
     /**
      * Load a previously saved cache. Entries whose program is already
      * registered resolve immediately; the rest stay pending and
-     * resolve when addInstance() registers their program. Files saved
-     * by an engine of the other model kind are refused.
+     * resolve when addInstance() registers their program. Keys carry
+     * their timing-model family salt, so one file may serve engines of
+     * every family without aliasing; files from the pre-family format
+     * are refused.
      *
      * @return entries accepted (resolved + pending).
      */
     size_t loadCache(const std::string &path);
 
-    /** @return true when loadCache() found a file belonging to a
-     *  differently-shaped engine -- do not saveCache() over it. */
+    /** @return true when loadCache() found a file belonging to an
+     *  incompatible (pre-family) cache format -- do not saveCache()
+     *  over it. */
     bool warmStartRefused() const { return warmRefused; }
     /// @}
 
@@ -260,19 +294,21 @@ class EvalEngine : public tuner::CostEvaluator
         uint64_t tag = 0; //!< cache-key salt
     };
 
-    EvalKey modelKey(const core::CoreParams &model, size_t instance,
+    EvalKey modelKey(core::ModelFamily family,
+                     const core::CoreParams &model, size_t instance,
                      size_t domain) const;
     /** Apply the model fn (asserts one is set). */
     core::CoreParams materialize(const tuner::Configuration &config)
         const;
     /** Record-replay-score one experiment (the only place timing
      *  models run). */
-    EvalValue computeFresh(const core::CoreParams &model,
+    EvalValue computeFresh(core::ModelFamily family,
+                           const core::CoreParams &model,
                            size_t instance, size_t domain);
     /** Add wall time since @p start to the evaluation clock. */
     void chargeWall(std::chrono::steady_clock::time_point start);
 
-    bool ooo;
+    core::ModelFamily fam;
     EngineOptions opts;
     TraceBank bank;
     EvalCache cache;
@@ -316,12 +352,22 @@ class BatchEvaluator
     Ticket submit(const tuner::Configuration &config, size_t instance);
 
     /**
-     * Queue a raw model; @return the result ticket.
+     * Queue a raw model (replayed into the engine's default family);
+     * @return the result ticket.
      *
      * @param domain cost domain scoring this experiment (0 = the
      *        engine's setCostFn default).
      */
     Ticket submitModel(const core::CoreParams &model, size_t instance,
+                       size_t domain = 0);
+
+    /**
+     * Queue a raw model under an explicit timing family. One batch may
+     * mix families freely -- keys are family-salted, so slots of
+     * different families never deduplicate into each other.
+     */
+    Ticket submitModel(core::ModelFamily family,
+                       const core::CoreParams &model, size_t instance,
                        size_t domain = 0);
 
     /** Evaluate every pending slot; idempotent. */
@@ -345,6 +391,7 @@ class BatchEvaluator
         EvalKey key;
         size_t instance;
         size_t domain = 0;
+        core::ModelFamily family = core::ModelFamily::InOrder;
         core::CoreParams model; //!< unused once served
         EvalValue value;
         bool served = false; //!< filled from cache at submit time

@@ -17,10 +17,13 @@
 #include "common/str.hh"
 #include "common/thread_pool.hh"
 #include "core/contention.hh"
+#include "core/frontend.hh"
 #include "core/inorder.hh"
+#include "core/interval.hh"
 #include "core/ooo.hh"
 #include "core/params.hh"
 #include "core/stats.hh"
+#include "core/timing_model.hh"
 #include "engine/engine.hh"
 #include "engine/eval_cache.hh"
 #include "engine/fingerprint.hh"

@@ -3,8 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
-#include "core/inorder.hh"
-#include "core/ooo.hh"
+#include "core/timing_model.hh"
 #include "stats/descriptive.hh"
 #include "ubench/ubench.hh"
 #include "vm/functional.hh"
@@ -12,16 +11,22 @@
 namespace raceval::validate
 {
 
-ValidationFlow::ValidationFlow(bool out_of_order, FlowOptions options)
-    : ooo(out_of_order), opts(options), sniperSpace(out_of_order)
+ValidationFlow::ValidationFlow(core::ModelFamily family,
+                               FlowOptions options)
+    : fam(family), opts(options), sniperSpace(family)
 {
+    // The OoO family targets the A72-class board; the in-order and
+    // interval families are alternative models of the same in-order
+    // A53-class hardware.
+    bool ooo_board = fam == core::ModelFamily::Ooo;
     hwOracle = std::make_unique<HardwareOracle>(
-        hw::makeMachine(ooo ? hw::secretA72() : hw::secretA53(), ooo));
+        hw::makeMachine(ooo_board ? hw::secretA72() : hw::secretA53(),
+                        ooo_board));
 
     engine::EngineOptions engine_opts;
     engine_opts.threads = opts.threads;
     evalEngine =
-        std::make_unique<engine::EvalEngine>(ooo, engine_opts);
+        std::make_unique<engine::EvalEngine>(fam, engine_opts);
     for (const auto &info : ubench::all()) {
         ubenchInstances.push_back(
             evalEngine->addInstance(ubench::build(info)));
@@ -72,9 +77,9 @@ ValidationFlow::~ValidationFlow()
     if (opts.evalCachePath.empty())
         return;
     if (evalEngine->warmStartRefused()) {
-        // The file at this path belongs to a differently-shaped
-        // engine (e.g. the A72 flow's cache while we ran the A53
-        // flow); overwriting it would destroy that warm start.
+        // The file at this path uses an incompatible cache format
+        // (pre-family keys); overwriting it would destroy a warm
+        // start someone else may still depend on.
         warn("flow: not saving eval cache over incompatible '%s'",
              opts.evalCachePath.c_str());
         return;
@@ -87,12 +92,7 @@ ValidationFlow::simulate(const core::CoreParams &model,
                          const isa::Program &program) const
 {
     vm::FunctionalCore source(program);
-    if (ooo) {
-        core::OooCore sim(model);
-        return sim.run(source);
-    }
-    core::InOrderCore sim(model);
-    return sim.run(source);
+    return core::makeTimingModel(fam, model)->run(source);
 }
 
 double
@@ -185,8 +185,8 @@ ValidationFlow::run()
     FlowReport report;
 
     // Steps #1 + #3: public information and best-effort guesses.
-    core::CoreParams base =
-        ooo ? core::publicInfoA72() : core::publicInfoA53();
+    core::CoreParams base = fam == core::ModelFamily::Ooo
+        ? core::publicInfoA72() : core::publicInfoA53();
 
     // Step #2: lmbench-style latency probing on the board.
     report.latencies = probeLatencies(hwOracle->board());

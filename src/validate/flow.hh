@@ -93,11 +93,21 @@ class ValidationFlow
 {
   public:
     /**
-     * @param out_of_order validate the A72-class OoO model rather
-     *        than the A53-class in-order model.
+     * @param family the timing-model family to validate. The OoO
+     *        family validates against the A72-class board; the
+     *        in-order and interval families model (and validate
+     *        against) the A53-class in-order board.
      * @param options flow options.
      */
-    ValidationFlow(bool out_of_order, FlowOptions options = {});
+    ValidationFlow(core::ModelFamily family, FlowOptions options = {});
+
+    /** Legacy two-family constructor (OoO vs in-order). */
+    ValidationFlow(bool out_of_order, FlowOptions options = {})
+        : ValidationFlow(out_of_order ? core::ModelFamily::Ooo
+                                      : core::ModelFamily::InOrder,
+                         options)
+    {
+    }
 
     /** Saves the engine's EvalCache to options.evalCachePath (when
      *  set), so everything evaluated over the flow's lifetime --
@@ -147,19 +157,22 @@ class ValidationFlow
                      size_t stride = 1);
 
     /**
-     * Run the simulator model (in-order or OoO per construction) on a
-     * program, one-shot: live functional execution, no registration
-     * with the engine. Use evaluateOn() for programs that will be
-     * evaluated repeatedly -- it records, replays and caches.
+     * Run the simulator model (family per construction) on a program,
+     * one-shot: live functional execution, no registration with the
+     * engine. Use evaluateOn() for programs that will be evaluated
+     * repeatedly -- it records, replays and caches.
      */
     core::CoreStats simulate(const core::CoreParams &model,
                              const isa::Program &program) const;
+
+    /** @return the validated timing-model family. */
+    core::ModelFamily family() const { return fam; }
 
   private:
     /** Absolute relative CPI error vs the board for an instance. */
     double cpiError(double sim_cpi, size_t instance);
 
-    bool ooo;
+    core::ModelFamily fam;
     FlowOptions opts;
     SniperParamSpace sniperSpace;
     std::unique_ptr<HardwareOracle> hwOracle;

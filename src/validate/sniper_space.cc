@@ -1,6 +1,7 @@
 #include "validate/sniper_space.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.hh"
 
@@ -8,15 +9,15 @@ namespace raceval::validate
 {
 
 using namespace raceval::tuner;
+using core::CoreParams;
 using isa::OpClass;
 
-namespace
-{
-
-/** Choice index of the numerically nearest level. */
 uint16_t
 nearestLevel(const Parameter &p, int64_t value)
 {
+    // Strict '<' keeps the first (lowest) level on ties -- levels are
+    // declared ascending, so the projection is deterministic by
+    // construction, independent of the stdlib.
     size_t best = 0;
     int64_t best_err = std::abs(p.levels[0] - value);
     for (size_t i = 1; i < p.levels.size(); ++i) {
@@ -29,6 +30,9 @@ nearestLevel(const Parameter &p, int64_t value)
     return static_cast<uint16_t>(best);
 }
 
+namespace
+{
+
 const std::vector<std::string> hashLabels = {"mask", "xor", "mersenne"};
 const std::vector<std::string> replLabels =
     {"lru", "tree-plru", "random", "fifo"};
@@ -39,67 +43,203 @@ const std::vector<std::string> bpLabels =
 
 } // namespace
 
-SniperParamSpace::SniperParamSpace(bool out_of_order)
-    : ooo(out_of_order)
+void
+SniperParamSpace::add(ParamBinding binding)
 {
+    const Parameter &spec = binding.spec;
+    switch (spec.kind) {
+      case Parameter::Kind::Ordinal:
+        pspace.addOrdinal(spec.name, spec.levels);
+        break;
+      case Parameter::Kind::Categorical:
+        pspace.addCategorical(spec.name, spec.labels);
+        break;
+      case Parameter::Kind::Flag:
+        pspace.addFlag(spec.name);
+        break;
+    }
+    table.push_back(std::move(binding));
+}
+
+SniperParamSpace::SniperParamSpace(core::ModelFamily family)
+    : fam(family)
+{
+    // Row builders. `ref` is a field accessor (CoreParams& -> field&);
+    // the same accessor serves the setter and the getter, so a binding
+    // cannot go stale in one direction only.
+
+    // Ordered numeric knob: binds the numeric level itself.
+    auto ord = [&](const char *name, std::vector<int64_t> levels,
+                   auto ref) {
+        ParamBinding b;
+        b.spec.name = name;
+        b.spec.kind = Parameter::Kind::Ordinal;
+        b.spec.levels = std::move(levels);
+        b.set = [ref](CoreParams &p, int64_t v) {
+            ref(p) = static_cast<std::decay_t<decltype(ref(p))>>(v);
+        };
+        b.get = [ref](const CoreParams &p) {
+            return static_cast<int64_t>(ref(const_cast<CoreParams &>(p)));
+        };
+        add(std::move(b));
+    };
+
+    // Categorical knob: binds the choice index (the enum value).
+    auto cat = [&](const char *name, std::vector<std::string> labels,
+                   auto ref) {
+        ParamBinding b;
+        b.spec.name = name;
+        b.spec.kind = Parameter::Kind::Categorical;
+        b.spec.labels = std::move(labels);
+        b.set = [ref](CoreParams &p, int64_t v) {
+            ref(p) = static_cast<std::decay_t<decltype(ref(p))>>(v);
+        };
+        b.get = [ref](const CoreParams &p) {
+            return static_cast<int64_t>(ref(const_cast<CoreParams &>(p)));
+        };
+        add(std::move(b));
+    };
+
+    // Boolean feature toggle: binds choice 0/1.
+    auto flag = [&](const char *name, auto ref) {
+        ParamBinding b;
+        b.spec.name = name;
+        b.spec.kind = Parameter::Kind::Flag;
+        b.set = [ref](CoreParams &p, int64_t v) { ref(p) = v != 0; };
+        b.get = [ref](const CoreParams &p) {
+            return int64_t{ref(const_cast<CoreParams &>(p)) ? 1 : 0};
+        };
+        add(std::move(b));
+    };
+
+    // Per-class execution latency.
+    auto lat = [&](const char *name, std::vector<int64_t> levels,
+                   OpClass cls) {
+        ord(name, std::move(levels), [cls](CoreParams &p) -> unsigned & {
+            return p.latency[static_cast<size_t>(cls)];
+        });
+    };
+
     // Front end / branch unit.
-    pspace.addOrdinal("mispredict_penalty", {4, 6, 8, 10, 12, 14, 16, 18});
-    pspace.addOrdinal("taken_branch_bubble", {0, 1, 2});
-    pspace.addCategorical("bp_kind", bpLabels);
-    pspace.addOrdinal("bp_table_bits", {8, 9, 10, 11, 12, 13, 14});
-    pspace.addOrdinal("bp_history_bits", {4, 6, 8, 10, 12});
-    pspace.addOrdinal("bp_btb_bits", {7, 8, 9, 10, 11, 12});
-    pspace.addOrdinal("bp_ras_entries", {2, 4, 8, 16, 32});
-    pspace.addFlag("bp_indirect");
-    pspace.addOrdinal("bp_indirect_bits", {7, 8, 9, 10, 11});
-    pspace.addOrdinal("bp_indirect_history", {2, 4, 6, 8, 10});
+    ord("mispredict_penalty", {4, 6, 8, 10, 12, 14, 16, 18},
+        [](CoreParams &p) -> auto & { return p.mispredictPenalty; });
+    ord("taken_branch_bubble", {0, 1, 2},
+        [](CoreParams &p) -> auto & { return p.takenBranchBubble; });
+    cat("bp_kind", bpLabels,
+        [](CoreParams &p) -> auto & { return p.bp.kind; });
+    ord("bp_table_bits", {8, 9, 10, 11, 12, 13, 14},
+        [](CoreParams &p) -> auto & { return p.bp.tableBits; });
+    ord("bp_history_bits", {4, 6, 8, 10, 12},
+        [](CoreParams &p) -> auto & { return p.bp.historyBits; });
+    ord("bp_btb_bits", {7, 8, 9, 10, 11, 12},
+        [](CoreParams &p) -> auto & { return p.bp.btbBits; });
+    ord("bp_ras_entries", {2, 4, 8, 16, 32},
+        [](CoreParams &p) -> auto & { return p.bp.rasEntries; });
+    flag("bp_indirect",
+         [](CoreParams &p) -> auto & { return p.bp.indirect; });
+    ord("bp_indirect_bits", {7, 8, 9, 10, 11},
+        [](CoreParams &p) -> auto & { return p.bp.indirectBits; });
+    ord("bp_indirect_history", {2, 4, 6, 8, 10},
+        [](CoreParams &p) -> auto & { return p.bp.indirectHistory; });
 
-    // Execution core.
-    pspace.addOrdinal("store_buffer_entries", {1, 2, 4, 6, 8, 12});
-    pspace.addFlag("forwarding");
-    pspace.addOrdinal("forward_latency", {1, 2, 3});
-    pspace.addOrdinal("lat_int_mul", {2, 3, 4, 5});
-    pspace.addOrdinal("lat_int_div", {6, 8, 9, 10, 12, 16});
-    pspace.addOrdinal("lat_fp_add", {2, 3, 4, 5, 6});
-    pspace.addOrdinal("lat_fp_mul", {3, 4, 5, 6, 7});
-    pspace.addOrdinal("lat_fp_div", {8, 10, 11, 12, 14, 16});
-    pspace.addOrdinal("lat_fp_sqrt", {10, 12, 14, 16, 18});
-    pspace.addOrdinal("lat_fp_cvt", {1, 2, 3, 4});
-    pspace.addOrdinal("lat_fp_mov", {1, 2, 3});
-    pspace.addOrdinal("lat_simd_add", {2, 3, 4, 5});
-    pspace.addOrdinal("lat_simd_mul", {3, 4, 5, 6});
-    pspace.addFlag("int_div_pipelined");
-    pspace.addFlag("fp_div_pipelined");
+    // Execution core. The interval abstraction has no store buffer,
+    // no forwarding and no iterative-divide contention (only the
+    // latency table), so racing those knobs under the interval family
+    // would burn budget on timing-dead dimensions -- they are bound
+    // only for the families that read them.
+    bool races_contention_knobs = fam != core::ModelFamily::Interval;
+    if (races_contention_knobs) {
+        ord("store_buffer_entries", {1, 2, 4, 6, 8, 12},
+            [](CoreParams &p) -> auto & { return p.storeBufferEntries; });
+        flag("forwarding",
+             [](CoreParams &p) -> auto & { return p.forwarding; });
+        ord("forward_latency", {1, 2, 3},
+            [](CoreParams &p) -> auto & { return p.forwardLatency; });
+    }
+    lat("lat_int_mul", {2, 3, 4, 5}, OpClass::IntMul);
+    lat("lat_int_div", {6, 8, 9, 10, 12, 16}, OpClass::IntDiv);
+    lat("lat_fp_add", {2, 3, 4, 5, 6}, OpClass::FpAdd);
+    lat("lat_fp_mul", {3, 4, 5, 6, 7}, OpClass::FpMul);
+    lat("lat_fp_div", {8, 10, 11, 12, 14, 16}, OpClass::FpDiv);
+    lat("lat_fp_sqrt", {10, 12, 14, 16, 18}, OpClass::FpSqrt);
+    lat("lat_fp_cvt", {1, 2, 3, 4}, OpClass::FpCvt);
+    lat("lat_fp_mov", {1, 2, 3}, OpClass::FpMov);
+    lat("lat_simd_add", {2, 3, 4, 5}, OpClass::SimdAdd);
+    lat("lat_simd_mul", {3, 4, 5, 6}, OpClass::SimdMul);
+    if (races_contention_knobs) {
+        flag("int_div_pipelined",
+             [](CoreParams &p) -> auto & { return p.intDivPipelined; });
+        flag("fp_div_pipelined",
+             [](CoreParams &p) -> auto & { return p.fpDivPipelined; });
+    }
 
-    // L1D.
-    pspace.addOrdinal("l1d_mshrs", {1, 2, 3, 4, 6, 8});
-    pspace.addCategorical("l1d_hash", hashLabels);
-    pspace.addCategorical("l1d_repl", replLabels);
-    pspace.addCategorical("l1d_prefetch", pfLabels);
-    pspace.addOrdinal("l1d_pf_degree", {1, 2, 3, 4, 6, 8});
-    pspace.addOrdinal("l1d_stride_entries", {8, 16, 32, 64, 128});
-    pspace.addOrdinal("l1d_victim_entries", {0, 2, 4, 8});
-    pspace.addFlag("l1d_serial_tag");
-    pspace.addFlag("l1d_pf_on_pf_hit");
+    // L1D. MSHR counts are consumed by the in-order/OoO cores'
+    // hit-under-miss accounting, which the interval abstraction
+    // replaces with ROB-bounded overlap -- another dead dimension it
+    // does not race. (l2_mshrs below is currently read by no timing
+    // model at all; the in-order/OoO lists keep it because their
+    // declaration order is raced-trajectory ABI, but the new interval
+    // list drops it.)
+    if (races_contention_knobs) {
+        ord("l1d_mshrs", {1, 2, 3, 4, 6, 8},
+            [](CoreParams &p) -> auto & { return p.mem.l1d.mshrs; });
+    }
+    cat("l1d_hash", hashLabels,
+        [](CoreParams &p) -> auto & { return p.mem.l1d.hash; });
+    cat("l1d_repl", replLabels,
+        [](CoreParams &p) -> auto & { return p.mem.l1d.repl; });
+    cat("l1d_prefetch", pfLabels,
+        [](CoreParams &p) -> auto & { return p.mem.l1d.prefetch; });
+    ord("l1d_pf_degree", {1, 2, 3, 4, 6, 8},
+        [](CoreParams &p) -> auto & { return p.mem.l1d.prefetchDegree; });
+    ord("l1d_stride_entries", {8, 16, 32, 64, 128},
+        [](CoreParams &p) -> auto & { return p.mem.l1d.strideEntries; });
+    ord("l1d_victim_entries", {0, 2, 4, 8},
+        [](CoreParams &p) -> auto & { return p.mem.l1d.victimEntries; });
+    flag("l1d_serial_tag",
+         [](CoreParams &p) -> auto & { return p.mem.l1d.serialTagData; });
+    flag("l1d_pf_on_pf_hit", [](CoreParams &p) -> auto & {
+        return p.mem.l1d.prefetchOnPrefetchHit;
+    });
 
     // L2.
-    pspace.addCategorical("l2_hash", hashLabels);
-    pspace.addCategorical("l2_repl", replLabels);
-    pspace.addCategorical("l2_prefetch", pfLabels);
-    pspace.addOrdinal("l2_pf_degree", {1, 2, 4, 8});
-    pspace.addOrdinal("l2_ghb_entries", {64, 128, 256, 512});
-    pspace.addFlag("l2_serial_tag");
-    pspace.addOrdinal("l2_mshrs", {4, 8, 10, 16});
+    cat("l2_hash", hashLabels,
+        [](CoreParams &p) -> auto & { return p.mem.l2.hash; });
+    cat("l2_repl", replLabels,
+        [](CoreParams &p) -> auto & { return p.mem.l2.repl; });
+    cat("l2_prefetch", pfLabels,
+        [](CoreParams &p) -> auto & { return p.mem.l2.prefetch; });
+    ord("l2_pf_degree", {1, 2, 4, 8},
+        [](CoreParams &p) -> auto & { return p.mem.l2.prefetchDegree; });
+    ord("l2_ghb_entries", {64, 128, 256, 512},
+        [](CoreParams &p) -> auto & { return p.mem.l2.ghbEntries; });
+    flag("l2_serial_tag",
+         [](CoreParams &p) -> auto & { return p.mem.l2.serialTagData; });
+    if (races_contention_knobs) {
+        ord("l2_mshrs", {4, 8, 10, 16},
+            [](CoreParams &p) -> auto & { return p.mem.l2.mshrs; });
+    }
 
     // Main memory.
-    pspace.addOrdinal("dram_latency", {120, 135, 150, 160, 170, 185, 200});
-    pspace.addOrdinal("dram_cycles_per_line", {2, 4, 6, 8, 12, 16});
+    ord("dram_latency", {120, 135, 150, 160, 170, 185, 200},
+        [](CoreParams &p) -> auto & { return p.mem.dram.latency; });
+    ord("dram_cycles_per_line", {2, 4, 6, 8, 12, 16},
+        [](CoreParams &p) -> auto & { return p.mem.dram.cyclesPerLine; });
 
-    if (ooo) {
-        pspace.addOrdinal("rob_entries", {48, 64, 96, 128, 160, 192});
-        pspace.addOrdinal("iq_entries", {16, 24, 32, 40, 48, 64});
-        pspace.addOrdinal("lq_entries", {8, 16, 24, 32, 40});
-        pspace.addOrdinal("sq_entries", {8, 12, 16, 20, 28, 36});
+    // Window knobs: the OoO family races all four queues; the interval
+    // family reads only the ROB (its single window resource).
+    if (fam == core::ModelFamily::Ooo
+        || fam == core::ModelFamily::Interval) {
+        ord("rob_entries", {48, 64, 96, 128, 160, 192},
+            [](CoreParams &p) -> auto & { return p.robEntries; });
+    }
+    if (fam == core::ModelFamily::Ooo) {
+        ord("iq_entries", {16, 24, 32, 40, 48, 64},
+            [](CoreParams &p) -> auto & { return p.iqEntries; });
+        ord("lq_entries", {8, 16, 24, 32, 40},
+            [](CoreParams &p) -> auto & { return p.lqEntries; });
+        ord("sq_entries", {8, 12, 16, 20, 28, 36},
+            [](CoreParams &p) -> auto & { return p.sqEntries; });
     }
 }
 
@@ -107,99 +247,17 @@ core::CoreParams
 SniperParamSpace::apply(const Configuration &config,
                         const core::CoreParams &base) const
 {
-    const ParameterSpace &s = pspace;
+    RV_ASSERT(config.size() == table.size(),
+              "sniper space: configuration arity %zu != %zu",
+              config.size(), table.size());
     core::CoreParams p = base;
     p.name = base.name + "-raced";
-
-    p.mispredictPenalty = static_cast<unsigned>(
-        s.ordinalValue(config, "mispredict_penalty"));
-    p.takenBranchBubble = static_cast<unsigned>(
-        s.ordinalValue(config, "taken_branch_bubble"));
-    p.bp.kind = static_cast<branch::PredictorKind>(
-        s.categoricalChoice(config, "bp_kind"));
-    p.bp.tableBits = static_cast<unsigned>(
-        s.ordinalValue(config, "bp_table_bits"));
-    p.bp.historyBits = static_cast<unsigned>(
-        s.ordinalValue(config, "bp_history_bits"));
-    p.bp.btbBits = static_cast<unsigned>(
-        s.ordinalValue(config, "bp_btb_bits"));
-    p.bp.rasEntries = static_cast<unsigned>(
-        s.ordinalValue(config, "bp_ras_entries"));
-    p.bp.indirect = s.flagValue(config, "bp_indirect");
-    p.bp.indirectBits = static_cast<unsigned>(
-        s.ordinalValue(config, "bp_indirect_bits"));
-    p.bp.indirectHistory = static_cast<unsigned>(
-        s.ordinalValue(config, "bp_indirect_history"));
-
-    p.storeBufferEntries = static_cast<unsigned>(
-        s.ordinalValue(config, "store_buffer_entries"));
-    p.forwarding = s.flagValue(config, "forwarding");
-    p.forwardLatency = static_cast<unsigned>(
-        s.ordinalValue(config, "forward_latency"));
-
-    auto set_lat = [&](OpClass cls, const char *name) {
-        p.latency[static_cast<size_t>(cls)] =
-            static_cast<unsigned>(s.ordinalValue(config, name));
-    };
-    set_lat(OpClass::IntMul, "lat_int_mul");
-    set_lat(OpClass::IntDiv, "lat_int_div");
-    set_lat(OpClass::FpAdd, "lat_fp_add");
-    set_lat(OpClass::FpMul, "lat_fp_mul");
-    set_lat(OpClass::FpDiv, "lat_fp_div");
-    set_lat(OpClass::FpSqrt, "lat_fp_sqrt");
-    set_lat(OpClass::FpCvt, "lat_fp_cvt");
-    set_lat(OpClass::FpMov, "lat_fp_mov");
-    set_lat(OpClass::SimdAdd, "lat_simd_add");
-    set_lat(OpClass::SimdMul, "lat_simd_mul");
-    p.intDivPipelined = s.flagValue(config, "int_div_pipelined");
-    p.fpDivPipelined = s.flagValue(config, "fp_div_pipelined");
-
-    p.mem.l1d.mshrs = static_cast<unsigned>(
-        s.ordinalValue(config, "l1d_mshrs"));
-    p.mem.l1d.hash = static_cast<cache::HashKind>(
-        s.categoricalChoice(config, "l1d_hash"));
-    p.mem.l1d.repl = static_cast<cache::ReplKind>(
-        s.categoricalChoice(config, "l1d_repl"));
-    p.mem.l1d.prefetch = static_cast<cache::PrefetchKind>(
-        s.categoricalChoice(config, "l1d_prefetch"));
-    p.mem.l1d.prefetchDegree = static_cast<unsigned>(
-        s.ordinalValue(config, "l1d_pf_degree"));
-    p.mem.l1d.strideEntries = static_cast<unsigned>(
-        s.ordinalValue(config, "l1d_stride_entries"));
-    p.mem.l1d.victimEntries = static_cast<unsigned>(
-        s.ordinalValue(config, "l1d_victim_entries"));
-    p.mem.l1d.serialTagData = s.flagValue(config, "l1d_serial_tag");
-    p.mem.l1d.prefetchOnPrefetchHit =
-        s.flagValue(config, "l1d_pf_on_pf_hit");
-
-    p.mem.l2.hash = static_cast<cache::HashKind>(
-        s.categoricalChoice(config, "l2_hash"));
-    p.mem.l2.repl = static_cast<cache::ReplKind>(
-        s.categoricalChoice(config, "l2_repl"));
-    p.mem.l2.prefetch = static_cast<cache::PrefetchKind>(
-        s.categoricalChoice(config, "l2_prefetch"));
-    p.mem.l2.prefetchDegree = static_cast<unsigned>(
-        s.ordinalValue(config, "l2_pf_degree"));
-    p.mem.l2.ghbEntries = static_cast<unsigned>(
-        s.ordinalValue(config, "l2_ghb_entries"));
-    p.mem.l2.serialTagData = s.flagValue(config, "l2_serial_tag");
-    p.mem.l2.mshrs = static_cast<unsigned>(
-        s.ordinalValue(config, "l2_mshrs"));
-
-    p.mem.dram.latency = static_cast<unsigned>(
-        s.ordinalValue(config, "dram_latency"));
-    p.mem.dram.cyclesPerLine = static_cast<unsigned>(
-        s.ordinalValue(config, "dram_cycles_per_line"));
-
-    if (ooo) {
-        p.robEntries = static_cast<unsigned>(
-            s.ordinalValue(config, "rob_entries"));
-        p.iqEntries = static_cast<unsigned>(
-            s.ordinalValue(config, "iq_entries"));
-        p.lqEntries = static_cast<unsigned>(
-            s.ordinalValue(config, "lq_entries"));
-        p.sqEntries = static_cast<unsigned>(
-            s.ordinalValue(config, "sq_entries"));
+    for (size_t i = 0; i < table.size(); ++i) {
+        const ParamBinding &row = table[i];
+        int64_t value = row.spec.kind == Parameter::Kind::Ordinal
+            ? row.spec.levels[config[i]]
+            : int64_t{config[i]};
+        row.set(p, value);
     }
     return p;
 }
@@ -207,67 +265,20 @@ SniperParamSpace::apply(const Configuration &config,
 tuner::Configuration
 SniperParamSpace::encode(const core::CoreParams &p) const
 {
-    Configuration config(pspace.size());
-    auto set_ord = [&](const char *name, int64_t value) {
-        size_t index = pspace.indexOf(name);
-        config[index] = nearestLevel(pspace.at(index), value);
-    };
-    auto set_choice = [&](const char *name, size_t choice) {
-        config[pspace.indexOf(name)] = static_cast<uint16_t>(choice);
-    };
-    auto lat = [&](OpClass cls) {
-        return static_cast<int64_t>(p.latency[static_cast<size_t>(cls)]);
-    };
-
-    set_ord("mispredict_penalty", p.mispredictPenalty);
-    set_ord("taken_branch_bubble", p.takenBranchBubble);
-    set_choice("bp_kind", static_cast<size_t>(p.bp.kind));
-    set_ord("bp_table_bits", p.bp.tableBits);
-    set_ord("bp_history_bits", p.bp.historyBits);
-    set_ord("bp_btb_bits", p.bp.btbBits);
-    set_ord("bp_ras_entries", p.bp.rasEntries);
-    set_choice("bp_indirect", p.bp.indirect ? 1 : 0);
-    set_ord("bp_indirect_bits", p.bp.indirectBits);
-    set_ord("bp_indirect_history", p.bp.indirectHistory);
-    set_ord("store_buffer_entries", p.storeBufferEntries);
-    set_choice("forwarding", p.forwarding ? 1 : 0);
-    set_ord("forward_latency", p.forwardLatency);
-    set_ord("lat_int_mul", lat(OpClass::IntMul));
-    set_ord("lat_int_div", lat(OpClass::IntDiv));
-    set_ord("lat_fp_add", lat(OpClass::FpAdd));
-    set_ord("lat_fp_mul", lat(OpClass::FpMul));
-    set_ord("lat_fp_div", lat(OpClass::FpDiv));
-    set_ord("lat_fp_sqrt", lat(OpClass::FpSqrt));
-    set_ord("lat_fp_cvt", lat(OpClass::FpCvt));
-    set_ord("lat_fp_mov", lat(OpClass::FpMov));
-    set_ord("lat_simd_add", lat(OpClass::SimdAdd));
-    set_ord("lat_simd_mul", lat(OpClass::SimdMul));
-    set_choice("int_div_pipelined", p.intDivPipelined ? 1 : 0);
-    set_choice("fp_div_pipelined", p.fpDivPipelined ? 1 : 0);
-    set_ord("l1d_mshrs", p.mem.l1d.mshrs);
-    set_choice("l1d_hash", static_cast<size_t>(p.mem.l1d.hash));
-    set_choice("l1d_repl", static_cast<size_t>(p.mem.l1d.repl));
-    set_choice("l1d_prefetch", static_cast<size_t>(p.mem.l1d.prefetch));
-    set_ord("l1d_pf_degree", p.mem.l1d.prefetchDegree);
-    set_ord("l1d_stride_entries", p.mem.l1d.strideEntries);
-    set_ord("l1d_victim_entries", p.mem.l1d.victimEntries);
-    set_choice("l1d_serial_tag", p.mem.l1d.serialTagData ? 1 : 0);
-    set_choice("l1d_pf_on_pf_hit",
-               p.mem.l1d.prefetchOnPrefetchHit ? 1 : 0);
-    set_choice("l2_hash", static_cast<size_t>(p.mem.l2.hash));
-    set_choice("l2_repl", static_cast<size_t>(p.mem.l2.repl));
-    set_choice("l2_prefetch", static_cast<size_t>(p.mem.l2.prefetch));
-    set_ord("l2_pf_degree", p.mem.l2.prefetchDegree);
-    set_ord("l2_ghb_entries", p.mem.l2.ghbEntries);
-    set_choice("l2_serial_tag", p.mem.l2.serialTagData ? 1 : 0);
-    set_ord("l2_mshrs", p.mem.l2.mshrs);
-    set_ord("dram_latency", p.mem.dram.latency);
-    set_ord("dram_cycles_per_line", p.mem.dram.cyclesPerLine);
-    if (ooo) {
-        set_ord("rob_entries", p.robEntries);
-        set_ord("iq_entries", p.iqEntries);
-        set_ord("lq_entries", p.lqEntries);
-        set_ord("sq_entries", p.sqEntries);
+    Configuration config(table.size());
+    for (size_t i = 0; i < table.size(); ++i) {
+        const ParamBinding &row = table[i];
+        int64_t value = row.get(p);
+        if (row.spec.kind == Parameter::Kind::Ordinal) {
+            config[i] = nearestLevel(row.spec, value);
+        } else {
+            // Choice indices are projected by clamping (enum values
+            // are in range by construction; clamp keeps encode total).
+            int64_t hi =
+                static_cast<int64_t>(row.spec.cardinality()) - 1;
+            config[i] = static_cast<uint16_t>(
+                std::clamp<int64_t>(value, 0, hi));
+        }
     }
     return config;
 }

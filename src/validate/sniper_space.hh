@@ -3,33 +3,84 @@
  * The raced parameter list (paper §IV-A): every core-model knob that
  * cannot be set from public information or lmbench-style probing,
  * paired with the discrete candidate values handed to the tuner.
+ *
+ * The mapping between tuner configurations and CoreParams is a
+ * *declarative binding table*: one ParamBinding row per raced knob,
+ * carrying the tuner Parameter spec plus a getter/setter into
+ * CoreParams. apply() and encode() are generic loops over the table,
+ * and a model family's raced space is nothing but its binding list --
+ * adding a family (or a knob) is a declaration, not two more
+ * switch-stacks to keep in sync.
  */
 
 #ifndef RACEVAL_VALIDATE_SNIPER_SPACE_HH
 #define RACEVAL_VALIDATE_SNIPER_SPACE_HH
 
+#include <functional>
+#include <vector>
+
 #include "core/params.hh"
+#include "core/timing_model.hh"
 #include "tuner/space.hh"
 
 namespace raceval::validate
 {
 
 /**
- * Bidirectional mapping between tuner configurations and CoreParams.
+ * One raced knob: a tuner parameter declaration bound to the
+ * CoreParams field it races.
+ *
+ * The value convention follows the parameter kind: ordinals get/set
+ * the numeric level itself; categorical and flag parameters get/set
+ * the choice index (enum value, or 0/1 for flags).
+ */
+struct ParamBinding
+{
+    tuner::Parameter spec;
+    std::function<void(core::CoreParams &, int64_t)> set;
+    std::function<int64_t(const core::CoreParams &)> get;
+};
+
+/**
+ * Choice index of the numerically nearest level of an ordinal
+ * parameter. Ties pick the LOWER level (levels are declared
+ * ascending), deterministically: the projection seeds races, so it
+ * must not depend on stdlib iteration quirks.
+ */
+uint16_t nearestLevel(const tuner::Parameter &p, int64_t value);
+
+/**
+ * Bidirectional mapping between tuner configurations and CoreParams,
+ * per timing-model family.
  *
  * The in-order space races 43 parameters; the out-of-order space adds
- * the four window sizes (ROB / IQ / LQ / SQ). (The paper's Sniper
- * exposes 64; ours is smaller because the model is -- every raced
- * parameter here is one the hw presets may secretly differ on.)
+ * the four window sizes (ROB / IQ / LQ / SQ); the interval space adds
+ * the ROB (the one window the interval abstraction reads) and drops
+ * the store-buffer / forwarding / divide-pipelining / MSHR knobs its
+ * abstraction never consults -- racing timing-dead dimensions would
+ * only burn budget. (The paper's Sniper exposes 64; ours is smaller
+ * because the model is -- every raced parameter here is one the hw
+ * presets may secretly differ on.)
  */
 class SniperParamSpace
 {
   public:
-    /** @param out_of_order include the OoO window parameters. */
-    explicit SniperParamSpace(bool out_of_order);
+    /** @param family the timing-model family whose knob set to race. */
+    explicit SniperParamSpace(core::ModelFamily family);
+
+    /** Legacy two-family constructor (OoO vs in-order). */
+    explicit SniperParamSpace(bool out_of_order)
+        : SniperParamSpace(out_of_order ? core::ModelFamily::Ooo
+                                        : core::ModelFamily::InOrder)
+    {
+    }
 
     /** @return the declared tuner space. */
     const tuner::ParameterSpace &space() const { return pspace; }
+
+    /** @return the binding table (one row per raced knob, in space
+     *  declaration order). */
+    const std::vector<ParamBinding> &bindings() const { return table; }
 
     /**
      * Materialize a configuration: the raced values overlay the
@@ -40,17 +91,25 @@ class SniperParamSpace
                            const core::CoreParams &base) const;
 
     /**
-     * Project CoreParams onto the space (nearest levels), used to seed
-     * the race with the public-information model.
+     * Project CoreParams onto the space (nearest levels, lower level
+     * on ties), used to seed the race with the public-information
+     * model.
      */
     tuner::Configuration encode(const core::CoreParams &params) const;
 
+    /** @return the raced model family. */
+    core::ModelFamily family() const { return fam; }
+
     /** @return true when built with the OoO window parameters. */
-    bool outOfOrder() const { return ooo; }
+    bool outOfOrder() const { return fam == core::ModelFamily::Ooo; }
 
   private:
+    /** Declare a binding row and mirror it into the tuner space. */
+    void add(ParamBinding binding);
+
     tuner::ParameterSpace pspace;
-    bool ooo;
+    std::vector<ParamBinding> table;
+    core::ModelFamily fam;
 };
 
 } // namespace raceval::validate

@@ -289,12 +289,64 @@ TEST(Engine, WarmStartSurvivesRegistrationOrder)
     EXPECT_EQ(warm.stats().evaluations, 0u);
     EXPECT_EQ(warm.stats().bank.recordings, 0u);
 
-    // An engine of the other model kind must refuse the file.
-    setQuiet(true);
+    // Keys are family-salted, so an engine of another model family
+    // accepts the same file -- but its own evaluations are all fresh
+    // (the in-order entries never alias into the OoO family).
     EvalEngine ooo(true);
-    ooo.addInstance(prog_a);
-    EXPECT_EQ(ooo.loadCache(path), 0u);
-    setQuiet(false);
+    size_t oa = ooo.addInstance(prog_a);
+    EXPECT_EQ(ooo.loadCache(path), 2u);
+    // The loaded entries never alias into the OoO family: this
+    // evaluation must run fresh (both families may legitimately
+    // produce the same CPI on width-saturated code, so the count --
+    // not the value -- is the aliasing proof).
+    ooo.evaluateModel(model, oa);
+    EXPECT_EQ(ooo.stats().evaluations, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Engine, FamiliesNeverAliasInSharedWarmCache)
+{
+    // Acceptance gate of the timing-model registry: the SAME CoreParams
+    // evaluated under in-order, OoO and interval over one shared
+    // engine/cache produces three distinct entries, and a warm restart
+    // of any family hits only its own.
+    isa::Program prog = smallProgram("MM", 5000);
+    core::CoreParams model = core::publicInfoA53();
+    std::string path = ::testing::TempDir() + "/engine-families.bin";
+
+    const core::ModelFamily families[] = {core::ModelFamily::InOrder,
+                                          core::ModelFamily::Ooo,
+                                          core::ModelFamily::Interval};
+    double cpi[3] = {};
+    {
+        EvalEngine eng(core::ModelFamily::InOrder);
+        size_t id = eng.addInstance(prog);
+        for (size_t f = 0; f < 3; ++f)
+            cpi[f] = eng.evaluateModel(families[f], model, id).simCpi;
+        // Three fresh evaluations, three cache entries: no collisions.
+        EXPECT_EQ(eng.stats().evaluations, 3u);
+        EXPECT_EQ(eng.stats().cache.entries, 3u);
+        EXPECT_NE(cpi[0], cpi[1]);
+        EXPECT_NE(cpi[0], cpi[2]);
+        EXPECT_NE(cpi[1], cpi[2]);
+        // Re-evaluating any family is a pure hit.
+        for (size_t f = 0; f < 3; ++f) {
+            EXPECT_EQ(eng.evaluateModel(families[f], model, id).simCpi,
+                      cpi[f]);
+        }
+        EXPECT_EQ(eng.stats().evaluations, 3u);
+        EXPECT_EQ(eng.saveCache(path), 3u);
+    }
+
+    // One warm-start file serves engines of every default family, and
+    // each family sees exactly its own value.
+    for (size_t f = 0; f < 3; ++f) {
+        EvalEngine warm(families[f]);
+        size_t id = warm.addInstance(prog);
+        EXPECT_EQ(warm.loadCache(path), 3u);
+        EXPECT_DOUBLE_EQ(warm.evaluateModel(model, id).simCpi, cpi[f]);
+        EXPECT_EQ(warm.stats().evaluations, 0u);
+    }
     std::remove(path.c_str());
 }
 

@@ -4,7 +4,10 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <set>
+#include <string>
 
+#include "common/rng.hh"
 #include "ubench/ubench.hh"
 #include "validate/flow.hh"
 #include "validate/latency_probe.hh"
@@ -26,6 +29,101 @@ TEST(SniperSpace, ApplyEncodeRoundTrip)
     EXPECT_EQ(applied.mem.l1d.hash, base.mem.l1d.hash);
     EXPECT_EQ(applied.mem.dram.latency, base.mem.dram.latency);
     EXPECT_EQ(applied.latency, base.latency);
+}
+
+TEST(SniperSpace, NearestLevelTiesPickLowerLevel)
+{
+    tuner::Parameter p;
+    p.kind = tuner::Parameter::Kind::Ordinal;
+    p.levels = {4, 6, 8, 12};
+    // Exact hits.
+    EXPECT_EQ(nearestLevel(p, 4), 0);
+    EXPECT_EQ(nearestLevel(p, 8), 2);
+    // Ties are equidistant between two levels: the LOWER level wins,
+    // deterministically (seeding must reproduce across stdlibs).
+    EXPECT_EQ(nearestLevel(p, 5), 0);  // 4 vs 6
+    EXPECT_EQ(nearestLevel(p, 7), 1);  // 6 vs 8
+    EXPECT_EQ(nearestLevel(p, 10), 2); // 8 vs 12
+    // Out-of-range values clamp to the boundary levels.
+    EXPECT_EQ(nearestLevel(p, 1), 0);
+    EXPECT_EQ(nearestLevel(p, 100), 3);
+
+    // The projection seeds races through encode(): a value exactly
+    // between two mispredict-penalty levels lands on the lower one.
+    SniperParamSpace sspace(false);
+    core::CoreParams base = core::publicInfoA53();
+    base.mispredictPenalty = 5; // levels are {4, 6, ...}
+    tuner::Configuration config = sspace.encode(base);
+    EXPECT_EQ(sspace.space().ordinalValue(config, "mispredict_penalty"),
+              4);
+}
+
+TEST(SniperSpace, BindingRoundTripIdentityAllFamilies)
+{
+    // Property: apply(encode(p), base) is the identity on every raced
+    // field, for every family -- the binding table's getter and setter
+    // cannot disagree. Random configurations exercise every level.
+    const core::ModelFamily families[] = {core::ModelFamily::InOrder,
+                                          core::ModelFamily::Ooo,
+                                          core::ModelFamily::Interval};
+    for (core::ModelFamily family : families) {
+        SniperParamSpace sspace(family);
+        core::CoreParams base = family == core::ModelFamily::Ooo
+            ? core::publicInfoA72() : core::publicInfoA53();
+        Rng rng(0x5eedull
+                + static_cast<uint64_t>(core::modelFamilySalt(family)));
+        for (int trial = 0; trial < 12; ++trial) {
+            tuner::Configuration config(sspace.space().size());
+            for (size_t i = 0; i < sspace.space().size(); ++i) {
+                config[i] = static_cast<uint16_t>(rng.nextBelow(
+                    sspace.space().at(i).cardinality()));
+            }
+            core::CoreParams p = sspace.apply(config, base);
+            // Raced values sit exactly on declared levels, so the
+            // projection recovers the configuration bit-exactly...
+            EXPECT_EQ(sspace.encode(p), config)
+                << core::modelFamilyName(family);
+            // ...and a second apply reproduces every raced field.
+            core::CoreParams again =
+                sspace.apply(sspace.encode(p), base);
+            for (const ParamBinding &row : sspace.bindings()) {
+                EXPECT_EQ(row.get(again), row.get(p))
+                    << core::modelFamilyName(family) << "/"
+                    << row.spec.name;
+            }
+        }
+    }
+}
+
+TEST(SniperSpace, FamilyBindingListsDeclareTheKnobsTheModelReads)
+{
+    SniperParamSpace in_order(core::ModelFamily::InOrder);
+    SniperParamSpace interval(core::ModelFamily::Interval);
+    SniperParamSpace ooo(core::ModelFamily::Ooo);
+    // ooo = in-order knobs + all four windows; interval = in-order
+    // knobs + the ROB, minus the seven dimensions the interval
+    // abstraction never reads (store buffer, forwarding x2, divide
+    // pipelining x2, MSHRs x2).
+    EXPECT_EQ(ooo.space().size(), in_order.space().size() + 4);
+    EXPECT_EQ(interval.space().size(), in_order.space().size() + 1 - 7);
+    // The shared ooo prefix declares identical parameters.
+    for (size_t i = 0; i < in_order.space().size(); ++i)
+        EXPECT_EQ(ooo.space().at(i).name, in_order.space().at(i).name);
+    // Every interval knob exists in the in-order+ROB set, and the
+    // timing-dead knobs are excluded.
+    std::set<std::string> interval_names;
+    for (const ParamBinding &row : interval.bindings())
+        interval_names.insert(row.spec.name);
+    EXPECT_EQ(interval_names.size(), interval.space().size());
+    EXPECT_TRUE(interval_names.count("rob_entries"));
+    for (const char *dead :
+         {"store_buffer_entries", "forwarding", "forward_latency",
+          "int_div_pipelined", "fp_div_pipelined", "l1d_mshrs",
+          "l2_mshrs"}) {
+        EXPECT_FALSE(interval_names.count(dead)) << dead;
+    }
+    EXPECT_EQ(interval.family(), core::ModelFamily::Interval);
+    EXPECT_FALSE(interval.outOfOrder());
 }
 
 TEST(SniperSpace, OooAddsWindowParameters)
