@@ -1,15 +1,18 @@
 /**
  * @file
  * Ablation (DESIGN.md): why racing? Compare iterated racing against
- * uniform random search and a pure elite-less sweep at the same
- * experiment budget, on the A53 tuning task.
+ * uniform random search at the same experiment budget, on the A53
+ * tuning task. The baseline is the registered "random" search
+ * strategy (the same implementation strategy_comparison and the
+ * campaign layer use), run over the flow's own engine and cost
+ * domain, so both searches draw from one cache and one metric.
  */
 
 #include <cstdio>
 
 #include "bench/bench_common.hh"
-#include "common/rng.hh"
 #include "stats/descriptive.hh"
+#include "tuner/strategy.hh"
 #include "ubench/ubench.hh"
 
 int
@@ -28,28 +31,21 @@ main(int argc, char **argv)
     validate::ValidationFlow flow(false, opts);
     validate::FlowReport report = flow.run();
     const auto &sspace = flow.paramSpace();
-    const core::CoreParams &base = report.publicModel;
     size_t num_ubench = ubench::all().size();
 
-    // Random search: spend the same budget on uniform configurations,
-    // each evaluated on a fixed subset of instances (budget/instances
-    // candidates on all instances). All candidates are independent, so
-    // the whole search is one deduplicated engine batch.
-    Rng rng(opts.seed + 17);
-    uint64_t num_random = opts.budget / num_ubench;
-    std::vector<core::CoreParams> random_models;
-    random_models.reserve(num_random);
-    for (uint64_t c = 0; c < num_random; ++c) {
-        tuner::Configuration config(sspace.space().size());
-        for (size_t i = 0; i < sspace.space().size(); ++i) {
-            config[i] = static_cast<uint16_t>(
-                rng.nextBelow(sspace.space().at(i).cardinality()));
-        }
-        random_models.push_back(sspace.apply(config, base));
-    }
-    double best_random = 1e100;
-    for (double err : flow.ubenchErrorBatch(random_models))
-        best_random = std::min(best_random, err);
+    // Random search at the same budget, through the registry: the
+    // flow's engine is the evaluator (its model fn was set by run(),
+    // its cost domain is the racing objective), so the baseline
+    // evaluates exactly what racing evaluated. A different seed keeps
+    // its samples decorrelated from irace's.
+    tuner::RacerOptions random_opts;
+    random_opts.maxExperiments = opts.budget;
+    random_opts.seed = opts.seed + 17;
+    auto random_search = tuner::makeSearchStrategy(
+        "random", sspace.space(), flow.engine(), num_ubench,
+        random_opts);
+    tuner::RaceResult random_result = random_search->run();
+    double best_random = random_result.bestMeanCost;
 
     std::printf("budget: %llu experiments, %zu raced parameters\n",
                 static_cast<unsigned long long>(opts.budget),

@@ -16,6 +16,7 @@
 #include "common/log.hh"
 #include "core/timing_model.hh"
 #include "engine/engine.hh"
+#include "tuner/strategy.hh"
 #include "ubench/ubench.hh"
 #include "validate/flow.hh"
 
@@ -43,6 +44,14 @@ inline T
 smokeScaled(T full, T reduced)
 {
     return smokeMode() ? reduced : full;
+}
+
+/** Search strategy selected with --strategy (default: irace). */
+inline std::string &
+strategyName()
+{
+    static std::string name = tuner::defaultSearchStrategy;
+    return name;
 }
 
 /// @name --json result blobs
@@ -155,6 +164,11 @@ printList()
     for (const auto &info : core::TimingModelRegistry::instance().all())
         std::printf("  %-9s %s\n", info.name, info.description);
 
+    std::printf("\nsearch strategies (--strategy):\n");
+    for (const auto &info :
+         tuner::SearchStrategyRegistry::instance().all())
+        std::printf("  %-9s %s\n", info.name, info.description);
+
     std::printf("\nhardware target presets (validation boards):\n");
     std::printf("  %-12s hidden A53-class in-order board "
                 "(hw::secretA53)\n", "secret-a53");
@@ -180,6 +194,28 @@ printList()
                     static_cast<unsigned long long>(
                         info.paperDynInsts));
     }
+}
+
+/** True when --strategy was given explicitly (vs the irace default);
+ *  strategy_comparison uses this to narrow its sweep. */
+inline bool &
+strategyExplicit()
+{
+    static bool explicit_ = false;
+    return explicit_;
+}
+
+/** Validate and record a --strategy argument (exits on unknown). */
+inline void
+setStrategyArg(const char *argv0, const std::string &name)
+{
+    if (!tuner::SearchStrategyRegistry::instance().find(name)) {
+        std::fprintf(stderr, "%s: unknown search strategy '%s' "
+                     "(try --list)\n", argv0, name.c_str());
+        std::exit(2);
+    }
+    strategyName() = name;
+    strategyExplicit() = true;
 }
 
 /** Shared preamble of both arg parsers: stamp the wall clock and
@@ -211,14 +247,18 @@ parseDriverArgs(int argc, char **argv, const char *what)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--smoke] [--list] [--json <path>]"
+            std::printf("usage: %s [--smoke] [--list] [--json <path>] "
+                        "[--strategy <name>]"
                         "\n\n%s\n\n"
                         "  --smoke        reduced budgets/workloads for "
                         "CI smoke runs\n"
                         "  --list         enumerate workloads, hw "
-                        "presets and model families\n"
+                        "presets, model families and "
+                        "search strategies\n"
                         "  --json <path>  write a machine-readable "
                         "result blob\n"
+                        "  --strategy <name>  search strategy for the "
+                        "tuning step (default irace)\n"
                         "  RACEVAL_BUDGET=<n> overrides the racing "
                         "budget\n", argv[0], what);
             std::exit(0);
@@ -234,6 +274,13 @@ parseDriverArgs(int argc, char **argv, const char *what)
                 std::exit(2);
             }
             jsonPath() = argv[++i];
+        } else if (arg == "--strategy") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --strategy needs a name\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            setStrategyArg(argv[0], argv[++i]);
         } else {
             std::fprintf(stderr, "%s: unknown argument '%s' "
                          "(try --help)\n", argv[0], arg.c_str());
@@ -258,7 +305,8 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--smoke] [--list] [--json <path>] "
-                        "[--benchmark_* flags]\n\n%s\n", argv[0], what);
+                        "[--strategy <name>] [--benchmark_* flags]"
+                        "\n\n%s\n", argv[0], what);
             std::exit(0);
         } else if (arg == "--list") {
             printList();
@@ -273,6 +321,13 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
                 std::exit(2);
             }
             jsonPath() = argv[++i];
+        } else if (arg == "--strategy") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --strategy needs a name\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            setStrategyArg(argv[0], argv[++i]);
         } else {
             argv[out++] = argv[i];
         }
@@ -298,6 +353,7 @@ benchFlowOptions()
     validate::FlowOptions opts;
     opts.budget = budgetFromEnv();
     opts.threads = 0; // all hardware threads
+    opts.strategy = strategyName();
     opts.verbose = false;
     if (const char *env = std::getenv("RACEVAL_EVAL_CACHE"))
         opts.evalCachePath = env;

@@ -2,8 +2,11 @@
  * @file
  * Campaign racing (paper §IV at fleet scale): the methodology is not
  * one tuning run but a campaign of them -- hardware target presets x
- * workload subsets x seed replicates, each an independent iterated
- * race. This driver races such a cross product concurrently over ONE
+ * workload subsets x seed replicates x search strategies, each an
+ * independent search (iterated racing by default; random-search and
+ * successive-halving tasks ride in the same fleet through the
+ * strategy registry). This driver races such a cross product
+ * concurrently over ONE
  * shared evaluation engine, so every task draws on the same trace
  * recordings and evaluation cache, and reports per-task and aggregate
  * experiments/s.
@@ -132,11 +135,12 @@ main(int argc, char **argv)
                            : std::vector<unsigned>{1, 2};
 
     auto make_task = [&](const Preset &preset, const Subset &subset,
-                         unsigned seed, core::ModelFamily family) {
+                         unsigned seed, core::ModelFamily family,
+                         const char *strategy) {
         const validate::SniperParamSpace &space =
             family == core::ModelFamily::Interval ? ispace : sspace;
         campaign::CampaignTask task;
-        task.name = strprintf("a53-%s-%s/%s/seed%u",
+        task.name = strprintf("a53-%s-%s-%s/%s/seed%u", strategy,
                               core::modelFamilyName(family),
                               preset.name, subset.name, seed);
         task.space = &space.space();
@@ -146,6 +150,7 @@ main(int argc, char **argv)
         };
         task.instances = *subset.ids;
         task.family = family;
+        task.strategy = strategy;
         task.racer.maxExperiments = bench::budgetFromEnv(1200);
         task.racer.seed = 20190324 + seed;
         task.initialCandidates = {space.encode(base)};
@@ -164,13 +169,15 @@ main(int argc, char **argv)
         const Subset *subset;
         unsigned seed;
         core::ModelFamily family;
+        const char *strategy;
     };
     std::vector<TaskSpec> specs;
     for (const Preset &preset : presets) {
         for (const Subset &subset : subsets) {
             for (unsigned seed : seed_replicates) {
                 specs.push_back(TaskSpec{&preset, &subset, seed,
-                                         core::ModelFamily::InOrder});
+                                         core::ModelFamily::InOrder,
+                                         "irace"});
             }
         }
     }
@@ -180,21 +187,32 @@ main(int argc, char **argv)
     for (const Subset &subset : subsets) {
         for (unsigned seed : seed_replicates) {
             specs.push_back(TaskSpec{&presets[0], &subset, seed,
-                                     core::ModelFamily::Interval});
+                                     core::ModelFamily::Interval,
+                                     "irace"});
         }
+    }
+    // The baseline search strategies ride in the same fleet: a task's
+    // strategy is one more field, and the strategy salt in the task
+    // fingerprint keeps mixed-strategy checkpoints honest.
+    for (const Subset &subset : subsets) {
+        specs.push_back(TaskSpec{&presets[0], &subset,
+                                 seed_replicates[0],
+                                 core::ModelFamily::InOrder,
+                                 subset.ids == &mem_ids ? "random"
+                                                        : "halving"});
     }
     for (const TaskSpec &spec : specs) {
         runner.addTask(make_task(*spec.preset, *spec.subset, spec.seed,
-                                 spec.family));
+                                 spec.family, spec.strategy));
     }
     size_t num_tasks = runner.numTasks();
 
     campaign::CampaignResult result = runner.run();
 
-    std::printf("%-32s %5s %12s %9s %8s %10s\n", "task", "iters",
+    std::printf("%-40s %5s %12s %9s %8s %10s\n", "task", "iters",
                 "experiments", "seconds", "exp/s", "best cost");
     for (const campaign::TaskOutcome &task : result.tasks) {
-        std::printf("%-32s %5u %12llu %9.2f %8.0f %9.4f%s\n",
+        std::printf("%-40s %5u %12llu %9.2f %8.0f %9.4f%s\n",
                     task.name.c_str(), task.result.iterations,
                     static_cast<unsigned long long>(
                         task.result.experimentsUsed),
@@ -213,7 +231,8 @@ main(int argc, char **argv)
         solo_opts.concurrency = 1;
         campaign::CampaignRunner solo(eng, solo_opts);
         solo.addTask(make_task(*specs[i].preset, *specs[i].subset,
-                               specs[i].seed, specs[i].family));
+                               specs[i].seed, specs[i].family,
+                               specs[i].strategy));
         campaign::CampaignResult alone = solo.run();
         if (!sameRace(alone.tasks[0].result, result.tasks[i].result))
             identical = false;

@@ -29,7 +29,7 @@
 #include "common/log.hh"
 #include "core/inorder.hh"
 #include "engine/engine.hh"
-#include "tuner/race.hh"
+#include "tuner/strategy.hh"
 #include "ubench/ubench.hh"
 #include "validate/oracle.hh"
 #include "validate/sniper_space.hh"
@@ -135,12 +135,17 @@ BM_PreEngineRacing(benchmark::State &state)
         core::InOrderCore sim(model);
         return t.cpiError(sim.run(source), t.programs[instance]);
     };
+    // The pre-engine evaluation path: live functional execution per
+    // fresh pair, memoized and parallelized by a SimpleCostEvaluator
+    // (exactly what the racer's CostFn convenience path wraps).
+    tuner::SimpleCostEvaluator live_eval(live, t.ropts.threads);
     for (auto _ : state) {
         preEngine = timedRace([&] {
-            tuner::IteratedRacer racer(t.sspace.space(), live,
-                                       t.programs.size(), t.ropts);
-            racer.addInitialCandidate(t.sspace.encode(t.base));
-            return racer.run();
+            auto strategy = tuner::makeSearchStrategy(
+                bench::strategyName(), t.sspace.space(), live_eval,
+                t.programs.size(), t.ropts);
+            strategy->addInitialCandidate(t.sspace.encode(t.base));
+            return strategy->run();
         });
     }
     state.counters["experiments"] =
@@ -155,10 +160,11 @@ BM_EngineRacingCold(benchmark::State &state)
     for (auto _ : state) {
         sharedEngine = makeEngine();
         engineCold = timedRace([&] {
-            tuner::IteratedRacer racer(t.sspace.space(), *sharedEngine,
-                                       t.programs.size(), t.ropts);
-            racer.addInitialCandidate(t.sspace.encode(t.base));
-            return racer.run();
+            auto strategy = tuner::makeSearchStrategy(
+                bench::strategyName(), t.sspace.space(), *sharedEngine,
+                t.programs.size(), t.ropts);
+            strategy->addInitialCandidate(t.sspace.encode(t.base));
+            return strategy->run();
         });
         requestsPerRace = sharedEngine->stats().requests;
     }
@@ -175,10 +181,11 @@ BM_EngineRacingWarm(benchmark::State &state)
         sharedEngine = makeEngine(); // filtered run: warm == cold
     for (auto _ : state) {
         engineWarm = timedRace([&] {
-            tuner::IteratedRacer racer(t.sspace.space(), *sharedEngine,
-                                       t.programs.size(), t.ropts);
-            racer.addInitialCandidate(t.sspace.encode(t.base));
-            return racer.run();
+            auto strategy = tuner::makeSearchStrategy(
+                bench::strategyName(), t.sspace.space(), *sharedEngine,
+                t.programs.size(), t.ropts);
+            strategy->addInitialCandidate(t.sspace.encode(t.base));
+            return strategy->run();
         });
     }
     finalEngineStats = sharedEngine->stats();

@@ -85,6 +85,16 @@ taskFingerprint(const engine::EvalEngine &engine,
     // family-salted keys).
     fp.mix(core::modelFamilySalt(
         task.family.value_or(engine.modelFamily())));
+    // The search strategy, by its checkpoint salt -- a task switched
+    // to another strategy must not restore the old trajectory.
+    // Deliberate asymmetry: the default strategy (irace, explicit or
+    // via "") mixes NOTHING, so checkpoints written before strategies
+    // existed stay valid for exactly the tasks whose definition is
+    // actually unchanged.
+    std::string strategy_name = task.strategy.empty()
+        ? tuner::defaultSearchStrategy : task.strategy;
+    if (strategy_name != tuner::defaultSearchStrategy)
+        fp.mix(tuner::searchStrategySalt(strategy_name));
 
     const tuner::RacerOptions &r = task.racer;
     fp.mix(r.maxExperiments)
@@ -197,6 +207,11 @@ CampaignRunner::addTask(CampaignTask task)
     RV_ASSERT(task.costDomain < engine.numCostDomains(),
               "campaign task '%s': cost domain %zu not registered",
               task.name.c_str(), task.costDomain);
+    RV_ASSERT(task.strategy.empty()
+                  || tuner::SearchStrategyRegistry::instance().find(
+                         task.strategy) != nullptr,
+              "campaign task '%s': unknown search strategy '%s'",
+              task.name.c_str(), task.strategy.c_str());
     RV_ASSERT(task.racer.maxExperiments > 0,
               "campaign task '%s': zero experiment budget",
               task.name.c_str());
@@ -215,13 +230,16 @@ CampaignRunner::runTask(size_t index, uint64_t fingerprint,
 {
     const CampaignTask &task = tasks[index];
     SubsetEvaluator evaluator(engine, task);
-    tuner::IteratedRacer racer(*task.space, evaluator,
-                               task.instances.size(), task.racer);
+    std::unique_ptr<tuner::SearchStrategy> strategy =
+        tuner::makeSearchStrategy(
+            task.strategy.empty() ? tuner::defaultSearchStrategy
+                                  : task.strategy,
+            *task.space, evaluator, task.instances.size(), task.racer);
     for (const tuner::Configuration &config : task.initialCandidates)
-        racer.addInitialCandidate(config);
+        strategy->addInitialCandidate(config);
 
     auto start = std::chrono::steady_clock::now();
-    tuner::RaceResult result = racer.run();
+    tuner::RaceResult result = strategy->run();
     double wall = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
 

@@ -3,9 +3,11 @@
  * Multi-race campaign orchestration over one shared evaluation engine.
  *
  * The paper's methodology is a *campaign*: many (target, workload
- * suite, seed) tuning runs, each an independent iterated race, whose
- * aggregate throughput bounds how much validation is affordable (§IV,
- * 10K-100K experiments per run). PR 2 made one race fast; this layer
+ * suite, seed, search strategy) tuning runs, each an independent
+ * search (iterated racing by default; any registered SearchStrategy
+ * per task), whose aggregate throughput bounds how much validation is
+ * affordable (§IV, 10K-100K experiments per run). PR 2 made one race
+ * fast; this layer
  * runs a fleet of them concurrently over a single engine::EvalEngine,
  * so every task shares the same trace recordings and evaluation cache
  * while keeping its race-local budget and bit-identical trajectory:
@@ -40,7 +42,7 @@
 #include "campaign/checkpoint.hh"
 #include "core/timing_model.hh"
 #include "engine/engine.hh"
-#include "tuner/race.hh"
+#include "tuner/strategy.hh"
 
 namespace raceval::campaign
 {
@@ -67,6 +69,13 @@ struct CampaignTask
      *  TraceBank and EvalCache; keys are family-salted, so their
      *  results never alias. */
     std::optional<core::ModelFamily> family;
+    /** Registered search strategy driving this task ("" = the default,
+     *  irace). Covered by the checkpoint task fingerprint via the
+     *  strategy's salt, so changing a task's strategy invalidates its
+     *  checkpointed result -- with the one documented exception that
+     *  irace (explicit or defaulted) contributes nothing, keeping
+     *  pre-strategy checkpoints valid. */
+    std::string strategy;
     /** Racing knobs: budget, seed replicate, elimination params. */
     tuner::RacerOptions racer;
     /** Seed configurations (e.g. the target's public-info model). */

@@ -104,8 +104,9 @@ class BatchEvaluator;
 /**
  * The evaluation engine.
  *
- * Implements tuner::CostEvaluator, so an IteratedRacer wired to the
- * engine races entirely on cached trace replays. Also serves raw
+ * Implements tuner::CostEvaluator, so any tuner::SearchStrategy wired
+ * to the engine searches entirely on cached trace replays. Also serves
+ * raw
  * model evaluations (evaluateModel) for the validation flow's error
  * reports and the perturbation sweeps.
  *

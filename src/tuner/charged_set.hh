@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Exact, search-local experiment-budget accounting, shared by every
+ * SearchStrategy implementation.
+ */
+
+#ifndef RACEVAL_TUNER_CHARGED_SET_HH
+#define RACEVAL_TUNER_CHARGED_SET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+#include "tuner/space.hh"
+
+namespace raceval::tuner
+{
+
+/** Exact budget-accounting key (no lossy 64-bit folding: a hash
+ *  collision would silently undercharge the budget). */
+struct ChargedKey
+{
+    Configuration config;
+    size_t instance = 0;
+
+    bool operator==(const ChargedKey &) const = default;
+};
+
+struct ChargedKeyHash
+{
+    size_t
+    operator()(const ChargedKey &key) const
+    {
+        return static_cast<size_t>(
+            key.config.hash() * 1315423911ull
+            ^ (static_cast<uint64_t>(key.instance)
+               + 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/**
+ * (config, instance) pairs a search has already charged against its
+ * budget, compared by exact content. Deliberately strategy-local
+ * rather than asking the evaluator: a warm shared cache then speeds a
+ * run up without changing its trajectory -- re-running the same
+ * search over a populated engine cache stays bit-identical, just
+ * faster.
+ */
+using ChargedSet = std::unordered_set<ChargedKey, ChargedKeyHash>;
+
+} // namespace raceval::tuner
+
+#endif // RACEVAL_TUNER_CHARGED_SET_HH

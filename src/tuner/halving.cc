@@ -1,0 +1,270 @@
+#include "tuner/halving.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "stats/descriptive.hh"
+
+namespace raceval::tuner
+{
+
+SuccessiveHalvingStrategy::SuccessiveHalvingStrategy(
+    const ParameterSpace &space, CostEvaluator &evaluator,
+    size_t num_instances, RacerOptions options)
+    : space(space), evaluator(&evaluator), numInstances(num_instances),
+      opts(options)
+{
+    RV_ASSERT(space.size() > 0, "empty parameter space");
+    RV_ASSERT(numInstances > 0, "no benchmark instances");
+    RV_ASSERT(opts.maxExperiments > 0, "zero experiment budget");
+}
+
+void
+SuccessiveHalvingStrategy::addInitialCandidate(const Configuration &config)
+{
+    RV_ASSERT(config.size() == space.size(),
+              "initial candidate has wrong arity");
+    initialCandidates.push_back(config);
+}
+
+uint64_t
+SuccessiveHalvingStrategy::bracketCost(uint64_t n) const
+{
+    // Mirrors the rung schedule of runBracket exactly: alive
+    // candidates pay for the instances new to each rung, the bottom
+    // half dies between rungs, the instance target doubles.
+    size_t r0 = std::min<size_t>(
+        std::max(1u, opts.instancesBeforeFirstTest), numInstances);
+    uint64_t cost = 0;
+    uint64_t alive = n;
+    size_t seen = 0;
+    size_t target = r0;
+    for (;;) {
+        cost += alive * (target - seen);
+        seen = target;
+        if (seen >= numInstances)
+            break;
+        alive = (alive + 1) / 2;
+        if (alive <= 1)
+            break;
+        target = std::min(numInstances, target * 2);
+    }
+    return cost;
+}
+
+std::vector<SuccessiveHalvingStrategy::Candidate>
+SuccessiveHalvingStrategy::runBracket(std::vector<Candidate> candidates,
+                                      Rng &rng, bool salvage)
+{
+    std::vector<size_t> order = rng.permutation(numInstances);
+    size_t r0 = std::min<size_t>(
+        std::max(1u, opts.instancesBeforeFirstTest), numInstances);
+
+    size_t seen = 0;
+    size_t target = r0;
+    unsigned rung = 0;
+    bool out_of_budget = false;
+    while (!out_of_budget) {
+        // Score every live candidate on the instances new to this
+        // rung, one whole batch per instance (the racing-step batch
+        // shape, so the engine path is identical to irace's).
+        for (size_t t = seen; t < target; ++t) {
+            size_t instance = order[t];
+            std::vector<size_t> alive;
+            uint64_t fresh = 0;
+            for (size_t c = 0; c < candidates.size(); ++c) {
+                if (!candidates[c].alive)
+                    continue;
+                alive.push_back(c);
+                if (!charged.count(
+                        ChargedKey{candidates[c].config, instance}))
+                    ++fresh;
+            }
+            bool truncated = false;
+            if (experimentsUsed + fresh > opts.maxExperiments) {
+                // Budget exhausted mid-bracket. Salvage a truncated
+                // very first step (only possible before anything has
+                // been costed) so even budget 1 yields a ranked
+                // result; otherwise stop and rank what got costed.
+                if (!salvage || t != 0 || rung != 0) {
+                    out_of_budget = true;
+                    break;
+                }
+                uint64_t remaining =
+                    opts.maxExperiments - experimentsUsed;
+                alive.resize(static_cast<size_t>(
+                    std::min<uint64_t>(alive.size(), remaining)));
+                truncated = true;
+            }
+            std::vector<EvalPair> step;
+            step.reserve(alive.size());
+            for (size_t c : alive)
+                step.emplace_back(candidates[c].config, instance);
+            std::vector<double> step_costs =
+                evaluator->evaluateMany(step);
+            for (size_t k = 0; k < alive.size(); ++k) {
+                if (charged.insert(ChargedKey{candidates[alive[k]].config,
+                                              instance})
+                        .second)
+                    ++experimentsUsed;
+                candidates[alive[k]].costs.push_back(step_costs[k]);
+            }
+            if (truncated) {
+                for (size_t c = 0; c < candidates.size(); ++c)
+                    candidates[c].alive = !candidates[c].costs.empty();
+                out_of_budget = true;
+                break;
+            }
+        }
+        if (out_of_budget)
+            break;
+        seen = target;
+
+        // Rank the rung and kill the bottom half.
+        std::vector<size_t> alive;
+        for (size_t c = 0; c < candidates.size(); ++c) {
+            if (candidates[c].alive)
+                alive.push_back(c);
+        }
+        std::sort(alive.begin(), alive.end(),
+                  [&](size_t a, size_t b) {
+                      return stats::mean(candidates[a].costs)
+                          < stats::mean(candidates[b].costs);
+                  });
+        if (opts.verbose) {
+            inform("halving rung %u: %zu candidates x %zu instances, "
+                   "best cost %.4f, %llu/%llu experiments", rung + 1,
+                   alive.size(), seen,
+                   alive.empty()
+                       ? 0.0 : stats::mean(candidates[alive[0]].costs),
+                   static_cast<unsigned long long>(experimentsUsed),
+                   static_cast<unsigned long long>(opts.maxExperiments));
+        }
+        if (seen >= numInstances)
+            break; // full-fidelity ranking reached
+        size_t keep = (alive.size() + 1) / 2;
+        for (size_t k = keep; k < alive.size(); ++k)
+            candidates[alive[k]].alive = false;
+        if (keep <= 1)
+            break; // a single survivor: the bracket has its winner
+        target = std::min(numInstances, target * 2);
+        ++rung;
+    }
+
+    std::vector<Candidate> finalists;
+    for (Candidate &cand : candidates) {
+        if (cand.alive && !cand.costs.empty())
+            finalists.push_back(std::move(cand));
+    }
+    std::sort(finalists.begin(), finalists.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return stats::mean(a.costs) < stats::mean(b.costs);
+              });
+    return finalists;
+}
+
+RaceResult
+SuccessiveHalvingStrategy::run()
+{
+    Rng rng(opts.seed);
+    RaceResult result;
+    std::vector<Candidate> finalists;
+
+    while (experimentsUsed < opts.maxExperiments) {
+        uint64_t remaining = opts.maxExperiments - experimentsUsed;
+
+        // Budget-matched field size: the largest power of two whose
+        // full bracket fits the remaining budget (minimum 2; the
+        // per-step budget checks still truncate exactly when even
+        // that does not fit).
+        uint64_t n = 2;
+        while (bracketCost(n * 2) <= remaining)
+            n *= 2;
+        if (opts.candidatesPerIteration)
+            n = opts.candidatesPerIteration;
+
+        std::vector<Candidate> candidates;
+        candidates.reserve(static_cast<size_t>(n));
+        if (result.iterations == 0) {
+            for (const Configuration &config : initialCandidates)
+                candidates.push_back(Candidate{config, {}, true});
+        }
+        while (candidates.size() < n) {
+            Configuration config(space.size());
+            for (size_t i = 0; i < space.size(); ++i) {
+                config[i] = static_cast<uint16_t>(
+                    rng.nextBelow(space.at(i).cardinality()));
+            }
+            candidates.push_back(Candidate{std::move(config), {}, true});
+        }
+
+        uint64_t used_before = experimentsUsed;
+        std::vector<Candidate> bracket = runBracket(
+            std::move(candidates), rng, finalists.empty());
+        ++result.iterations;
+        // Survivors of ONE bracket are comparable (same instance
+        // subset, local-mean sorted); keep each bracket's local top
+        // eliteCount so the cross-bracket full-fidelity ranking below
+        // stays a small bounded batch even after truncated brackets.
+        if (bracket.size() > opts.eliteCount)
+            bracket.resize(std::max(1u, opts.eliteCount));
+        for (Candidate &cand : bracket)
+            finalists.push_back(std::move(cand));
+        // A bracket that could not charge a single fresh experiment
+        // cannot make progress (every affordable pair is already
+        // charged); stop instead of spinning on the leftover budget.
+        if (experimentsUsed == used_before)
+            break;
+    }
+
+    RV_ASSERT(!finalists.empty(),
+              "successive halving produced no finalists");
+
+    // Finalists from different brackets (or truncated rungs) carry
+    // means over DIFFERENT instance subsets, which are not comparable
+    // -- a mediocre config scored only on easy instances would win on
+    // paper. Rank them at full fidelity instead: one batch of every
+    // finalist over every instance. This is reporting, not search
+    // (uncharged, same contract as IteratedRacer's final winner
+    // evaluation), and mostly cache-warm -- each bracket winner has
+    // already seen all or most instances.
+    std::vector<EvalPair> final_pairs;
+    final_pairs.reserve(finalists.size() * numInstances);
+    for (const Candidate &cand : finalists) {
+        for (size_t i = 0; i < numInstances; ++i)
+            final_pairs.emplace_back(cand.config, i);
+    }
+    std::vector<double> final_costs =
+        evaluator->evaluateMany(final_pairs);
+    std::vector<double> full_means(finalists.size());
+    for (size_t c = 0; c < finalists.size(); ++c) {
+        full_means[c] = stats::mean(std::vector<double>(
+            final_costs.begin()
+                + static_cast<ptrdiff_t>(c * numInstances),
+            final_costs.begin()
+                + static_cast<ptrdiff_t>((c + 1) * numInstances)));
+    }
+    std::vector<size_t> rank(finalists.size());
+    for (size_t c = 0; c < rank.size(); ++c)
+        rank[c] = c;
+    std::sort(rank.begin(), rank.end(), [&](size_t a, size_t b) {
+        return full_means[a] < full_means[b];
+    });
+
+    result.best = finalists[rank[0]].config;
+    result.bestCosts.assign(
+        final_costs.begin()
+            + static_cast<ptrdiff_t>(rank[0] * numInstances),
+        final_costs.begin()
+            + static_cast<ptrdiff_t>((rank[0] + 1) * numInstances));
+    result.bestMeanCost = full_means[rank[0]];
+    result.experimentsUsed = experimentsUsed;
+    for (size_t c = 0;
+         c < std::min<size_t>(rank.size(), opts.eliteCount); ++c) {
+        result.elites.emplace_back(finalists[rank[c]].config,
+                                   full_means[rank[c]]);
+    }
+    return result;
+}
+
+} // namespace raceval::tuner

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Successive halving (Jamieson & Talwalkar, AISTATS'16) over benchmark
+ * instance subsets -- a multi-fidelity counterpoint to the Friedman
+ * elimination of iterated racing. Where irace drops candidates on
+ * statistical evidence, halving drops the bottom half of the field at
+ * fixed rungs while doubling the instance budget of the survivors, so
+ * cheap low-fidelity scores (few instances) buy breadth and the full
+ * instance suite is only ever paid for by a handful of finalists (the
+ * spirit of LightningSimV2's graph-level multi-fidelity reuse).
+ */
+
+#ifndef RACEVAL_TUNER_HALVING_HH
+#define RACEVAL_TUNER_HALVING_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "tuner/charged_set.hh"
+#include "tuner/strategy.hh"
+
+namespace raceval::tuner
+{
+
+/**
+ * Rung-based successive halving at a fixed experiment budget.
+ *
+ * One bracket: sample n candidates (budget-matched power of two, or
+ * candidatesPerIteration when nonzero; initial candidates join the
+ * first bracket), score everyone on the first
+ * instancesBeforeFirstTest instances of a seed-shuffled instance
+ * order, eliminate the bottom half, double the instance target, and
+ * repeat until one candidate remains or every instance has been
+ * scored. Leftover budget runs further brackets of fresh uniform
+ * samples; the best finalist across brackets wins. Budget accounting
+ * and truncation behave exactly like IteratedRacer's (search-local
+ * ChargedSet; a truncated first step still yields a ranked result).
+ */
+class SuccessiveHalvingStrategy : public SearchStrategy
+{
+  public:
+    SuccessiveHalvingStrategy(const ParameterSpace &space,
+                              CostEvaluator &evaluator,
+                              size_t num_instances,
+                              RacerOptions options = {});
+
+    RaceResult run() override;
+    void addInitialCandidate(const Configuration &config) override;
+
+  private:
+    struct Candidate
+    {
+        Configuration config;
+        std::vector<double> costs; //!< per scored instance, in order
+        bool alive = true;
+    };
+
+    /** Fresh-pair cost of one full bracket of @p n candidates. */
+    uint64_t bracketCost(uint64_t n) const;
+
+    /**
+     * Run one bracket; returns finalists (everyone alive with at
+     * least one cost) sorted by mean cost.
+     *
+     * @param salvage truncate the very first step instead of
+     *        returning empty-handed when the budget cannot cover it
+     *        (armed only while no finalist exists yet).
+     */
+    std::vector<Candidate> runBracket(std::vector<Candidate> candidates,
+                                      Rng &rng, bool salvage);
+
+    const ParameterSpace &space;
+    CostEvaluator *evaluator;
+    size_t numInstances;
+    RacerOptions opts;
+    uint64_t experimentsUsed = 0;
+    ChargedSet charged;
+    std::vector<Configuration> initialCandidates;
+};
+
+} // namespace raceval::tuner
+
+#endif // RACEVAL_TUNER_HALVING_HH

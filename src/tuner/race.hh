@@ -19,62 +19,17 @@
 
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hh"
-#include "tuner/evaluator.hh"
-#include "tuner/space.hh"
+#include "tuner/charged_set.hh"
+#include "tuner/strategy.hh"
 
 namespace raceval::tuner
 {
 
-/** Tuner options (defaults sized for the scaled reproduction). */
-struct RacerOptions
-{
-    /** Experiment budget: total (configuration, instance) evaluations
-     *  (the paper uses 10 K - 100 K trials; scaled default 3 K). */
-    uint64_t maxExperiments = 3000;
-    /** Instances each candidate sees before the first statistical
-     *  test (irace's "firstTest"). */
-    unsigned instancesBeforeFirstTest = 5;
-    /** Significance level for elimination. */
-    double alpha = 0.05;
-    /** Elites carried between iterations. */
-    unsigned eliteCount = 4;
-    /** Candidates sampled per iteration (0 = auto from budget). */
-    unsigned candidatesPerIteration = 0;
-    uint64_t seed = 20190324; // ISPASS'19
-    /** Worker threads for parallel evaluation (0 = hardware); only
-     *  used by the convenience CostFn constructor -- an external
-     *  CostEvaluator brings its own parallelism. */
-    unsigned threads = 0;
-    /** Narrate rounds via inform(). */
-    bool verbose = false;
-};
-
-/** Outcome of a tuning run. */
-struct RaceResult
-{
-    Configuration best;
-    /** Mean cost of `best` across all instances. */
-    double bestMeanCost = 0.0;
-    /** Per-instance costs of `best`, from a final full evaluation
-     *  across every instance. That evaluation is reporting, not
-     *  search: it is never charged against maxExperiments. Normally
-     *  the racer has already raced the winner on (nearly) every
-     *  instance so it is served from the evaluator's cache; after a
-     *  budget-truncated best-effort race it may run fresh
-     *  evaluations beyond the stated budget. */
-    std::vector<double> bestCosts;
-    uint64_t experimentsUsed = 0;
-    unsigned iterations = 0;
-    /** Final elite set (best first) with mean costs. */
-    std::vector<std::pair<Configuration, double>> elites;
-};
-
-/** The iterated-racing driver. */
-class IteratedRacer
+/** The iterated-racing strategy (registered as "irace"). */
+class IteratedRacer : public SearchStrategy
 {
   public:
     /**
@@ -105,14 +60,14 @@ class IteratedRacer
                   size_t num_instances, RacerOptions options = {});
 
     /** Run the full iterated race. */
-    RaceResult run();
+    RaceResult run() override;
 
     /**
      * Seed the first iteration with known configurations (irace's
      * "initial candidates"; the validation flow passes the
      * public-information model so tuning can only improve on it).
      */
-    void addInitialCandidate(const Configuration &config);
+    void addInitialCandidate(const Configuration &config) override;
 
   private:
     struct Candidate
@@ -146,37 +101,9 @@ class IteratedRacer
     size_t numInstances;
     RacerOptions opts;
     uint64_t experimentsUsed = 0;
-    /** Exact budget-accounting key (no lossy 64-bit folding: a hash
-     *  collision would silently undercharge the budget). */
-    struct ChargedKey
-    {
-        Configuration config;
-        size_t instance = 0;
-
-        bool operator==(const ChargedKey &) const = default;
-    };
-
-    struct ChargedKeyHash
-    {
-        size_t
-        operator()(const ChargedKey &key) const
-        {
-            return static_cast<size_t>(
-                key.config.hash() * 1315423911ull
-                ^ (static_cast<uint64_t>(key.instance)
-                   + 0x9e3779b97f4a7c15ull));
-        }
-    };
-
-    /**
-     * (config, instance) pairs this race has already charged against
-     * its budget, compared by exact content. Deliberately racer-local
-     * rather than asking the evaluator: a warm shared cache then
-     * speeds a race up without changing its trajectory -- re-running
-     * the same race over a populated engine cache stays bit-identical,
-     * just faster.
-     */
-    std::unordered_set<ChargedKey, ChargedKeyHash> charged;
+    /** (config, instance) pairs this race has already charged against
+     *  its budget (see charged_set.hh). */
+    ChargedSet charged;
     std::vector<Configuration> initialCandidates;
 };
 

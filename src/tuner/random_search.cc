@@ -1,0 +1,143 @@
+#include "tuner/random_search.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "stats/descriptive.hh"
+
+namespace raceval::tuner
+{
+
+RandomSearchStrategy::RandomSearchStrategy(const ParameterSpace &space,
+                                           CostEvaluator &evaluator,
+                                           size_t num_instances,
+                                           RacerOptions options)
+    : space(space), evaluator(&evaluator), numInstances(num_instances),
+      opts(options)
+{
+    RV_ASSERT(space.size() > 0, "empty parameter space");
+    RV_ASSERT(numInstances > 0, "no benchmark instances");
+    RV_ASSERT(opts.maxExperiments > 0, "zero experiment budget");
+}
+
+void
+RandomSearchStrategy::addInitialCandidate(const Configuration &config)
+{
+    RV_ASSERT(config.size() == space.size(),
+              "initial candidate has wrong arity");
+    initialCandidates.push_back(config);
+}
+
+RaceResult
+RandomSearchStrategy::run()
+{
+    Rng rng(opts.seed);
+
+    // Budget-matched candidate count: every candidate is meant to see
+    // every instance, so the budget buys floor(budget / instances)
+    // candidates. Initial candidates count toward the total but are
+    // never dropped in its favour.
+    uint64_t auto_count =
+        std::max<uint64_t>(1, opts.maxExperiments / numInstances);
+    size_t num_candidates = opts.candidatesPerIteration
+        ? opts.candidatesPerIteration
+        : static_cast<size_t>(auto_count);
+    num_candidates = std::max(num_candidates, initialCandidates.size());
+
+    struct Candidate
+    {
+        Configuration config;
+        std::vector<double> costs; //!< per evaluated instance, in order
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(num_candidates);
+    for (const Configuration &config : initialCandidates)
+        candidates.push_back(Candidate{config, {}});
+    while (candidates.size() < num_candidates) {
+        Configuration config(space.size());
+        for (size_t i = 0; i < space.size(); ++i) {
+            config[i] = static_cast<uint16_t>(
+                rng.nextBelow(space.at(i).cardinality()));
+        }
+        candidates.push_back(Candidate{std::move(config), {}});
+    }
+
+    // Evaluate instance-major, one batch per (instance x all
+    // candidates) step -- the same batch shape a racing step has, so
+    // the engine path is identical and budget truncation keeps every
+    // candidate on the same instance subset.
+    std::vector<size_t> order = rng.permutation(numInstances);
+    size_t active = candidates.size();
+    for (size_t t = 0; t < numInstances; ++t) {
+        size_t instance = order[t];
+        uint64_t fresh = 0;
+        for (size_t c = 0; c < active; ++c) {
+            if (!charged.count(
+                    ChargedKey{candidates[c].config, instance}))
+                ++fresh;
+        }
+        if (experimentsUsed + fresh > opts.maxExperiments) {
+            // Budget exhausted. On the very first instance spend what
+            // remains on a truncated candidate list (so even budget 1
+            // returns a best-effort result); afterwards stop cleanly
+            // with every candidate holding t costs.
+            if (t != 0)
+                break;
+            uint64_t remaining = opts.maxExperiments - experimentsUsed;
+            active = static_cast<size_t>(
+                std::min<uint64_t>(active, remaining));
+        }
+        std::vector<EvalPair> step;
+        step.reserve(active);
+        for (size_t c = 0; c < active; ++c)
+            step.emplace_back(candidates[c].config, instance);
+        std::vector<double> step_costs = evaluator->evaluateMany(step);
+        for (size_t c = 0; c < active; ++c) {
+            if (charged.insert(
+                        ChargedKey{candidates[c].config, instance})
+                    .second)
+                ++experimentsUsed;
+            candidates[c].costs.push_back(step_costs[c]);
+        }
+        if (active < candidates.size())
+            break; // truncated first step: rank whatever got costed
+    }
+
+    candidates.resize(active);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return stats::mean(a.costs) < stats::mean(b.costs);
+              });
+    RV_ASSERT(!candidates.empty() && !candidates[0].costs.empty(),
+              "random search evaluated no candidates");
+
+    if (opts.verbose) {
+        inform("random: %zu candidates x %zu instances, best cost "
+               "%.4f, %llu/%llu experiments", candidates.size(),
+               candidates[0].costs.size(),
+               stats::mean(candidates[0].costs),
+               static_cast<unsigned long long>(experimentsUsed),
+               static_cast<unsigned long long>(opts.maxExperiments));
+    }
+
+    RaceResult result;
+    result.best = candidates[0].config;
+    // Final full evaluation of the winner across every instance
+    // (uncharged reporting, same contract as IteratedRacer).
+    std::vector<EvalPair> final_pairs;
+    final_pairs.reserve(numInstances);
+    for (size_t i = 0; i < numInstances; ++i)
+        final_pairs.emplace_back(result.best, i);
+    result.bestCosts = evaluator->evaluateMany(final_pairs);
+    result.bestMeanCost = stats::mean(result.bestCosts);
+    result.experimentsUsed = experimentsUsed;
+    result.iterations = 1;
+    for (size_t c = 0;
+         c < std::min<size_t>(candidates.size(), opts.eliteCount); ++c) {
+        result.elites.emplace_back(candidates[c].config,
+                                   stats::mean(candidates[c].costs));
+    }
+    return result;
+}
+
+} // namespace raceval::tuner

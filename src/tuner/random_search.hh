@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Budget-matched uniform random search -- the paper's implicit
+ * baseline ("racing beats unguided sampling"). Sampling is blind, but
+ * evaluation is not naive: candidates are raced instance-by-instance
+ * through the same batched CostEvaluator path as iterated racing, so
+ * the engine deduplicates and caches exactly as it does for irace and
+ * the comparison between the two strategies is pure search policy.
+ */
+
+#ifndef RACEVAL_TUNER_RANDOM_SEARCH_HH
+#define RACEVAL_TUNER_RANDOM_SEARCH_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "tuner/charged_set.hh"
+#include "tuner/strategy.hh"
+
+namespace raceval::tuner
+{
+
+/**
+ * Uniform random search at a fixed experiment budget.
+ *
+ * Samples floor(maxExperiments / num_instances) configurations
+ * uniformly (initial candidates included in the count, never dropped;
+ * candidatesPerIteration overrides the count when nonzero), evaluates
+ * every candidate on every instance in seed-determined order, and
+ * returns the candidate with the lowest mean cost. When the budget
+ * cannot cover the full cross product the evaluation is truncated
+ * instance-first, so every surviving candidate is still compared over
+ * the same instance subset.
+ */
+class RandomSearchStrategy : public SearchStrategy
+{
+  public:
+    RandomSearchStrategy(const ParameterSpace &space,
+                         CostEvaluator &evaluator, size_t num_instances,
+                         RacerOptions options = {});
+
+    RaceResult run() override;
+    void addInitialCandidate(const Configuration &config) override;
+
+  private:
+    const ParameterSpace &space;
+    CostEvaluator *evaluator;
+    size_t numInstances;
+    RacerOptions opts;
+    uint64_t experimentsUsed = 0;
+    ChargedSet charged;
+    std::vector<Configuration> initialCandidates;
+};
+
+} // namespace raceval::tuner
+
+#endif // RACEVAL_TUNER_RANDOM_SEARCH_HH

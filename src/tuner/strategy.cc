@@ -1,0 +1,103 @@
+#include "tuner/strategy.hh"
+
+#include "common/log.hh"
+#include "tuner/halving.hh"
+#include "tuner/race.hh"
+#include "tuner/random_search.hh"
+
+namespace raceval::tuner
+{
+
+namespace
+{
+
+template <typename Strategy>
+std::unique_ptr<SearchStrategy>
+makeStrategy(const ParameterSpace &space, CostEvaluator &evaluator,
+             size_t num_instances, const RacerOptions &options)
+{
+    return std::make_unique<Strategy>(space, evaluator, num_instances,
+                                      options);
+}
+
+} // namespace
+
+SearchStrategyRegistry::SearchStrategyRegistry()
+{
+    // The salts are campaign-checkpoint ABI: checkpoint entries key
+    // task fingerprints on them, so they must never change once
+    // shipped. irace's salt exists only to keep the uniqueness guard
+    // honest -- taskFingerprint() deliberately never mixes it (the
+    // default strategy must fingerprint exactly like the pre-strategy
+    // era, so historical checkpoints stay valid).
+    registerStrategy({"irace",
+                      "iterated racing: Friedman-test elimination + "
+                      "elitist resampling (the paper's tuner)",
+                      0x6972616365ull, &makeStrategy<IteratedRacer>});
+    registerStrategy({"random",
+                      "budget-matched uniform random sampling (the "
+                      "paper's implicit baseline)",
+                      0x72616e646f6dull,
+                      &makeStrategy<RandomSearchStrategy>});
+    registerStrategy({"halving",
+                      "successive halving: rung-based instance-budget "
+                      "doubling, bottom half eliminated per rung",
+                      0x68616c76696e67ull,
+                      &makeStrategy<SuccessiveHalvingStrategy>});
+}
+
+SearchStrategyRegistry &
+SearchStrategyRegistry::instance()
+{
+    static SearchStrategyRegistry registry;
+    return registry;
+}
+
+void
+SearchStrategyRegistry::registerStrategy(const SearchStrategyInfo &info)
+{
+    RV_ASSERT(info.make != nullptr, "search strategy '%s' has no factory",
+              info.name);
+    for (const SearchStrategyInfo &existing : entries) {
+        RV_ASSERT(std::string(existing.name) != info.name,
+                  "duplicate search strategy name '%s'", info.name);
+        RV_ASSERT(existing.fingerprintSalt != info.fingerprintSalt,
+                  "search strategy '%s' reuses the checkpoint salt of "
+                  "'%s'", info.name, existing.name);
+    }
+    entries.push_back(info);
+}
+
+const SearchStrategyInfo *
+SearchStrategyRegistry::find(const std::string &name) const
+{
+    for (const SearchStrategyInfo &entry : entries) {
+        if (name == entry.name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<SearchStrategy>
+makeSearchStrategy(const std::string &name, const ParameterSpace &space,
+                   CostEvaluator &evaluator, size_t num_instances,
+                   RacerOptions options)
+{
+    const SearchStrategyInfo *entry =
+        SearchStrategyRegistry::instance().find(name);
+    if (!entry)
+        panic("unregistered search strategy '%s'", name.c_str());
+    return entry->make(space, evaluator, num_instances, options);
+}
+
+uint64_t
+searchStrategySalt(const std::string &name)
+{
+    const SearchStrategyInfo *entry =
+        SearchStrategyRegistry::instance().find(name);
+    if (!entry)
+        panic("unregistered search strategy '%s'", name.c_str());
+    return entry->fingerprintSalt;
+}
+
+} // namespace raceval::tuner

@@ -15,6 +15,10 @@ ValidationFlow::ValidationFlow(core::ModelFamily family,
                                FlowOptions options)
     : fam(family), opts(options), sniperSpace(family)
 {
+    RV_ASSERT(tuner::SearchStrategyRegistry::instance().find(
+                  opts.strategy) != nullptr,
+              "flow: unknown search strategy '%s'",
+              opts.strategy.c_str());
     // The OoO family targets the A72-class board; the in-order and
     // interval families are alternative models of the same in-order
     // A53-class hardware.
@@ -202,9 +206,10 @@ ValidationFlow::run()
     report.untunedUbenchAvg =
         ubenchError(base, &report.untunedUbench);
 
-    // Step #4: iterated racing over the undisclosed parameters. The
-    // engine is the evaluator: every racing step is one deduplicated
-    // batch of trace replays, memoized in the EvalCache.
+    // Step #4: search the undisclosed parameters with the configured
+    // strategy (the paper's iterated racing by default). The engine
+    // is the evaluator: every search step is one deduplicated batch
+    // of trace replays, memoized in the EvalCache.
     raceBase = base;
     evalEngine->setModelFn(
         [this](const tuner::Configuration &config) {
@@ -216,10 +221,12 @@ ValidationFlow::run()
     racer_opts.threads = opts.threads;
     racer_opts.seed = opts.seed;
     racer_opts.verbose = opts.verbose;
-    tuner::IteratedRacer racer(sniperSpace.space(), *evalEngine,
-                               ubenchInstances.size(), racer_opts);
-    racer.addInitialCandidate(sniperSpace.encode(base));
-    report.race = racer.run();
+    std::unique_ptr<tuner::SearchStrategy> strategy =
+        tuner::makeSearchStrategy(opts.strategy, sniperSpace.space(),
+                                  *evalEngine, ubenchInstances.size(),
+                                  racer_opts);
+    strategy->addInitialCandidate(sniperSpace.encode(base));
+    report.race = strategy->run();
 
     // Step #6: the tuned model.
     report.tunedModel = sniperSpace.apply(report.race.best, base);

@@ -4,7 +4,8 @@
  *   #1 model from publicly available information,
  *   #2 set cache latency parameters using micro-benchmarks (lmbench),
  *   #3 approximate the remaining unknown parameters,
- *   #4 tune parameters with iterated racing,
+ *   #4 tune parameters with a registered search strategy (iterated
+ *      racing by default; see tuner::SearchStrategyRegistry),
  *   #5 inspect per-component error; optionally rerun with a
  *      component-weighted cost function,
  *   #6 emit the tuned model.
@@ -25,7 +26,7 @@
 
 #include "core/params.hh"
 #include "engine/engine.hh"
-#include "tuner/race.hh"
+#include "tuner/strategy.hh"
 #include "validate/latency_probe.hh"
 #include "validate/oracle.hh"
 #include "validate/sniper_space.hh"
@@ -61,6 +62,9 @@ struct FlowOptions
     uint64_t budget = 3000;   //!< racing experiments (paper: 10K-100K)
     unsigned threads = 0;     //!< parallel evaluations (0 = hardware)
     uint64_t seed = 20190324;
+    /** Registered search strategy driving step #4 (see
+     *  tuner::SearchStrategyRegistry; "irace" is the paper's). */
+    std::string strategy = tuner::defaultSearchStrategy;
     CostKind costKind = CostKind::Cpi;
     bool verbose = false;
     /** When set, the engine's EvalCache is loaded from this path at

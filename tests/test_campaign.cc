@@ -318,6 +318,128 @@ TEST(Checkpoint, MissingAndMalformedFilesAreFreshStarts)
     std::remove(path.c_str());
 }
 
+TEST(Campaign, MixedStrategyFleetCheckpointResume)
+{
+    // One fleet, three strategies. Checkpoint-resume across the mix
+    // must restore each task bit-identically, whatever strategy
+    // produced it.
+    tuner::ParameterSpace space = makeSpace();
+    engine::ModelFn model_fn = makeModelFn(space);
+    std::string path = ::testing::TempDir() + "/campaign-mixed.json";
+    std::remove(path.c_str());
+
+    auto add_tasks = [&](CampaignRunner &runner) {
+        CampaignTask irace = makeTask("irace", space, model_fn, {0, 1},
+                                      11);
+        CampaignTask random = makeTask("random", space, model_fn,
+                                       {0, 1}, 11);
+        random.strategy = "random";
+        CampaignTask halving = makeTask("halving", space, model_fn,
+                                        {2, 3}, 11);
+        halving.strategy = "halving";
+        runner.addTask(std::move(irace));
+        runner.addTask(std::move(random));
+        runner.addTask(std::move(halving));
+    };
+
+    // Reference: the uninterrupted mixed fleet.
+    auto ref_engine = makeEngine();
+    CampaignRunner reference_runner(*ref_engine, CampaignOptions{});
+    add_tasks(reference_runner);
+    CampaignResult reference = reference_runner.run();
+    // Different strategies on the same task definition must actually
+    // search differently (otherwise this test checks nothing).
+    EXPECT_FALSE(reference.tasks[0].result.best
+                     == reference.tasks[1].result.best
+                 && reference.tasks[0].result.experimentsUsed
+                     == reference.tasks[1].result.experimentsUsed
+                 && reference.tasks[0].result.iterations
+                     == reference.tasks[1].result.iterations);
+
+    // Interrupted: the first two tasks land in the checkpoint.
+    auto eng = makeEngine();
+    CampaignOptions copts;
+    copts.checkpointPath = path;
+    CampaignRunner first_half(*eng, copts);
+    CampaignTask irace = makeTask("irace", space, model_fn, {0, 1}, 11);
+    CampaignTask random = makeTask("random", space, model_fn, {0, 1},
+                                   11);
+    random.strategy = "random";
+    first_half.addTask(std::move(irace));
+    first_half.addTask(std::move(random));
+    first_half.run();
+
+    // Resume with the full mixed list: restored tasks match the
+    // uninterrupted fleet bit for bit, only the halving task races.
+    CampaignRunner resumed(*eng, copts);
+    add_tasks(resumed);
+    CampaignResult result = resumed.run();
+    EXPECT_EQ(result.stats.tasksFromCheckpoint, 2u);
+    EXPECT_EQ(result.stats.tasksRaced, 1u);
+    for (size_t i = 0; i < 3; ++i)
+        expectSameRace(reference.tasks[i].result,
+                       result.tasks[i].result);
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, CheckpointIgnoresChangedStrategy)
+{
+    // Same task name + definition, different strategy: the entry must
+    // not resurrect (the strategy salt is in the fingerprint).
+    tuner::ParameterSpace space = makeSpace();
+    engine::ModelFn model_fn = makeModelFn(space);
+    std::string path =
+        ::testing::TempDir() + "/campaign-strategy-stale.json";
+    std::remove(path.c_str());
+    auto eng = makeEngine();
+    CampaignOptions copts;
+    copts.checkpointPath = path;
+
+    CampaignRunner first(*eng, copts);
+    first.addTask(makeTask("task", space, model_fn, {0, 1}, 11));
+    first.run();
+
+    CampaignRunner changed(*eng, copts);
+    CampaignTask task = makeTask("task", space, model_fn, {0, 1}, 11);
+    task.strategy = "halving";
+    changed.addTask(std::move(task));
+    CampaignResult result = changed.run();
+    EXPECT_FALSE(result.tasks[0].fromCheckpoint);
+    EXPECT_EQ(result.stats.tasksRaced, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, StrategyFingerprintBackCompat)
+{
+    // The pre-strategy fingerprint contract: "" and an explicit
+    // "irace" must fingerprint identically (so checkpoints written
+    // before the strategy field existed are invalidated ONLY for
+    // tasks whose definition actually changed), while any other
+    // strategy must change the fingerprint.
+    tuner::ParameterSpace space = makeSpace();
+    engine::ModelFn model_fn = makeModelFn(space);
+    auto eng = makeEngine();
+
+    CampaignTask implicit = makeTask("t", space, model_fn, {0, 1}, 11);
+    uint64_t fp = taskFingerprint(*eng, implicit);
+
+    CampaignTask explicit_irace =
+        makeTask("t", space, model_fn, {0, 1}, 11);
+    explicit_irace.strategy = "irace";
+    EXPECT_EQ(taskFingerprint(*eng, explicit_irace), fp);
+
+    CampaignTask random = makeTask("t", space, model_fn, {0, 1}, 11);
+    random.strategy = "random";
+    uint64_t random_fp = taskFingerprint(*eng, random);
+    EXPECT_NE(random_fp, fp);
+
+    CampaignTask halving = makeTask("t", space, model_fn, {0, 1}, 11);
+    halving.strategy = "halving";
+    uint64_t halving_fp = taskFingerprint(*eng, halving);
+    EXPECT_NE(halving_fp, fp);
+    EXPECT_NE(halving_fp, random_fp);
+}
+
 TEST(Campaign, TaskFingerprintTracksDefinition)
 {
     tuner::ParameterSpace space = makeSpace();

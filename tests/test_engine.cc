@@ -10,6 +10,7 @@
 #include "core/inorder.hh"
 #include "engine/engine.hh"
 #include "tuner/race.hh"
+#include "tuner/strategy.hh"
 #include "ubench/ubench.hh"
 #include "vm/functional.hh"
 
@@ -456,6 +457,89 @@ TEST(Engine, RacerBitIdenticalWithEngineSwappedIn)
     EXPECT_EQ(warm.bestMeanCost, replayed.bestMeanCost);
     EXPECT_EQ(warm.experimentsUsed, replayed.experimentsUsed);
     EXPECT_EQ(engine.stats().evaluations, evals_before);
+}
+
+TEST(Engine, EveryStrategyBitIdenticalLiveVsEngineColdVsWarm)
+{
+    // The racer bit-identity contract, extended to the whole
+    // SearchStrategyRegistry: for EVERY registered strategy, live
+    // per-call execution, a cold engine and the same engine re-used
+    // warm must produce bit-identical RaceResults.
+    tuner::ParameterSpace space;
+    space.addOrdinal("mispredict_penalty", {4, 8, 12, 16});
+    space.addOrdinal("l1d_latency", {2, 3, 4});
+    space.addFlag("forwarding");
+
+    auto materialize = [&space](const tuner::Configuration &config) {
+        core::CoreParams model = core::publicInfoA53();
+        model.mispredictPenalty = static_cast<unsigned>(
+            space.ordinalValue(config, "mispredict_penalty"));
+        model.mem.l1d.latency = static_cast<unsigned>(
+            space.ordinalValue(config, "l1d_latency"));
+        model.forwarding = space.flagValue(config, "forwarding");
+        return model;
+    };
+
+    std::vector<isa::Program> programs;
+    for (const char *name : {"CCh", "EI", "MM", "STc"})
+        programs.push_back(smallProgram(name, 6000));
+
+    auto live_cost = [&](const tuner::Configuration &config,
+                         size_t instance) {
+        core::CoreParams model = materialize(config);
+        vm::FunctionalCore source(programs[instance]);
+        core::InOrderCore sim(model);
+        return sim.run(source).cpi();
+    };
+
+    auto expect_same = [](const tuner::RaceResult &a,
+                          const tuner::RaceResult &b,
+                          const char *what) {
+        EXPECT_EQ(a.best, b.best) << what;
+        EXPECT_EQ(a.bestMeanCost, b.bestMeanCost) << what;
+        EXPECT_EQ(a.bestCosts, b.bestCosts) << what;
+        EXPECT_EQ(a.experimentsUsed, b.experimentsUsed) << what;
+        EXPECT_EQ(a.iterations, b.iterations) << what;
+        ASSERT_EQ(a.elites.size(), b.elites.size()) << what;
+        for (size_t e = 0; e < a.elites.size(); ++e) {
+            EXPECT_EQ(a.elites[e].first, b.elites[e].first) << what;
+            EXPECT_EQ(a.elites[e].second, b.elites[e].second) << what;
+        }
+    };
+
+    tuner::RacerOptions opts;
+    opts.maxExperiments = 120;
+    opts.seed = 31;
+    opts.threads = 1;
+
+    for (const tuner::SearchStrategyInfo &info :
+         tuner::SearchStrategyRegistry::instance().all()) {
+        tuner::SimpleCostEvaluator live_eval(live_cost, 1);
+        auto live_strategy = info.make(space, live_eval,
+                                       programs.size(), opts);
+        tuner::RaceResult live = live_strategy->run();
+        EXPECT_LE(live.experimentsUsed, opts.maxExperiments)
+            << info.name;
+
+        EvalEngine engine(false);
+        for (const isa::Program &prog : programs)
+            engine.addInstance(prog);
+        engine.setModelFn(materialize);
+        auto cold_strategy = info.make(space, engine, programs.size(),
+                                       opts);
+        tuner::RaceResult cold = cold_strategy->run();
+        expect_same(live, cold,
+                    (std::string(info.name) + " live-vs-cold").c_str());
+
+        uint64_t evals_before = engine.stats().evaluations;
+        auto warm_strategy = info.make(space, engine, programs.size(),
+                                       opts);
+        tuner::RaceResult warm = warm_strategy->run();
+        expect_same(cold, warm,
+                    (std::string(info.name) + " cold-vs-warm").c_str());
+        EXPECT_EQ(engine.stats().evaluations, evals_before)
+            << info.name << ": warm rerun simulated something new";
+    }
 }
 
 } // namespace

@@ -161,3 +161,133 @@ TEST(PairedT, NoShiftNotSignificant)
     auto result = pairedTTest(a, a);
     EXPECT_FALSE(result.significant);
 }
+
+// ---------------------------------------------------------------------
+// Golden values. References computed independently of this library
+// (regularized incomplete beta / incomplete gamma evaluated to full
+// double precision); scipy.stats.friedmanchisquare / ttest_rel and R's
+// friedman.test / t.test(paired=TRUE) reproduce the same statistics
+// and p-values to the quoted digits. The critical difference follows
+// Conover's published post-hoc formula
+//   t_{1-a/2,(n-1)(k-1)} * sqrt(2 (n A2 - sum Rj^2) / ((n-1)(k-1))).
+
+TEST(Friedman, GoldenNoTies)
+{
+    // n=4 blocks, k=3 treatments, no ties: the classic statistic
+    // 12/(nk(k+1)) sum Rj^2 - 3n(k+1) = 4.5 with rank sums {5, 8, 11};
+    // p = exp(-4.5/2) via the df=2 chi-square closed form.
+    std::vector<std::vector<double>> costs{{1.0, 2.0, 3.0},
+                                           {2.0, 1.0, 3.0},
+                                           {1.0, 2.0, 3.0},
+                                           {1.0, 3.0, 2.0}};
+    auto result = friedmanTest(costs, 0.05);
+    EXPECT_NEAR(result.statistic, 4.5, 1e-12);
+    EXPECT_NEAR(result.pValue, 0.10539922456186433, 1e-12);
+    ASSERT_EQ(result.rankSums.size(), 3u);
+    EXPECT_DOUBLE_EQ(result.rankSums[0], 5.0);
+    EXPECT_DOUBLE_EQ(result.rankSums[1], 8.0);
+    EXPECT_DOUBLE_EQ(result.rankSums[2], 11.0);
+    EXPECT_NEAR(result.criticalDifference, 5.285933739710572, 1e-9);
+    EXPECT_FALSE(result.significant);
+}
+
+TEST(Friedman, GoldenTieHeavy)
+{
+    // Ties inside every row, one row ({4,4,4,4}) fully tied: the
+    // tie-corrected statistic must come out 11.447368... (= 87/7.6),
+    // NOT the 7.25 the uncorrected classic formula would give.
+    std::vector<std::vector<double>> costs{{1.0, 1.0, 2.0, 3.0},
+                                           {2.0, 2.0, 2.0, 4.0},
+                                           {1.0, 3.0, 3.0, 3.0},
+                                           {5.0, 5.0, 6.0, 6.0},
+                                           {1.0, 2.0, 2.0, 3.0},
+                                           {4.0, 4.0, 4.0, 4.0}};
+    auto result = friedmanTest(costs, 0.05);
+    EXPECT_NEAR(result.statistic, 11.447368421052632, 1e-12);
+    EXPECT_NEAR(result.pValue, 0.009537168520826044, 1e-12);
+    ASSERT_EQ(result.rankSums.size(), 4u);
+    EXPECT_DOUBLE_EQ(result.rankSums[0], 9.5);
+    EXPECT_DOUBLE_EQ(result.rankSums[1], 13.0);
+    EXPECT_DOUBLE_EQ(result.rankSums[2], 16.5);
+    EXPECT_DOUBLE_EQ(result.rankSums[3], 21.0);
+    EXPECT_NEAR(result.criticalDifference, 5.013816940662794, 1e-9);
+    EXPECT_TRUE(result.significant);
+}
+
+TEST(Friedman, GoldenZeroVarianceRows)
+{
+    // Fully-tied (zero-variance) rows dilute but must not break the
+    // tie correction: 5 signal rows + 3 constant rows give exactly
+    // stat=10 with rank sums {11, 16, 21}; p = exp(-5).
+    std::vector<std::vector<double>> costs{
+        {1.0, 2.0, 3.0}, {2.0, 2.0, 2.0}, {1.0, 2.0, 3.0},
+        {3.0, 3.0, 3.0}, {1.0, 2.0, 3.0}, {1.0, 1.0, 1.0},
+        {1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}};
+    auto result = friedmanTest(costs, 0.05);
+    EXPECT_NEAR(result.statistic, 10.0, 1e-12);
+    EXPECT_NEAR(result.pValue, 0.006737946999085468, 1e-12);
+    ASSERT_EQ(result.rankSums.size(), 3u);
+    EXPECT_DOUBLE_EQ(result.rankSums[0], 11.0);
+    EXPECT_DOUBLE_EQ(result.rankSums[1], 16.0);
+    EXPECT_DOUBLE_EQ(result.rankSums[2], 21.0);
+    EXPECT_NEAR(result.criticalDifference, 4.4401302764040995, 1e-9);
+    EXPECT_TRUE(result.significant);
+}
+
+TEST(Friedman, GoldenSaturatedStatistic)
+{
+    // Perfectly consistent ranking saturates the statistic at
+    // n(k-1) = 30; the Conover scale collapses to exactly 0 (every
+    // pair differs) rather than going negative.
+    std::vector<std::vector<double>> costs;
+    for (int b = 0; b < 10; ++b) {
+        costs.push_back({1.0 + 0.01 * b, 2.0 + 0.01 * b, 3.0 + 0.01 * b,
+                         4.0 + 0.01 * b});
+    }
+    auto result = friedmanTest(costs, 0.05);
+    EXPECT_NEAR(result.statistic, 30.0, 1e-12);
+    EXPECT_NEAR(result.pValue, 1.3800570312932545e-06, 1e-16);
+    EXPECT_DOUBLE_EQ(result.criticalDifference, 0.0);
+    EXPECT_TRUE(result.significant);
+}
+
+TEST(PairedT, GoldenShift)
+{
+    std::vector<double> a{1.10, 1.30, 0.90, 1.25, 1.05, 1.40, 0.95,
+                          1.20};
+    std::vector<double> b{1.00, 1.05, 0.95, 1.10, 1.00, 1.15, 1.00,
+                          1.05};
+    auto result = pairedTTest(a, b, 0.05);
+    EXPECT_NEAR(result.statistic, 2.550455479149833, 1e-12);
+    EXPECT_NEAR(result.pValue, 0.03807828502466144, 1e-12);
+    EXPECT_NEAR(result.meanDiff, 0.10625, 1e-15);
+    EXPECT_TRUE(result.significant);
+}
+
+TEST(PairedT, GoldenSmallSample)
+{
+    std::vector<double> a{2.0, 3.0, 1.5, 2.5, 2.2};
+    std::vector<double> b{2.1, 2.7, 1.9, 2.0, 2.1};
+    auto result = pairedTTest(a, b, 0.05);
+    EXPECT_NEAR(result.statistic, 0.5121475197315839, 1e-12);
+    EXPECT_NEAR(result.pValue, 0.6355287029763255, 1e-12);
+    EXPECT_NEAR(result.meanDiff, 0.08, 1e-15);
+    EXPECT_FALSE(result.significant);
+}
+
+TEST(PairedT, ZeroVarianceDifferences)
+{
+    // A bitwise-constant nonzero shift has no sampling variance: the
+    // documented convention is p=0 / significant. Identical samples
+    // (zero shift, zero variance) are p=1 / not significant.
+    std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> shifted{1.5, 2.5, 3.5, 4.5};
+    auto shift = pairedTTest(a, shifted, 0.05);
+    EXPECT_DOUBLE_EQ(shift.pValue, 0.0);
+    EXPECT_TRUE(shift.significant);
+    EXPECT_DOUBLE_EQ(shift.meanDiff, -0.5);
+
+    auto same = pairedTTest(a, a, 0.05);
+    EXPECT_DOUBLE_EQ(same.pValue, 1.0);
+    EXPECT_FALSE(same.significant);
+}
