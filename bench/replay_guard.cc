@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Perf-regression guard over the tuning_throughput smoke blob.
+ *
+ * Reads bench-json/BENCH_tuning_throughput.json (produced by the
+ * smoke_tuning_throughput ctest fixture) and fails when either pillar
+ * of the packed-replay contract regressed:
+ *
+ *   - bit_identical must be 1: the pre-engine, cold-engine and
+ *     warm-engine paths raced to identical results;
+ *   - cold_speedup must be >= 1.0: the packed cold path is never
+ *     slower than functionally re-executing every experiment.
+ *
+ * Run as a plain binary: `replay_guard <path-to-json>`. Not a bench
+ * driver (no --smoke/--json protocol): it is the ctest check that
+ * locks the cold-path speedup in.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+/** Extract `"key": <number>` from a JSON blob (flat search; the bench
+ *  blobs never nest a duplicate metric name). */
+bool
+findNumber(const std::string &text, const std::string &key, double &out)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    return std::sscanf(text.c_str() + pos + needle.size(), " %lf",
+                       &out) == 1;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_tuning_throughput.json>\n"
+                 "fails when bit_identical != 1 or cold_speedup < 1.0\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 2 && std::strcmp(argv[1], "--help") == 0) {
+        usage(argv[0]);
+        return 0;
+    }
+    if (argc != 2)
+        return usage(argv[0]);
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr,
+                     "replay_guard: cannot read '%s' (run the "
+                     "smoke_tuning_throughput test first)\n", argv[1]);
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+
+    double bit_identical = 0.0, cold_speedup = 0.0;
+    if (!findNumber(text, "bit_identical", bit_identical)
+        || !findNumber(text, "cold_speedup", cold_speedup)) {
+        std::fprintf(stderr,
+                     "replay_guard: '%s' is missing bit_identical / "
+                     "cold_speedup metrics\n", argv[1]);
+        return 2;
+    }
+
+    int failures = 0;
+    if (bit_identical != 1.0) {
+        std::fprintf(stderr,
+                     "replay_guard: FAIL bit_identical = %g (expected "
+                     "1): the engine paths diverged from the "
+                     "pre-engine race\n", bit_identical);
+        ++failures;
+    }
+    if (cold_speedup < 1.0) {
+        std::fprintf(stderr,
+                     "replay_guard: FAIL cold_speedup = %.3f (< 1.0): "
+                     "the packed cold path is slower than functional "
+                     "re-execution\n", cold_speedup);
+        ++failures;
+    }
+    if (failures)
+        return 1;
+    std::printf("replay_guard: OK (bit_identical = 1, cold_speedup = "
+                "%.3f)\n", cold_speedup);
+    return 0;
+}

@@ -146,8 +146,14 @@ BranchUnit::predict(const vm::DynInst &dyn)
 {
     RV_ASSERT(dyn.inst.isBranch, "predict() on non-branch %s",
               isa::opcodeName(dyn.inst.op));
+    return predict(dyn.pc, dyn.inst.cls, dyn.taken, dyn.nextPc);
+}
+
+bool
+BranchUnit::predict(uint64_t pc, OpClass cls, bool actual_taken,
+                    uint64_t actual_next_pc)
+{
     ++bstats.branches;
-    uint64_t pc = dyn.pc;
     uint64_t fallthrough = pc + 4;
     size_t btb_mask = btb.size() - 1;
     BtbEntry &btb_entry = btb[(pc >> 2) & btb_mask];
@@ -155,7 +161,6 @@ BranchUnit::predict(const vm::DynInst &dyn)
 
     bool pred_taken;
     uint64_t pred_target = fallthrough;
-    OpClass cls = dyn.inst.cls;
 
     switch (cls) {
       case OpClass::BranchCond:
@@ -195,9 +200,9 @@ BranchUnit::predict(const vm::DynInst &dyn)
         panic("predict: bad branch class %d", static_cast<int>(cls));
     }
 
-    bool direction_wrong = pred_taken != dyn.taken;
-    bool target_wrong = dyn.taken && !direction_wrong
-        && pred_target != dyn.nextPc;
+    bool direction_wrong = pred_taken != actual_taken;
+    bool target_wrong = actual_taken && !direction_wrong
+        && pred_target != actual_next_pc;
     bool mispredict = direction_wrong || target_wrong;
     if (mispredict) {
         ++bstats.mispredicts;
@@ -209,12 +214,12 @@ BranchUnit::predict(const vm::DynInst &dyn)
 
     // --- updates ---------------------------------------------------------
     if (cls == OpClass::BranchCond)
-        updateDirection(pc, dyn.taken);
+        updateDirection(pc, actual_taken);
 
-    if (dyn.taken) {
+    if (actual_taken) {
         btb_entry.valid = true;
         btb_entry.tag = pc;
-        btb_entry.target = dyn.nextPc;
+        btb_entry.target = actual_next_pc;
     }
 
     if (cls == OpClass::BranchCall && params.rasEntries) {
@@ -230,11 +235,11 @@ BranchUnit::predict(const vm::DynInst &dyn)
             uint64_t hist_mask = (1ull << params.indirectHistory) - 1;
             size_t index = ((pc >> 2) ^ (pathHistory & hist_mask))
                 & ind_mask;
-            indirectTable[index] = BtbEntry{pc, dyn.nextPc, true};
+            indirectTable[index] = BtbEntry{pc, actual_next_pc, true};
         }
         // Path history mixes in the low target bits, following
         // history-based indirect predictors.
-        pathHistory = (pathHistory << 3) ^ (dyn.nextPc >> 2);
+        pathHistory = (pathHistory << 3) ^ (actual_next_pc >> 2);
     }
     return mispredict;
 }

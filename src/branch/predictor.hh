@@ -89,6 +89,18 @@ class BranchUnit
      */
     bool predict(const vm::DynInst &dyn);
 
+    /**
+     * Field-wise overload for the packed replay path (identical
+     * behavior; the unit reads exactly these four facts).
+     *
+     * @param pc the branch pc.
+     * @param cls the branch's OpClass (must be a Branch* class).
+     * @param taken actual outcome.
+     * @param next_pc actual successor pc.
+     */
+    bool predict(uint64_t pc, isa::OpClass cls, bool taken,
+                 uint64_t next_pc);
+
     /** @return accumulated statistics. */
     const BranchStats &stats() const { return bstats; }
 

@@ -31,9 +31,8 @@ Cache::Cache(const CacheParams &params, uint64_t rng_seed)
     indexablesets = cparams.hash == HashKind::Mersenne
         ? largestPrimeAtMost(sets) : sets;
     lines.assign(static_cast<size_t>(sets) * cparams.assoc, Line{});
-    meta.resize(sets);
-    for (auto &m : meta)
-        m.lruStamp.assign(cparams.assoc, 0);
+    stamps.assign(static_cast<size_t>(sets) * cparams.assoc, 0u);
+    treeBits.assign(sets, 0u);
     victim.assign(cparams.victimEntries, Line{});
     victimStamp.assign(cparams.victimEntries, 0);
 }
@@ -43,70 +42,43 @@ Cache::reset()
 {
     for (auto &line : lines)
         line = Line{};
-    for (auto &m : meta) {
-        std::fill(m.lruStamp.begin(), m.lruStamp.end(), 0u);
-        m.treeBits = 0;
-    }
+    std::fill(stamps.begin(), stamps.end(), 0u);
+    std::fill(treeBits.begin(), treeBits.end(), 0u);
     std::fill(victim.begin(), victim.end(), Line{});
     std::fill(victimStamp.begin(), victimStamp.end(), 0u);
     clock = 0;
     cstats = CacheStats{};
 }
 
-unsigned
-Cache::setIndex(uint64_t line_addr) const
-{
-    switch (cparams.hash) {
-      case HashKind::Mask:
-        return static_cast<unsigned>(line_addr & (sets - 1));
-      case HashKind::Xor: {
-        unsigned set_bits = floorLog2(sets);
-        uint64_t folded = line_addr ^ (line_addr >> set_bits)
-            ^ (line_addr >> (2 * set_bits));
-        return static_cast<unsigned>(folded & (sets - 1));
-      }
-      case HashKind::Mersenne:
-        // Prime-modulo indexing (Kharbutli et al.): spreads conflict
-        // streams at the cost of leaving sets - prime sets unused.
-        return static_cast<unsigned>(line_addr % indexablesets);
-      default:
-        panic("bad hash kind %d", static_cast<int>(cparams.hash));
-    }
-}
-
 void
-Cache::touch(unsigned set, unsigned way)
+Cache::touchTree(unsigned set, unsigned way)
 {
-    SetMeta &m = meta[set];
-    // LRU and FIFO share the stamp array; FIFO simply never touches on
-    // hit (the stamp is the install time).
-    if (cparams.repl == ReplKind::LRU)
-        m.lruStamp[way] = ++clock;
-    if (cparams.repl == ReplKind::TreePLRU) {
-        // Flip tree bits along the path so they point *away* from way.
-        unsigned node = 1;
-        unsigned span = cparams.assoc;
-        unsigned lo = 0;
-        while (span > 1) {
-            unsigned half = span / 2;
-            bool right = way >= lo + half;
-            // bit==1 means "victim is on the left subtree next time".
-            if (right)
-                m.treeBits |= (1u << node);
-            else
-                m.treeBits &= ~(1u << node);
-            node = node * 2 + (right ? 1 : 0);
-            if (right)
-                lo += half;
-            span = right ? span - half : half;
-        }
+    // Flip tree bits along the path so they point *away* from way.
+    uint32_t bits = treeBits[set];
+    unsigned node = 1;
+    unsigned span = cparams.assoc;
+    unsigned lo = 0;
+    while (span > 1) {
+        unsigned half = span / 2;
+        bool right = way >= lo + half;
+        // bit==1 means "victim is on the left subtree next time".
+        if (right)
+            bits |= (1u << node);
+        else
+            bits &= ~(1u << node);
+        node = node * 2 + (right ? 1 : 0);
+        if (right)
+            lo += half;
+        span = right ? span - half : half;
     }
+    treeBits[set] = bits;
 }
 
 unsigned
 Cache::chooseVictimWay(unsigned set)
 {
-    SetMeta &m = meta[set];
+    const uint32_t *set_stamps =
+        &stamps[static_cast<size_t>(set) * cparams.assoc];
     Line *set_lines = &lines[static_cast<size_t>(set) * cparams.assoc];
 
     // Prefer an invalid way.
@@ -119,10 +91,10 @@ Cache::chooseVictimWay(unsigned set)
       case ReplKind::LRU:
       case ReplKind::FIFO: {
         unsigned victim_way = 0;
-        uint32_t oldest = m.lruStamp[0];
+        uint32_t oldest = set_stamps[0];
         for (unsigned way = 1; way < cparams.assoc; ++way) {
-            if (m.lruStamp[way] < oldest) {
-                oldest = m.lruStamp[way];
+            if (set_stamps[way] < oldest) {
+                oldest = set_stamps[way];
                 victim_way = way;
             }
         }
@@ -131,12 +103,13 @@ Cache::chooseVictimWay(unsigned set)
       case ReplKind::Random:
         return static_cast<unsigned>(rng.nextBelow(cparams.assoc));
       case ReplKind::TreePLRU: {
+        uint32_t bits = treeBits[set];
         unsigned node = 1;
         unsigned span = cparams.assoc;
         unsigned lo = 0;
         while (span > 1) {
             unsigned half = span / 2;
-            bool go_right = !(m.treeBits & (1u << node));
+            bool go_right = !(bits & (1u << node));
             node = node * 2 + (go_right ? 1 : 0);
             if (go_right)
                 lo += half;
@@ -160,29 +133,8 @@ Cache::victimFind(uint64_t line_addr) const
 }
 
 LookupResult
-Cache::lookup(uint64_t line_addr, bool is_write)
+Cache::lookupSlow(uint64_t line_addr, bool is_write, unsigned set)
 {
-    ++cstats.accesses;
-    unsigned set = setIndex(line_addr);
-    Line *set_lines = &lines[static_cast<size_t>(set) * cparams.assoc];
-
-    for (unsigned way = 0; way < cparams.assoc; ++way) {
-        Line &line = set_lines[way];
-        if (line.valid && line.lineAddr == line_addr) {
-            LookupResult result;
-            result.hit = true;
-            result.prefetchedLine = line.prefetched;
-            if (line.prefetched) {
-                ++cstats.prefetchUseful;
-                line.prefetched = false; // count usefulness once
-            }
-            if (is_write)
-                line.dirty = true;
-            touch(set, way);
-            return result;
-        }
-    }
-
     // Victim buffer: a hit swaps the line back into the main array.
     unsigned vslot = victimFind(line_addr);
     if (vslot < victim.size()) {
@@ -200,7 +152,8 @@ Cache::lookup(uint64_t line_addr, bool is_write)
         if (is_write)
             slot.dirty = true;
         if (cparams.repl == ReplKind::FIFO)
-            meta[set].lruStamp[way] = ++clock;
+            stamps[static_cast<size_t>(set) * cparams.assoc + way] =
+                ++clock;
         touch(set, way);
         LookupResult result;
         result.hit = true;
@@ -248,7 +201,7 @@ Cache::fill(uint64_t line_addr, bool prefetched, bool is_write)
     }
     slot = Line{line_addr, true, is_write, prefetched};
     if (cparams.repl == ReplKind::FIFO || cparams.repl == ReplKind::LRU)
-        meta[set].lruStamp[way] = ++clock;
+        stamps[static_cast<size_t>(set) * cparams.assoc + way] = ++clock;
     touch(set, way);
     return result;
 }
@@ -265,18 +218,6 @@ Cache::writebackInto(uint64_t line_addr)
         }
     }
     fill(line_addr, false, true);
-}
-
-bool
-Cache::probe(uint64_t line_addr) const
-{
-    unsigned set = setIndex(line_addr);
-    const Line *set_lines = &lines[static_cast<size_t>(set) * cparams.assoc];
-    for (unsigned way = 0; way < cparams.assoc; ++way) {
-        if (set_lines[way].valid && set_lines[way].lineAddr == line_addr)
-            return true;
-    }
-    return false;
 }
 
 } // namespace raceval::cache

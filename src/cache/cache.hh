@@ -17,6 +17,7 @@
 
 #include "cache/params.hh"
 #include "common/rng.hh"
+#include "common/str.hh"
 
 namespace raceval::cache
 {
@@ -66,10 +67,38 @@ class Cache
     /**
      * Look up a line; updates replacement state and dirty bits on hit.
      *
+     * The tag-match hit path is inline (it is the replay hot loop's
+     * most frequent call); victim-buffer handling and the miss path
+     * live out of line in lookupSlow().
+     *
      * @param line_addr byte address / line size.
      * @param is_write marks the line dirty on hit.
      */
-    LookupResult lookup(uint64_t line_addr, bool is_write);
+    LookupResult
+    lookup(uint64_t line_addr, bool is_write)
+    {
+        ++cstats.accesses;
+        unsigned set = setIndex(line_addr);
+        Line *set_lines =
+            &lines[static_cast<size_t>(set) * cparams.assoc];
+        for (unsigned way = 0; way < cparams.assoc; ++way) {
+            Line &line = set_lines[way];
+            if (line.valid && line.lineAddr == line_addr) {
+                LookupResult result;
+                result.hit = true;
+                result.prefetchedLine = line.prefetched;
+                if (line.prefetched) {
+                    ++cstats.prefetchUseful;
+                    line.prefetched = false; // count usefulness once
+                }
+                if (is_write)
+                    line.dirty = true;
+                touch(set, way);
+                return result;
+            }
+        }
+        return lookupSlow(line_addr, is_write, set);
+    }
 
     /** Result of a fill: did we evict a dirty line? */
     struct FillResult
@@ -89,7 +118,19 @@ class Cache
     FillResult fill(uint64_t line_addr, bool prefetched, bool is_write);
 
     /** @return true when the line is resident (no state update). */
-    bool probe(uint64_t line_addr) const;
+    bool
+    probe(uint64_t line_addr) const
+    {
+        unsigned set = setIndex(line_addr);
+        const Line *set_lines =
+            &lines[static_cast<size_t>(set) * cparams.assoc];
+        for (unsigned way = 0; way < cparams.assoc; ++way) {
+            if (set_lines[way].valid
+                && set_lines[way].lineAddr == line_addr)
+                return true;
+        }
+        return false;
+    }
 
     /**
      * Mark a resident line dirty (dirty writeback arriving from the
@@ -107,7 +148,25 @@ class Cache
     const CacheParams &params() const { return cparams; }
 
     /** @return the set index for a line (exposed for tests). */
-    unsigned setIndex(uint64_t line_addr) const;
+    unsigned
+    setIndex(uint64_t line_addr) const
+    {
+        switch (cparams.hash) {
+          case HashKind::Mask:
+            return static_cast<unsigned>(line_addr & (sets - 1));
+          case HashKind::Xor: {
+            unsigned set_bits = floorLog2(sets);
+            uint64_t folded = line_addr ^ (line_addr >> set_bits)
+                ^ (line_addr >> (2 * set_bits));
+            return static_cast<unsigned>(folded & (sets - 1));
+          }
+          default:
+            // Prime-modulo indexing (Kharbutli et al.): spreads
+            // conflict streams at the cost of leaving sets - prime
+            // sets unused.
+            return static_cast<unsigned>(line_addr % indexablesets);
+        }
+    }
 
   private:
     struct Line
@@ -118,22 +177,34 @@ class Cache
         bool prefetched = false;
     };
 
-    /** Replacement bookkeeping per set. */
-    struct SetMeta
-    {
-        std::vector<uint32_t> lruStamp; //!< LRU / FIFO ordering
-        uint32_t treeBits = 0;          //!< tree-PLRU state
-    };
-
     unsigned victimFind(uint64_t line_addr) const;
     unsigned chooseVictimWay(unsigned set);
-    void touch(unsigned set, unsigned way);
+    LookupResult lookupSlow(uint64_t line_addr, bool is_write,
+                            unsigned set);
+    void touchTree(unsigned set, unsigned way);
+
+    /** Update replacement state after a hit or install on (set, way).
+     *  LRU stamps inline (the common policy on the hot path); the
+     *  tree-PLRU bit walk stays out of line. FIFO and Random do not
+     *  react to touches. */
+    void
+    touch(unsigned set, unsigned way)
+    {
+        if (cparams.repl == ReplKind::LRU)
+            stamps[static_cast<size_t>(set) * cparams.assoc + way] =
+                ++clock;
+        else if (cparams.repl == ReplKind::TreePLRU)
+            touchTree(set, way);
+    }
 
     CacheParams cparams;
     unsigned sets;
     unsigned indexablesets; //!< Mersenne hashing maps into [0, prime)
     std::vector<Line> lines;      //!< sets x assoc
-    std::vector<SetMeta> meta;
+    /** LRU / FIFO ordering stamps, sets x assoc (flat: one allocation
+     *  instead of a heap vector per set). */
+    std::vector<uint32_t> stamps;
+    std::vector<uint32_t> treeBits;   //!< tree-PLRU state per set
     std::vector<Line> victim;     //!< fully associative victim buffer
     std::vector<uint32_t> victimStamp;
     uint32_t clock = 0;

@@ -19,6 +19,44 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params,
     hparams.validate();
 }
 
+MemoryHierarchy::MemoryHierarchy(const MemoryHierarchy &other)
+    : hparams(other.hparams),
+      l1iCache(other.l1iCache),
+      l1dCache(other.l1dCache),
+      l2Cache(other.l2Cache),
+      dramModel(other.dramModel),
+      l1dPrefetcher(other.l1dPrefetcher ? other.l1dPrefetcher->clone()
+                                        : nullptr),
+      l1iPrefetcher(other.l1iPrefetcher ? other.l1iPrefetcher->clone()
+                                        : nullptr),
+      l2Prefetcher(other.l2Prefetcher ? other.l2Prefetcher->clone()
+                                      : nullptr),
+      prefetchScratch(other.prefetchScratch),
+      inFlight(other.inFlight)
+{
+}
+
+MemoryHierarchy &
+MemoryHierarchy::operator=(const MemoryHierarchy &other)
+{
+    if (this == &other)
+        return *this;
+    hparams = other.hparams;
+    l1iCache = other.l1iCache;
+    l1dCache = other.l1dCache;
+    l2Cache = other.l2Cache;
+    dramModel = other.dramModel;
+    l1dPrefetcher =
+        other.l1dPrefetcher ? other.l1dPrefetcher->clone() : nullptr;
+    l1iPrefetcher =
+        other.l1iPrefetcher ? other.l1iPrefetcher->clone() : nullptr;
+    l2Prefetcher =
+        other.l2Prefetcher ? other.l2Prefetcher->clone() : nullptr;
+    prefetchScratch = other.prefetchScratch;
+    inFlight = other.inFlight;
+    return *this;
+}
+
 void
 MemoryHierarchy::reset()
 {
@@ -64,42 +102,27 @@ MemoryHierarchy::runPrefetcher(Prefetcher *prefetcher, Cache &level1,
     }
 }
 
-AccessResult
-MemoryHierarchy::access(uint64_t pc, uint64_t addr, bool is_store,
-                        bool is_inst, uint64_t now)
+void
+MemoryHierarchy::chargeInFlight(uint64_t line, uint64_t now,
+                                AccessResult &result)
 {
-    uint64_t line = addr / lineBytes();
-    Cache &level1 = is_inst ? l1iCache : l1dCache;
-    const CacheParams &l1p = is_inst ? hparams.l1i : hparams.l1d;
-    Prefetcher *l1pf = is_inst ? l1iPrefetcher.get() : l1dPrefetcher.get();
-
-    AccessResult result;
-    result.latency = l1p.latency + (l1p.serialTagData ? 1 : 0);
-
-    LookupResult l1 = level1.lookup(line, is_store);
-    runPrefetcher(l1pf, level1, pc, line, !l1.hit, now);
-
-    if (l1.hit) {
-        result.servedBy = ServedBy::L1;
-        result.victimHit = l1.victimHit;
-        if (l1.victimHit)
-            result.latency += 1;
-        if (hparams.timedPrefetch && l1.prefetchedLine) {
-            auto it = inFlight.find(line);
-            if (it != inFlight.end()) {
-                if (it->second > now) {
-                    // Demand caught up with an in-flight prefetch: wait
-                    // for the remaining fill time.
-                    unsigned wait =
-                        static_cast<unsigned>(it->second - now);
-                    result.latency += wait;
-                }
-                inFlight.erase(it);
-            }
+    auto it = inFlight.find(line);
+    if (it != inFlight.end()) {
+        if (it->second > now) {
+            // Demand caught up with an in-flight prefetch: wait for
+            // the remaining fill time.
+            unsigned wait = static_cast<unsigned>(it->second - now);
+            result.latency += wait;
         }
-        return result;
+        inFlight.erase(it);
     }
+}
 
+AccessResult
+MemoryHierarchy::accessMiss(uint64_t pc, uint64_t line, bool is_store,
+                            uint64_t now, AccessResult result,
+                            Cache &level1)
+{
     // L1 miss -> L2.
     result.latency += hparams.l2.latency
         + (hparams.l2.serialTagData ? 1 : 0);
@@ -117,15 +140,8 @@ MemoryHierarchy::access(uint64_t pc, uint64_t addr, bool is_store,
         result.servedBy = ServedBy::L2;
         if (l2.victimHit)
             result.latency += 1;
-        if (hparams.timedPrefetch && l2.prefetchedLine) {
-            auto it = inFlight.find(line);
-            if (it != inFlight.end()) {
-                if (it->second > now)
-                    result.latency +=
-                        static_cast<unsigned>(it->second - now);
-                inFlight.erase(it);
-            }
-        }
+        if (hparams.timedPrefetch && l2.prefetchedLine)
+            chargeInFlight(line, now, result);
     }
 
     Cache::FillResult l1fill = level1.fill(line, false, is_store);

@@ -40,6 +40,10 @@ class Prefetcher
 
     /** Forget learned state. */
     virtual void reset() = 0;
+
+    /** Deep copy, learned state included (chunked-replay seam
+     *  handoffs copy whole hierarchies). */
+    virtual std::unique_ptr<Prefetcher> clone() const = 0;
 };
 
 /** Prefetch next N sequential lines on every miss. */
@@ -50,6 +54,11 @@ class NextLinePrefetcher : public Prefetcher
     void observe(uint64_t pc, uint64_t line_addr, bool miss,
                  std::vector<uint64_t> &out) override;
     void reset() override {}
+    std::unique_ptr<Prefetcher>
+    clone() const override
+    {
+        return std::make_unique<NextLinePrefetcher>(*this);
+    }
 
   private:
     unsigned degree;
@@ -66,6 +75,11 @@ class StridePrefetcher : public Prefetcher
     void observe(uint64_t pc, uint64_t line_addr, bool miss,
                  std::vector<uint64_t> &out) override;
     void reset() override;
+    std::unique_ptr<Prefetcher>
+    clone() const override
+    {
+        return std::make_unique<StridePrefetcher>(*this);
+    }
 
   private:
     struct Entry
@@ -93,6 +107,11 @@ class GhbPrefetcher : public Prefetcher
     void observe(uint64_t pc, uint64_t line_addr, bool miss,
                  std::vector<uint64_t> &out) override;
     void reset() override;
+    std::unique_ptr<Prefetcher>
+    clone() const override
+    {
+        return std::make_unique<GhbPrefetcher>(*this);
+    }
 
   private:
     struct GhbEntry

@@ -269,6 +269,11 @@ CampaignRunner::run()
     ran = true;
     auto start = std::chrono::steady_clock::now();
 
+    // Map the shared warm-start file before any task races: every
+    // racer thread binary-searches the same read-only pages.
+    if (!opts.warmStartPath.empty())
+        engine.mapWarmFile(opts.warmStartPath);
+
     CampaignResult out;
     out.tasks.resize(tasks.size());
 

@@ -93,6 +93,14 @@ struct CampaignOptions
      *  whose task fingerprint still matches are restored instead of
      *  re-raced; the file is rewritten after every task completion. */
     std::string checkpointPath;
+    /** Warm-start cache file ("" = none): a v3 EvalCache file (see
+     *  EvalEngine::saveCache) mmap'd read-only into the shared engine
+     *  at run() start, so the whole task fleet serves repeat
+     *  experiments from one page-cache copy without loading it onto
+     *  the heap. The campaign never writes this file; produce it with
+     *  saveCache() from a previous run. Missing or incompatible files
+     *  warn and race cold. */
+    std::string warmStartPath;
     /** Narrate task completions via inform(). */
     bool verbose = false;
 };

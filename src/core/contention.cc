@@ -26,46 +26,6 @@ ContentionModel::ContentionModel(const CoreParams &params)
 }
 
 uint64_t
-ContentionModel::reserve(OpClass cls, uint64_t ready)
-{
-    Pool &pool = pools[static_cast<size_t>(poolOf(cls))];
-
-    if (pipelined[static_cast<size_t>(cls)]) {
-        // Pipelined units accept one op per unit per cycle. Model the
-        // pool as a per-cycle start-rate limit rather than per-unit
-        // next-free times: reservations are made in *program* order,
-        // but the machine issues out of order, so an op that becomes
-        // ready late must never block an earlier-ready younger op
-        // (which a future-timestamped unit booking would do).
-        uint64_t t = ready;
-        for (;;) {
-            size_t slot = static_cast<size_t>(t % rateWindow);
-            if (pool.cycleStamp[slot] != t) {
-                pool.cycleStamp[slot] = t;
-                pool.startedInCycle[slot] = 0;
-            }
-            if (pool.startedInCycle[slot] < pool.units) {
-                ++pool.startedInCycle[slot];
-                return t;
-            }
-            ++t;
-        }
-    }
-
-    // Iterative units (divide/sqrt) genuinely occupy a unit for the
-    // full latency; per-unit next-free tracking stays appropriate.
-    size_t best = 0;
-    for (size_t i = 1; i < pool.freeAt.size(); ++i) {
-        if (pool.freeAt[i] < pool.freeAt[best])
-            best = i;
-    }
-    uint64_t start = ready > pool.freeAt[best] ? ready
-                                               : pool.freeAt[best];
-    pool.freeAt[best] = start + latency[static_cast<size_t>(cls)];
-    return start;
-}
-
-uint64_t
 ContentionModel::earliestFree(OpClass cls) const
 {
     const Pool &pool = pools[static_cast<size_t>(poolOf(cls))];

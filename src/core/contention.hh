@@ -31,14 +31,55 @@ class ContentionModel
     explicit ContentionModel(const CoreParams &params);
 
     /**
-     * Reserve a unit for one instruction.
+     * Reserve a unit for one instruction. Inline: this runs once per
+     * replayed instruction in the in-order and OoO segment loops.
      *
      * @param cls timing class of the instruction.
      * @param ready earliest cycle its operands allow it to start.
      * @return the cycle the instruction actually starts executing
      *         (>= ready; later when all units of the pool are busy).
      */
-    uint64_t reserve(isa::OpClass cls, uint64_t ready);
+    uint64_t
+    reserve(isa::OpClass cls, uint64_t ready)
+    {
+        Pool &pool = pools[static_cast<size_t>(poolOf(cls))];
+
+        if (pipelined[static_cast<size_t>(cls)]) {
+            // Pipelined units accept one op per unit per cycle. Model
+            // the pool as a per-cycle start-rate limit rather than
+            // per-unit next-free times: reservations are made in
+            // *program* order, but the machine issues out of order, so
+            // an op that becomes ready late must never block an
+            // earlier-ready younger op (which a future-timestamped
+            // unit booking would do).
+            uint64_t t = ready;
+            for (;;) {
+                size_t slot = static_cast<size_t>(t % rateWindow);
+                if (pool.cycleStamp[slot] != t) {
+                    pool.cycleStamp[slot] = t;
+                    pool.startedInCycle[slot] = 0;
+                }
+                if (pool.startedInCycle[slot] < pool.units) {
+                    ++pool.startedInCycle[slot];
+                    return t;
+                }
+                ++t;
+            }
+        }
+
+        // Iterative units (divide/sqrt) genuinely occupy a unit for
+        // the full latency; per-unit next-free tracking stays
+        // appropriate.
+        size_t best = 0;
+        for (size_t i = 1; i < pool.freeAt.size(); ++i) {
+            if (pool.freeAt[i] < pool.freeAt[best])
+                best = i;
+        }
+        uint64_t start = ready > pool.freeAt[best] ? ready
+                                                   : pool.freeAt[best];
+        pool.freeAt[best] = start + latency[static_cast<size_t>(cls)];
+        return start;
+    }
 
     /**
      * @return the earliest cycle a unit of the class's pool is free,

@@ -1,6 +1,7 @@
 #include "core/inorder.hh"
 
 #include "common/log.hh"
+#include "core/replay.hh"
 
 namespace raceval::core
 {
@@ -67,26 +68,30 @@ InOrderCore::forwardedFromStore(uint64_t addr, unsigned size,
     return false;
 }
 
-CoreStats
-InOrderCore::run(vm::TraceSource &source)
+void
+InOrderCore::beginRun()
 {
     resetState();
-    source.reset();
+    runStats = CoreStats{};
+}
 
-    CoreStats stats;
-    vm::DynInst dyn;
-    while (source.next(dyn)) {
-        ++stats.instructions;
-        frontend.fetch(mem, cparams, dyn.pc, cycle);
+template <class Stream>
+uint64_t
+InOrderCore::runSegment(Stream &s, uint64_t max_insts)
+{
+    uint64_t consumed = 0;
+    while (consumed < max_insts && s.next()) {
+        ++consumed;
+        ++runStats.instructions;
+        frontend.fetch(mem, cparams, s.pc(), cycle);
 
-        const isa::DecodedInst &inst = dyn.inst;
-        OpClass cls = inst.cls;
+        OpClass cls = s.cls();
 
         // Operand readiness (in-order: also bounded by the front end).
         uint64_t ready =
             cycle > frontend.readyAt ? cycle : frontend.readyAt;
-        for (unsigned i = 0; i < inst.numSrcs; ++i) {
-            uint64_t at = regReady[inst.src[i]];
+        for (unsigned i = 0; i < s.srcCount(); ++i) {
+            uint64_t at = regReady[s.srcReg(i)];
             if (at > ready)
                 ready = at;
         }
@@ -101,18 +106,18 @@ InOrderCore::run(vm::TraceSource &source)
           case OpClass::Load: {
             unsigned lat;
             if (cparams.forwarding
-                && forwardedFromStore(dyn.memAddr, inst.memSize, cycle)) {
+                && forwardedFromStore(s.memAddr(), s.memSize(), cycle)) {
                 lat = cparams.forwardLatency;
                 // The cache still sees the access (tag energy, MSHR
                 // pressure are not modeled for forwarded hits).
-                mem.access(dyn.pc, dyn.memAddr, false, false, cycle);
+                mem.access(s.pc(), s.memAddr(), false, false, cycle);
             } else {
                 // An L1 miss needs an MSHR before it can leave the
                 // core, which also spaces out DRAM arrivals (limited
                 // hit-under-miss).
                 uint64_t access_at = cycle;
                 size_t slot = mshrFree.size();
-                if (!mem.l1d().probe(dyn.memAddr / mem.lineBytes())) {
+                if (!mem.l1d().probe(s.memAddr() / mem.lineBytes())) {
                     slot = 0;
                     for (size_t i = 1; i < mshrFree.size(); ++i) {
                         if (mshrFree[i] < mshrFree[slot])
@@ -122,7 +127,7 @@ InOrderCore::run(vm::TraceSource &source)
                         access_at = mshrFree[slot];
                 }
                 cache::AccessResult res =
-                    mem.access(dyn.pc, dyn.memAddr, false, false,
+                    mem.access(s.pc(), s.memAddr(), false, false,
                                access_at);
                 lat = static_cast<unsigned>(access_at - cycle)
                     + res.latency;
@@ -142,14 +147,14 @@ InOrderCore::run(vm::TraceSource &source)
             }
             stallUntil(storeBufFree[slot]);
             cache::AccessResult res =
-                mem.access(dyn.pc, dyn.memAddr, true, false, cycle);
+                mem.access(s.pc(), s.memAddr(), true, false, cycle);
             uint64_t drain_start =
                 cycle > lastDrain ? cycle : lastDrain;
             uint64_t drain_done = drain_start + res.latency;
             lastDrain = drain_done;
             storeBufFree[slot] = drain_done;
             pendingStores[pendingStoreHead] =
-                PendingStore{dyn.memAddr, inst.memSize, drain_done};
+                PendingStore{s.memAddr(), s.memSize(), drain_done};
             pendingStoreHead =
                 (pendingStoreHead + 1) % pendingStores.size();
             done = cycle + contention.latencyOf(cls);
@@ -161,10 +166,11 @@ InOrderCore::run(vm::TraceSource &source)
           case OpClass::BranchIndirect:
           case OpClass::BranchCall:
           case OpClass::BranchRet: {
-            bool mispredict = bp.predict(dyn);
+            bool mispredict =
+                bp.predict(s.pc(), cls, s.taken(), s.nextPc());
             if (mispredict)
                 frontend.redirect(done + cparams.mispredictPenalty);
-            else if (dyn.taken && cparams.takenBranchBubble)
+            else if (s.taken() && cparams.takenBranchBubble)
                 frontend.stallUntil(cycle + cparams.takenBranchBubble);
             break;
           }
@@ -173,24 +179,51 @@ InOrderCore::run(vm::TraceSource &source)
             break;
         }
 
-        if (inst.hasDst())
-            regReady[inst.dst] = done;
+        if (s.hasDst())
+            regReady[s.dstReg()] = done;
         if (done > maxDone)
             maxDone = done;
         advanceSlot();
     }
+    return consumed;
+}
 
+template uint64_t
+InOrderCore::runSegment<vm::PackedStream>(vm::PackedStream &, uint64_t);
+template uint64_t
+InOrderCore::runSegment<vm::SourceStream>(vm::SourceStream &, uint64_t);
+
+CoreStats
+InOrderCore::finishRun()
+{
     uint64_t end = cycle > maxDone ? cycle : maxDone;
     if (lastDrain > end)
         end = lastDrain;
-    stats.cycles = end;
-    stats.branch = bp.stats();
-    stats.l1iMisses = mem.l1i().stats().misses;
-    stats.l1dAccesses = mem.l1d().stats().accesses;
-    stats.l1dMisses = mem.l1d().stats().misses;
-    stats.l2Misses = mem.l2().stats().misses;
-    stats.dramReads = mem.dram().readCount();
-    return stats;
+    runStats.cycles = end;
+    runStats.branch = bp.stats();
+    runStats.l1iMisses = mem.l1i().stats().misses;
+    runStats.l1dAccesses = mem.l1d().stats().accesses;
+    runStats.l1dMisses = mem.l1d().stats().misses;
+    runStats.l2Misses = mem.l2().stats().misses;
+    runStats.dramReads = mem.dram().readCount();
+    return runStats;
+}
+
+CoreStats
+InOrderCore::run(vm::TraceSource &source)
+{
+    beginRun();
+    source.reset();
+    vm::SourceStream stream(source);
+    runSegment(stream, ~uint64_t{0});
+    return finishRun();
+}
+
+CoreStats
+InOrderCore::run(const vm::PackedTrace &trace,
+                 const ReplayOptions &options)
+{
+    return runPackedTrace(*this, trace, options);
 }
 
 } // namespace raceval::core

@@ -1,6 +1,7 @@
 #include "core/interval.hh"
 
 #include "common/log.hh"
+#include "core/replay.hh"
 
 namespace raceval::core
 {
@@ -29,20 +30,24 @@ IntervalCore::resetState()
     std::fill(robFreeAt.begin(), robFreeAt.end(), 0);
 }
 
-CoreStats
-IntervalCore::run(vm::TraceSource &source)
+void
+IntervalCore::beginRun()
 {
     resetState();
-    source.reset();
+    runStats = CoreStats{};
+}
 
-    CoreStats stats;
-    vm::DynInst dyn;
-    while (source.next(dyn)) {
-        ++stats.instructions;
-        frontend.fetch(mem, cparams, dyn.pc, dispatchCycle);
+template <class Stream>
+uint64_t
+IntervalCore::runSegment(Stream &s, uint64_t max_insts)
+{
+    uint64_t consumed = 0;
+    while (consumed < max_insts && s.next()) {
+        ++consumed;
+        ++runStats.instructions;
+        frontend.fetch(mem, cparams, s.pc(), dispatchCycle);
 
-        const isa::DecodedInst &inst = dyn.inst;
-        OpClass cls = inst.cls;
+        OpClass cls = s.cls();
 
         // --- dispatch: width per cycle, gated only by the front end
         // and the ROB window. A long-latency instruction opens a stall
@@ -63,8 +68,8 @@ IntervalCore::run(vm::TraceSource &source)
         // store-drain modeling: inside an interval the core is assumed
         // to sustain full width.
         uint64_t ready = dispatchCycle;
-        for (unsigned i = 0; i < inst.numSrcs; ++i) {
-            uint64_t at = regReady[inst.src[i]];
+        for (unsigned i = 0; i < s.srcCount(); ++i) {
+            uint64_t at = regReady[s.srcReg(i)];
             if (at > ready)
                 ready = at;
         }
@@ -73,19 +78,19 @@ IntervalCore::run(vm::TraceSource &source)
 
         if (cls == OpClass::Load) {
             cache::AccessResult res =
-                mem.access(dyn.pc, dyn.memAddr, false, false, ready);
+                mem.access(s.pc(), s.memAddr(), false, false, ready);
             complete = ready + res.latency;
         } else if (cls == OpClass::Store) {
             // The cache sees the store (state evolves) but drain cost
             // is assumed hidden behind the window.
-            mem.access(dyn.pc, dyn.memAddr, true, false, ready);
+            mem.access(s.pc(), s.memAddr(), true, false, ready);
         }
 
-        if (inst.isBranch) {
-            if (bp.predict(dyn)) {
+        if (s.isBranch()) {
+            if (bp.predict(s.pc(), cls, s.taken(), s.nextPc())) {
                 // The penalty window: resolve + pipeline refill.
                 frontend.redirect(complete + cparams.mispredictPenalty);
-            } else if (dyn.taken && cparams.takenBranchBubble) {
+            } else if (s.taken() && cparams.takenBranchBubble) {
                 frontend.stallUntil(dispatchCycle
                                     + cparams.takenBranchBubble);
             }
@@ -98,25 +103,52 @@ IntervalCore::run(vm::TraceSource &source)
         lastRetire = retire;
         ++seq;
 
-        if (inst.hasDst())
-            regReady[inst.dst] = complete;
+        if (s.hasDst())
+            regReady[s.dstReg()] = complete;
 
         if (++dispatchedThisCycle >= cparams.dispatchWidth) {
             ++dispatchCycle;
             dispatchedThisCycle = 0;
         }
     }
+    return consumed;
+}
 
+template uint64_t
+IntervalCore::runSegment<vm::PackedStream>(vm::PackedStream &, uint64_t);
+template uint64_t
+IntervalCore::runSegment<vm::SourceStream>(vm::SourceStream &, uint64_t);
+
+CoreStats
+IntervalCore::finishRun()
+{
     uint64_t end =
         lastRetire > dispatchCycle ? lastRetire : dispatchCycle;
-    stats.cycles = end;
-    stats.branch = bp.stats();
-    stats.l1iMisses = mem.l1i().stats().misses;
-    stats.l1dAccesses = mem.l1d().stats().accesses;
-    stats.l1dMisses = mem.l1d().stats().misses;
-    stats.l2Misses = mem.l2().stats().misses;
-    stats.dramReads = mem.dram().readCount();
-    return stats;
+    runStats.cycles = end;
+    runStats.branch = bp.stats();
+    runStats.l1iMisses = mem.l1i().stats().misses;
+    runStats.l1dAccesses = mem.l1d().stats().accesses;
+    runStats.l1dMisses = mem.l1d().stats().misses;
+    runStats.l2Misses = mem.l2().stats().misses;
+    runStats.dramReads = mem.dram().readCount();
+    return runStats;
+}
+
+CoreStats
+IntervalCore::run(vm::TraceSource &source)
+{
+    beginRun();
+    source.reset();
+    vm::SourceStream stream(source);
+    runSegment(stream, ~uint64_t{0});
+    return finishRun();
+}
+
+CoreStats
+IntervalCore::run(const vm::PackedTrace &trace,
+                  const ReplayOptions &options)
+{
+    return runPackedTrace(*this, trace, options);
 }
 
 } // namespace raceval::core

@@ -56,6 +56,31 @@ class IntervalCore : public TimingModel
      */
     CoreStats run(vm::TraceSource &source) override;
 
+    /** Packed replay (serial or chunked per the resolved plan);
+     *  bit-identical to run(TraceSource&) over the same recording. */
+    CoreStats run(const vm::PackedTrace &trace,
+                  const ReplayOptions &options) override;
+
+    /// @name Segment interface (chunked replay, see core/replay.hh)
+    /// @{
+    /** Reset machine state and start a fresh accounting run. */
+    void beginRun();
+
+    /**
+     * Replay up to @p max_insts instructions from @p stream
+     * (vm::PackedStream or vm::SourceStream; instantiated for both).
+     * May be called repeatedly; a copy of the core mid-run continues
+     * from the same state (the BSP seam handoff).
+     *
+     * @return instructions consumed.
+     */
+    template <class Stream>
+    uint64_t runSegment(Stream &stream, uint64_t max_insts);
+
+    /** Close accounting (end cycle) and return the stats. */
+    CoreStats finishRun();
+    /// @}
+
     /** @return the active configuration. */
     const CoreParams &params() const override { return cparams; }
 
@@ -65,6 +90,7 @@ class IntervalCore : public TimingModel
     branch::BranchUnit bp;
 
     // --- per-run interval state -----------------------------------------
+    CoreStats runStats;
     uint64_t dispatchCycle = 0;
     unsigned dispatchedThisCycle = 0;
     FetchFrontEnd frontend;

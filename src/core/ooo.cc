@@ -1,6 +1,7 @@
 #include "core/ooo.hh"
 
 #include "common/log.hh"
+#include "core/replay.hh"
 
 namespace raceval::core
 {
@@ -59,20 +60,24 @@ OooCore::forwardedFromStore(uint64_t addr, unsigned size,
     return false;
 }
 
-CoreStats
-OooCore::run(vm::TraceSource &source)
+void
+OooCore::beginRun()
 {
     resetState();
-    source.reset();
+    runStats = CoreStats{};
+}
 
-    CoreStats stats;
-    vm::DynInst dyn;
-    while (source.next(dyn)) {
-        ++stats.instructions;
-        frontend.fetch(mem, cparams, dyn.pc, dispatchCycle);
+template <class Stream>
+uint64_t
+OooCore::runSegment(Stream &s, uint64_t max_insts)
+{
+    uint64_t consumed = 0;
+    while (consumed < max_insts && s.next()) {
+        ++consumed;
+        ++runStats.instructions;
+        frontend.fetch(mem, cparams, s.pc(), dispatchCycle);
 
-        const isa::DecodedInst &inst = dyn.inst;
-        OpClass cls = inst.cls;
+        OpClass cls = s.cls();
         bool is_load = cls == OpClass::Load;
         bool is_store = cls == OpClass::Store;
 
@@ -102,8 +107,8 @@ OooCore::run(vm::TraceSource &source)
 
         // --- issue: out-of-order on operand readiness + FU -------------
         uint64_t ready = dispatchCycle;
-        for (unsigned i = 0; i < inst.numSrcs; ++i) {
-            uint64_t at = regReady[inst.src[i]];
+        for (unsigned i = 0; i < s.srcCount(); ++i) {
+            uint64_t at = regReady[s.srcReg(i)];
             if (at > ready)
                 ready = at;
         }
@@ -113,16 +118,16 @@ OooCore::run(vm::TraceSource &source)
         if (is_load) {
             unsigned lat;
             if (cparams.forwarding
-                && forwardedFromStore(dyn.memAddr, inst.memSize, start)) {
+                && forwardedFromStore(s.memAddr(), s.memSize(), start)) {
                 lat = cparams.forwardLatency;
-                mem.access(dyn.pc, dyn.memAddr, false, false, start);
+                mem.access(s.pc(), s.memAddr(), false, false, start);
             } else {
                 // Memory-level parallelism is capped by the MSHRs: a
                 // miss leaves the core only when an MSHR frees up,
                 // which also spaces out its DRAM arrival time.
                 uint64_t access_at = start;
                 size_t slot = mshrFree.size();
-                if (!mem.l1d().probe(dyn.memAddr / mem.lineBytes())) {
+                if (!mem.l1d().probe(s.memAddr() / mem.lineBytes())) {
                     slot = 0;
                     for (size_t i = 1; i < mshrFree.size(); ++i) {
                         if (mshrFree[i] < mshrFree[slot])
@@ -132,7 +137,7 @@ OooCore::run(vm::TraceSource &source)
                         access_at = mshrFree[slot];
                 }
                 cache::AccessResult res =
-                    mem.access(dyn.pc, dyn.memAddr, false, false,
+                    mem.access(s.pc(), s.memAddr(), false, false,
                                access_at);
                 lat = static_cast<unsigned>(access_at - start)
                     + res.latency;
@@ -142,11 +147,11 @@ OooCore::run(vm::TraceSource &source)
             complete = start + lat;
         }
 
-        if (inst.isBranch) {
-            if (bp.predict(dyn)) {
+        if (s.isBranch()) {
+            if (bp.predict(s.pc(), cls, s.taken(), s.nextPc())) {
                 // The front end restarts only once the branch resolves.
                 frontend.redirect(complete + cparams.mispredictPenalty);
-            } else if (dyn.taken && cparams.takenBranchBubble) {
+            } else if (s.taken() && cparams.takenBranchBubble) {
                 frontend.stallUntil(dispatchCycle
                                     + cparams.takenBranchBubble);
             }
@@ -166,14 +171,14 @@ OooCore::run(vm::TraceSource &source)
             // Stores drain to the cache after retiring; the SQ entry is
             // pinned until the drain completes.
             cache::AccessResult res =
-                mem.access(dyn.pc, dyn.memAddr, true, false, retire);
+                mem.access(s.pc(), s.memAddr(), true, false, retire);
             uint64_t drain_start =
                 retire > lastDrain ? retire : lastDrain;
             uint64_t drain_done = drain_start + res.latency;
             lastDrain = drain_done;
             sqFreeAt[storeSeq % sqFreeAt.size()] = drain_done;
             pendingStores[pendingStoreHead] =
-                PendingStore{dyn.memAddr, inst.memSize, drain_done};
+                PendingStore{s.memAddr(), s.memSize(), drain_done};
             pendingStoreHead =
                 (pendingStoreHead + 1) % pendingStores.size();
             ++storeSeq;
@@ -183,8 +188,8 @@ OooCore::run(vm::TraceSource &source)
             ++loadSeq;
         }
 
-        if (inst.hasDst())
-            regReady[inst.dst] = complete;
+        if (s.hasDst())
+            regReady[s.dstReg()] = complete;
         robFreeAt[seq % robFreeAt.size()] = retire;
         iqFreeAt[seq % iqFreeAt.size()] = start;
         ++seq;
@@ -194,18 +199,44 @@ OooCore::run(vm::TraceSource &source)
             dispatchedThisCycle = 0;
         }
     }
+    return consumed;
+}
 
+template uint64_t
+OooCore::runSegment<vm::PackedStream>(vm::PackedStream &, uint64_t);
+template uint64_t
+OooCore::runSegment<vm::SourceStream>(vm::SourceStream &, uint64_t);
+
+CoreStats
+OooCore::finishRun()
+{
     uint64_t end = lastRetire > dispatchCycle ? lastRetire : dispatchCycle;
     if (lastDrain > end)
         end = lastDrain;
-    stats.cycles = end;
-    stats.branch = bp.stats();
-    stats.l1iMisses = mem.l1i().stats().misses;
-    stats.l1dAccesses = mem.l1d().stats().accesses;
-    stats.l1dMisses = mem.l1d().stats().misses;
-    stats.l2Misses = mem.l2().stats().misses;
-    stats.dramReads = mem.dram().readCount();
-    return stats;
+    runStats.cycles = end;
+    runStats.branch = bp.stats();
+    runStats.l1iMisses = mem.l1i().stats().misses;
+    runStats.l1dAccesses = mem.l1d().stats().accesses;
+    runStats.l1dMisses = mem.l1d().stats().misses;
+    runStats.l2Misses = mem.l2().stats().misses;
+    runStats.dramReads = mem.dram().readCount();
+    return runStats;
+}
+
+CoreStats
+OooCore::run(vm::TraceSource &source)
+{
+    beginRun();
+    source.reset();
+    vm::SourceStream stream(source);
+    runSegment(stream, ~uint64_t{0});
+    return finishRun();
+}
+
+CoreStats
+OooCore::run(const vm::PackedTrace &trace, const ReplayOptions &options)
+{
+    return runPackedTrace(*this, trace, options);
 }
 
 } // namespace raceval::core

@@ -1,0 +1,46 @@
+#include "core/replay.hh"
+
+#include <thread>
+
+#include "common/log.hh"
+
+namespace raceval::core
+{
+
+const char *
+replayModeName(ReplayMode mode)
+{
+    switch (mode) {
+      case ReplayMode::Auto: return "auto";
+      case ReplayMode::Serial: return "serial";
+      case ReplayMode::Chunked: return "chunked";
+      default: panic("bad replay mode %d", static_cast<int>(mode));
+    }
+}
+
+ReplayPlan
+resolveReplayPlan(uint64_t inst_count, const ReplayOptions &options)
+{
+    if (options.mode == ReplayMode::Serial)
+        return ReplayPlan{1};
+
+    unsigned requested = options.partitions;
+    if (requested == 0) {
+        requested = std::thread::hardware_concurrency();
+        if (requested == 0)
+            requested = 1;
+    }
+
+    // Cap so every chunk carries at least minPartitionInsts; short
+    // traces resolve to one chunk -- the silent serial fallback.
+    uint64_t min_insts =
+        options.minPartitionInsts ? options.minPartitionInsts : 1;
+    uint64_t cap = inst_count / min_insts;
+    unsigned partitions = cap < requested
+        ? static_cast<unsigned>(cap) : requested;
+    if (partitions < 1)
+        partitions = 1;
+    return ReplayPlan{partitions};
+}
+
+} // namespace raceval::core

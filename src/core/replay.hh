@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bulk-synchronous chunked replay over packed traces.
+ *
+ * One long trace is statically partitioned into contiguous chunks
+ * (Manticore-style static BSP partitioning, transposed from RTL to
+ * trace replay). Chunk k runs to completion as a superstep; at the seam
+ * the *entire* micro-architectural state -- pipeline occupancy rings,
+ * cache and branch-predictor contents, store-buffer/MSHR reservations,
+ * DRAM queue state -- is handed to a fresh model instance that replays
+ * chunk k+1.
+ *
+ * Determinism contract (enforced by tests/test_replay.cc for every
+ * family x partition count):
+ *
+ *   - chunked replay is bit-identical to serial replay for all three
+ *     timing-model families (inorder / ooo / interval), at every
+ *     partition count, because the seam handoff transfers complete
+ *     state: the concatenation of supersteps computes exactly the
+ *     serial recurrence;
+ *   - traces below the partition threshold (or a plan resolving to one
+ *     chunk) silently fall back to plain serial replay;
+ *   - the timing recurrence itself is sequential (each seam consumes
+ *     the final state of the previous superstep), so supersteps
+ *     pipeline across *traces*, not within one: a fleet of racer
+ *     threads keeps every core busy with different (config, trace)
+ *     experiments while each experiment stays bit-exact.
+ */
+
+#ifndef RACEVAL_CORE_REPLAY_HH
+#define RACEVAL_CORE_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/stats.hh"
+#include "vm/packed_trace.hh"
+
+namespace raceval::core
+{
+
+/** How a packed trace is replayed. */
+enum class ReplayMode : uint8_t
+{
+    Auto,    //!< chunked when the plan says it pays off, else serial
+    Serial,  //!< always one chunk
+    Chunked  //!< partitioned supersteps (still falls back when short)
+};
+
+/** @return stable name ("auto" / "serial" / "chunked"). */
+const char *replayModeName(ReplayMode mode);
+
+/** Replay knobs (engine-wide; resolved per trace into a ReplayPlan). */
+struct ReplayOptions
+{
+    ReplayMode mode = ReplayMode::Auto;
+    /** Requested chunk count (0 = one per hardware thread). */
+    unsigned partitions = 0;
+    /** Minimum instructions per chunk; traces shorter than this never
+     *  partition (the serial-fallback threshold). */
+    uint64_t minPartitionInsts = 1ull << 16;
+};
+
+/** The resolved decision for one (trace, options) pair. */
+struct ReplayPlan
+{
+    unsigned partitions = 1;
+
+    bool chunked() const { return partitions > 1; }
+};
+
+/**
+ * Resolve the chunk count for a trace.
+ *
+ * Deterministic given (inst_count, options with explicit partitions);
+ * partitions = 0 consults the hardware thread count, so pin it when
+ * cross-machine bit-identity of the *plan* matters (the replay result
+ * is bit-identical at any plan by the determinism contract).
+ */
+ReplayPlan resolveReplayPlan(uint64_t inst_count,
+                             const ReplayOptions &options);
+
+/**
+ * Replay a packed trace through a model's segment interface
+ * (beginRun / runSegment / finishRun), honoring the resolved plan.
+ *
+ * Requires Model to be copy-constructible: each seam hands the full
+ * state to a fresh copy, which is also what the bit-identity tests
+ * leverage to catch any state a family forgets to carry.
+ */
+template <class Model>
+CoreStats
+runPackedTrace(Model &model, const vm::PackedTrace &trace,
+               const ReplayOptions &options)
+{
+    ReplayPlan plan = resolveReplayPlan(trace.instCount(), options);
+    vm::PackedStream stream(trace);
+    model.beginRun();
+    if (!plan.chunked()) {
+        model.runSegment(stream, ~uint64_t{0});
+        return model.finishRun();
+    }
+
+    uint64_t remaining = trace.instCount();
+    uint64_t chunk = (remaining + plan.partitions - 1) / plan.partitions;
+    Model *current = &model;
+    std::unique_ptr<Model> carrier;
+    for (;;) {
+        uint64_t n = chunk < remaining ? chunk : remaining;
+        current->runSegment(stream, n);
+        remaining -= n;
+        if (!remaining)
+            break;
+        // Seam: the complete micro-architectural state crosses into a
+        // fresh model instance for the next superstep.
+        carrier = std::make_unique<Model>(*current);
+        current = carrier.get();
+    }
+    return current->finishRun();
+}
+
+} // namespace raceval::core
+
+#endif // RACEVAL_CORE_REPLAY_HH

@@ -20,6 +20,18 @@ makeModel(const CoreParams &params)
 
 } // namespace
 
+CoreStats
+TimingModel::run(const vm::PackedTrace &trace,
+                 const ReplayOptions &options)
+{
+    // Generic fallback for out-of-tree models: serial replay through
+    // the TraceSource interface (the plan is ignored; the result is
+    // bit-identical to any plan by the determinism contract).
+    (void)options;
+    vm::PackedCursor cursor(trace);
+    return run(cursor);
+}
+
 TimingModelRegistry::TimingModelRegistry()
 {
     // The salts are persisted-cache ABI: EvalCache files key entries

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "core/params.hh"
+#include "core/replay.hh"
 #include "core/stats.hh"
+#include "vm/packed_trace.hh"
 #include "vm/trace.hh"
 
 namespace raceval::core
@@ -51,6 +53,19 @@ class TimingModel
 
     /** Simulate one full trace from a clean machine state. */
     virtual CoreStats run(vm::TraceSource &source) = 0;
+
+    /**
+     * Replay a packed trace from a clean machine state, honoring the
+     * replay plan (chunked supersteps or serial). Bit-identical to
+     * run(TraceSource&) over the same recording at any plan -- the
+     * determinism contract documented in core/replay.hh.
+     *
+     * The default implementation replays serially through a
+     * PackedCursor; the built-in families override it with the packed
+     * segment loop + BSP seam handoff.
+     */
+    virtual CoreStats run(const vm::PackedTrace &trace,
+                          const ReplayOptions &options);
 
     /** @return the active configuration. */
     virtual const CoreParams &params() const = 0;

@@ -28,14 +28,20 @@ EngineStats::summary() const
     std::string out;
     out += strprintf(
         "engine: %llu instances, %llu recorded (%llu insts; "
-        "%llu resident / %llu spilled; %.1f MiB events, %.1f MiB sift)\n",
+        "%llu resident / %llu spilled / %llu readmitted; "
+        "%.1f MiB packed, %.1f MiB sift)\n",
         static_cast<unsigned long long>(bank.instances),
         static_cast<unsigned long long>(bank.recordings),
         static_cast<unsigned long long>(bank.recordedInsts),
         static_cast<unsigned long long>(bank.residentTraces),
         static_cast<unsigned long long>(bank.spilledTraces),
+        static_cast<unsigned long long>(bank.readmittedTraces),
         static_cast<double>(bank.residentBytes) / (1024.0 * 1024.0),
         static_cast<double>(bank.encodedBytes) / (1024.0 * 1024.0));
+    out += strprintf(
+        "        replay: %s mode, %llu partitions\n",
+        replayMode.c_str(),
+        static_cast<unsigned long long>(partitions));
     out += strprintf(
         "        cache: %llu hits / %llu misses (%.1f%% hit rate), "
         "%llu entries, %llu evictions\n",
@@ -45,12 +51,14 @@ EngineStats::summary() const
         static_cast<unsigned long long>(cache.entries),
         static_cast<unsigned long long>(cache.evictions));
     out += strprintf(
-        "        %llu requests -> %llu fresh evals (%llu replays) in "
+        "        %llu requests -> %llu fresh evals (%llu replays, "
+        "%llu warm-file hits) in "
         "%.2f s = %.0f experiments/s; %llu batches "
         "(%llu submitted, %llu deduplicated)",
         static_cast<unsigned long long>(requests),
         static_cast<unsigned long long>(evaluations),
         static_cast<unsigned long long>(bank.replays),
+        static_cast<unsigned long long>(warmFileHits),
         evalSeconds, experimentsPerSecond(),
         static_cast<unsigned long long>(batches),
         static_cast<unsigned long long>(batchSubmissions),
@@ -64,11 +72,14 @@ EngineStats::json() const
     return strprintf(
         "{\"instances\": %llu, \"recordings\": %llu, "
         "\"recorded_insts\": %llu, \"resident_traces\": %llu, "
-        "\"spilled_traces\": %llu, \"replays\": %llu, "
+        "\"spilled_traces\": %llu, \"readmitted_traces\": %llu, "
+        "\"packed_bytes\": %llu, \"replay_mode\": \"%s\", "
+        "\"partitions\": %llu, \"replays\": %llu, "
         "\"cache_hits\": %llu, \"cache_misses\": %llu, "
         "\"cache_hit_rate\": %.4f, \"cache_entries\": %llu, "
         "\"cache_evictions\": %llu, \"requests\": %llu, "
-        "\"fresh_evals\": %llu, \"eval_seconds\": %.4f, "
+        "\"fresh_evals\": %llu, \"warm_file_hits\": %llu, "
+        "\"eval_seconds\": %.4f, "
         "\"experiments_per_s\": %.1f, \"batches\": %llu, "
         "\"batch_submitted\": %llu, \"batch_deduplicated\": %llu}",
         static_cast<unsigned long long>(bank.instances),
@@ -76,6 +87,10 @@ EngineStats::json() const
         static_cast<unsigned long long>(bank.recordedInsts),
         static_cast<unsigned long long>(bank.residentTraces),
         static_cast<unsigned long long>(bank.spilledTraces),
+        static_cast<unsigned long long>(bank.readmittedTraces),
+        static_cast<unsigned long long>(bank.residentBytes),
+        replayMode.c_str(),
+        static_cast<unsigned long long>(partitions),
         static_cast<unsigned long long>(bank.replays),
         static_cast<unsigned long long>(cache.hits),
         static_cast<unsigned long long>(cache.misses),
@@ -84,6 +99,7 @@ EngineStats::json() const
         static_cast<unsigned long long>(cache.evictions),
         static_cast<unsigned long long>(requests),
         static_cast<unsigned long long>(evaluations),
+        static_cast<unsigned long long>(warmFileHits),
         evalSeconds, experimentsPerSecond(),
         static_cast<unsigned long long>(batches),
         static_cast<unsigned long long>(batchSubmissions),
@@ -94,7 +110,7 @@ EngineStats::json() const
 
 EvalEngine::EvalEngine(core::ModelFamily family, EngineOptions options)
     : fam(family), opts(options),
-      bank(options.memoryResidentMaxInsts),
+      bank(options.memoryResidentMaxInsts, options.residencyBudgetInsts),
       cache(options.cacheShards, options.cacheMaxEntriesPerShard),
       pool(options.threads)
 {
@@ -155,8 +171,26 @@ core::CoreStats
 EvalEngine::replayRun(core::ModelFamily family,
                       const core::CoreParams &model, size_t instance)
 {
+    // The hot path: replay the packed SoA form through the templated
+    // segment loops. Spilled traces fall back to the generic cursor.
+    if (std::shared_ptr<const vm::PackedTrace> packed =
+            bank.packed(instance)) {
+        return core::makeTimingModel(family, model)
+            ->run(*packed, opts.replay);
+    }
     std::unique_ptr<vm::TraceSource> source = bank.open(instance);
     return core::makeTimingModel(family, model)->run(*source);
+}
+
+uint64_t
+EvalEngine::programFingerprint(size_t instance) const
+{
+    std::lock_guard<std::mutex> lock(fpMutex);
+    if (instance >= instanceFps.size())
+        instanceFps.resize(instance + 1, 0);
+    if (instanceFps[instance] == 0)
+        instanceFps[instance] = fingerprint(bank.program(instance));
+    return instanceFps[instance];
 }
 
 EvalValue
@@ -164,6 +198,19 @@ EvalEngine::computeFresh(core::ModelFamily family,
                          const core::CoreParams &model, size_t instance,
                          size_t domain)
 {
+    // A mapped warm file answers before any simulation runs. Its keys
+    // carry the program fingerprint (not the bank-local id), mirroring
+    // saveCache()/loadCache().
+    if (warm) {
+        EvalKey disk_key{modelKey(family, model, instance, domain).model,
+                         programFingerprint(instance)};
+        EvalValue served;
+        if (warm->lookup(disk_key, served)) {
+            ++warmFileHitCount;
+            return served;
+        }
+    }
+
     core::CoreStats run = replayRun(family, model, instance);
     const SimCostFn &cost = domains[domain].fn;
     EvalValue value;
@@ -249,7 +296,7 @@ persistDigest()
 {
     return Fingerprinter()
         .mix(uint64_t{0x524e47ull})
-        .mix(uint64_t{2}) // family-salted key format
+        .mix(uint64_t{3}) // family-salted keys, v3 sorted file format
         .value();
 }
 
@@ -310,14 +357,35 @@ EvalEngine::loadCache(const std::string &path)
     return accepted;
 }
 
+size_t
+EvalEngine::mapWarmFile(const std::string &path)
+{
+    std::string error;
+    std::shared_ptr<const MappedEvalFile> mapped =
+        MappedEvalFile::open(path, persistDigest(), &error);
+    if (!mapped) {
+        warn("engine: warm file not mapped: %s", error.c_str());
+        return 0;
+    }
+    warm = std::move(mapped);
+    return warm->size();
+}
+
 EngineStats
 EvalEngine::stats() const
 {
     EngineStats out;
     out.bank = bank.stats();
     out.cache = cache.stats();
+    out.replayMode = core::replayModeName(opts.replay.mode);
+    // Uncapped request (a huge trace would get this many chunks); the
+    // per-trace plan still degrades to serial below the threshold.
+    out.partitions =
+        core::resolveReplayPlan(~uint64_t{0} >> 1, opts.replay)
+            .partitions;
     out.requests = requests.load();
     out.evaluations = evaluations.load();
+    out.warmFileHits = warmFileHitCount.load();
     out.batches = batches.load();
     out.batchSubmissions = batchSubmissions.load();
     out.batchDeduplicated = batchDeduplicated.load();

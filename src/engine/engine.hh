@@ -50,10 +50,14 @@ struct EngineOptions
     unsigned threads = 0;
     /** Traces above this instruction count stay sift-encoded only. */
     uint64_t memoryResidentMaxInsts = 1ull << 20;
+    /** Global packed-residency budget in insts (0 = unlimited). */
+    uint64_t residencyBudgetInsts = 0;
     /** EvalCache lock shards. */
     size_t cacheShards = 8;
     /** Per-shard entry cap (0 = unbounded). */
     size_t cacheMaxEntriesPerShard = 0;
+    /** Replay plan for every packed replay (mode, partitions). */
+    core::ReplayOptions replay;
 };
 
 /** Aggregate engine report, surfaced by the drivers. */
@@ -61,8 +65,14 @@ struct EngineStats
 {
     TraceBankStats bank;
     EvalCacheStats cache;
+    /** Active replay mode name (see core::replayModeName). */
+    std::string replayMode;
+    /** Partitions the replay plan asks for before the per-trace
+     *  length cap (1 = serial). */
+    uint64_t partitions = 1;
     uint64_t requests = 0;    //!< evaluation requests served
     uint64_t evaluations = 0; //!< fresh simulations actually run
+    uint64_t warmFileHits = 0; //!< evals served by the mapped warm file
     uint64_t batches = 0;     //!< collected batches
     uint64_t batchSubmissions = 0; //!< tickets submitted to batches
     uint64_t batchDeduplicated = 0; //!< tickets folded into another
@@ -276,6 +286,29 @@ class EvalEngine : public tuner::CostEvaluator
      *  incompatible (pre-family) cache format -- do not saveCache()
      *  over it. */
     bool warmStartRefused() const { return warmRefused; }
+
+    /**
+     * Map a previously saved cache file read-only (v3 format) and
+     * serve fresh evaluations from it before simulating.
+     *
+     * Unlike loadCache(), nothing is copied onto the heap: the file is
+     * mmap'd and binary-searched in place, so a whole campaign fleet
+     * of engines (threads or processes) shares one physical copy of
+     * the warm results. Keys resolve through program fingerprints,
+     * exactly as for loadCache(). Map before evaluation starts;
+     * mapping is not synchronized against concurrent evaluation.
+     *
+     * @return records mapped (0 on failure -- missing file, v2 or
+     *         foreign format, digest mismatch -- with a warning).
+     */
+    size_t mapWarmFile(const std::string &path);
+
+    /** @return the active warm-file mapping (null when none). */
+    std::shared_ptr<const MappedEvalFile>
+    warmFile() const
+    {
+        return warm;
+    }
     /// @}
 
     TraceBank &traceBank() { return bank; }
@@ -302,10 +335,13 @@ class EvalEngine : public tuner::CostEvaluator
     core::CoreParams materialize(const tuner::Configuration &config)
         const;
     /** Record-replay-score one experiment (the only place timing
-     *  models run). */
+     *  models run); consults the mapped warm file first. */
     EvalValue computeFresh(core::ModelFamily family,
                            const core::CoreParams &model,
                            size_t instance, size_t domain);
+    /** Content fingerprint of an instance's program (memoized; the
+     *  instance half of on-disk cache keys). */
+    uint64_t programFingerprint(size_t instance) const;
     /** Add wall time since @p start to the evaluation clock. */
     void chargeWall(std::chrono::steady_clock::time_point start);
 
@@ -326,8 +362,15 @@ class EvalEngine : public tuner::CostEvaluator
         pendingWarmStart;
     bool warmRefused = false;
 
+    /** Read-only mapped warm file (see mapWarmFile). */
+    std::shared_ptr<const MappedEvalFile> warm;
+    /** Memoized program fingerprints by instance id. */
+    mutable std::mutex fpMutex;
+    mutable std::vector<uint64_t> instanceFps;
+
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> evaluations{0};
+    std::atomic<uint64_t> warmFileHitCount{0};
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> batchSubmissions{0};
     std::atomic<uint64_t> batchDeduplicated{0};

@@ -1,7 +1,13 @@
 #include "engine/eval_cache.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/log.hh"
 
@@ -11,18 +17,23 @@ namespace raceval::engine
 namespace
 {
 
-/** On-disk header: magic + entry count. */
-const char cacheMagic[8] = {'R', 'V', 'E', 'C', 'A', 'C', 'H', '2'};
+/** On-disk header: magic + digest + entry count. Version 3 sorts the
+ *  records by (model, instance) so the file can be binary-searched in
+ *  place by MappedEvalFile; v2 stored them in hash order. */
+const char cacheMagic[8] = {'R', 'V', 'E', 'C', 'A', 'C', 'H', '3'};
+const char cacheMagicV2[8] = {'R', 'V', 'E', 'C', 'A', 'C', 'H', '2'};
 
-/** One on-disk record (fixed little-endian layout on every target we
- *  build for; the cache file is a warm-start hint, not an archive). */
-struct DiskEntry
+constexpr size_t headerBytes =
+    sizeof(cacheMagic) + sizeof(uint64_t) + sizeof(uint64_t);
+
+/** The sort/search order of v3 records. */
+bool
+recordLess(const EvalFileRecord &a, const EvalFileRecord &b)
 {
-    uint64_t model;
-    uint64_t instance;
-    double cost;
-    double simCpi;
-};
+    if (a.model != b.model)
+        return a.model < b.model;
+    return a.instance < b.instance;
+}
 
 } // namespace
 
@@ -141,14 +152,17 @@ EvalCache::stats() const
 size_t
 EvalCache::save(const std::string &path, uint64_t digest) const
 {
-    std::vector<DiskEntry> records;
+    std::vector<EvalFileRecord> records;
     for (const auto &shard : shards) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         for (const auto &[key, value] : shard->map) {
-            records.push_back(DiskEntry{key.model, key.instance,
-                                        value.cost, value.simCpi});
+            records.push_back(EvalFileRecord{key.model, key.instance,
+                                             value.cost, value.simCpi});
         }
     }
+    // v3 contract: records sorted by (model, instance) so readers can
+    // mmap the file and binary-search it in place.
+    std::sort(records.begin(), records.end(), recordLess);
 
     std::FILE *file = std::fopen(path.c_str(), "wb");
     if (!file) {
@@ -162,7 +176,7 @@ EvalCache::save(const std::string &path, uint64_t digest) const
         && std::fwrite(&digest, sizeof(digest), 1, file) == 1
         && std::fwrite(&count, sizeof(count), 1, file) == 1
         && (records.empty()
-            || std::fwrite(records.data(), sizeof(DiskEntry),
+            || std::fwrite(records.data(), sizeof(EvalFileRecord),
                            records.size(), file) == records.size());
     std::fclose(file);
     if (!ok) {
@@ -181,7 +195,7 @@ EvalCache::load(const std::string &path, uint64_t digest,
     std::FILE *file = std::fopen(path.c_str(), "rb");
     if (!file)
         return 0; // cold start
-    char magic[sizeof(cacheMagic)];
+    char magic[sizeof(cacheMagic)] = {};
     uint64_t file_digest = 0;
     uint64_t count = 0;
     if (std::fread(magic, 1, sizeof(magic), file) != sizeof(magic)
@@ -189,8 +203,15 @@ EvalCache::load(const std::string &path, uint64_t digest,
         || std::fread(&file_digest, sizeof(file_digest), 1, file) != 1
         || std::fread(&count, sizeof(count), 1, file) != 1) {
         std::fclose(file);
-        warn("eval cache: '%s' is not a cache file, ignoring",
-             path.c_str());
+        if (std::memcmp(magic, cacheMagicV2, sizeof(magic)) == 0) {
+            warn("eval cache: '%s' is a v2 cache file; the v2 format "
+                 "is no longer readable -- delete it and let this run "
+                 "re-save it in the v3 (sorted, mmap-able) format",
+                 path.c_str());
+        } else {
+            warn("eval cache: '%s' is not a cache file, ignoring",
+                 path.c_str());
+        }
         if (compatible)
             *compatible = false;
         return 0;
@@ -204,7 +225,7 @@ EvalCache::load(const std::string &path, uint64_t digest,
         return 0;
     }
     size_t loaded = 0;
-    DiskEntry record;
+    EvalFileRecord record;
     for (uint64_t i = 0; i < count; ++i) {
         if (std::fread(&record, sizeof(record), 1, file) != 1) {
             warn("eval cache: '%s' truncated after %zu entries",
@@ -217,6 +238,90 @@ EvalCache::load(const std::string &path, uint64_t digest,
     }
     std::fclose(file);
     return loaded;
+}
+
+std::shared_ptr<const MappedEvalFile>
+MappedEvalFile::open(const std::string &path, uint64_t digest,
+                     std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return std::shared_ptr<const MappedEvalFile>();
+    };
+
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return fail("cannot open '" + path + "' for reading");
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return fail("cannot stat '" + path + "'");
+    }
+    size_t bytes = static_cast<size_t>(st.st_size);
+    if (bytes < headerBytes) {
+        ::close(fd);
+        return fail("'" + path + "' is too short to be a cache file");
+    }
+
+    void *base =
+        ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd); // the mapping keeps the file alive
+    if (base == MAP_FAILED)
+        return fail("mmap of '" + path + "' failed");
+
+    // std::shared_ptr cannot reach the private ctor through
+    // make_shared; the mapping below is owned immediately so every
+    // early return unmaps.
+    std::shared_ptr<MappedEvalFile> mapped(new MappedEvalFile());
+    mapped->base = base;
+    mapped->mappedBytes = bytes;
+
+    const char *head = static_cast<const char *>(base);
+    if (std::memcmp(head, cacheMagic, sizeof(cacheMagic)) != 0) {
+        if (std::memcmp(head, cacheMagicV2, sizeof(cacheMagicV2)) == 0)
+            return fail("'" + path + "' is a v2 cache file; v2 records "
+                        "are in hash order and cannot be mapped -- "
+                        "re-save with this version to get the v3 "
+                        "(sorted) format");
+        return fail("'" + path + "' is not a cache file");
+    }
+    uint64_t file_digest = 0;
+    uint64_t file_count = 0;
+    std::memcpy(&file_digest, head + sizeof(cacheMagic),
+                sizeof(file_digest));
+    std::memcpy(&file_count,
+                head + sizeof(cacheMagic) + sizeof(file_digest),
+                sizeof(file_count));
+    if (file_digest != digest)
+        return fail("'" + path + "' was saved by a differently-shaped "
+                    "engine (digest mismatch)");
+    if (headerBytes + file_count * sizeof(EvalFileRecord) > bytes)
+        return fail("'" + path + "' is truncated");
+
+    mapped->records = reinterpret_cast<const EvalFileRecord *>(
+        head + headerBytes);
+    mapped->count = static_cast<size_t>(file_count);
+    return mapped;
+}
+
+MappedEvalFile::~MappedEvalFile()
+{
+    if (base)
+        ::munmap(base, mappedBytes);
+}
+
+bool
+MappedEvalFile::lookup(const EvalKey &key, EvalValue &out) const
+{
+    EvalFileRecord probe{key.model, key.instance, 0.0, 0.0};
+    const EvalFileRecord *it =
+        std::lower_bound(records, records + count, probe, recordLess);
+    if (it == records + count || it->model != key.model
+        || it->instance != key.instance)
+        return false;
+    out = EvalValue{it->cost, it->simCpi};
+    return true;
 }
 
 } // namespace raceval::engine

@@ -41,6 +41,24 @@ struct EvalValue
     double simCpi = 0.0; //!< simulated CPI (for error reports)
 };
 
+/**
+ * One record of a persisted cache file. The v3 format sorts records
+ * ascending by (model, instance), which is what lets MappedEvalFile
+ * binary-search the file in place instead of loading it onto the heap.
+ * Fixed little-endian layout on every target we build for; the cache
+ * file is a warm-start hint, not an archive.
+ */
+struct EvalFileRecord
+{
+    uint64_t model;
+    uint64_t instance;
+    double cost;
+    double simCpi;
+};
+
+static_assert(sizeof(EvalFileRecord) == 32,
+              "EvalFileRecord layout is part of the cache file format");
+
 /** Aggregate cache counters. */
 struct EvalCacheStats
 {
@@ -158,6 +176,57 @@ class EvalCache
 
     size_t maxPerShard;
     std::vector<std::unique_ptr<Shard>> shards;
+};
+
+/**
+ * A persisted v3 cache file mapped read-only.
+ *
+ * The file is mmap'd and binary-searched in place: nothing is copied
+ * onto the heap, pages fault in on demand, and any number of engines
+ * (threads or processes -- a whole campaign fleet) can share one
+ * physical copy of the page cache. Lookups are const and lock-free,
+ * so concurrent readers need no synchronization.
+ *
+ * Only the v3 (sorted) format can be mapped; v2 files are refused
+ * with a clear error since their records are in hash order and cannot
+ * be searched in place. Re-save with this version to upgrade.
+ */
+class MappedEvalFile
+{
+  public:
+    /**
+     * Map a cache file.
+     *
+     * @param path the file (must be v3 format).
+     * @param digest compatibility stamp, as for EvalCache::load().
+     * @param[out] error when given, filled with the failure reason.
+     * @return the mapping, or null on any failure (missing file, v2 or
+     *         foreign format, digest mismatch, truncation).
+     */
+    static std::shared_ptr<const MappedEvalFile>
+    open(const std::string &path, uint64_t digest = 0,
+         std::string *error = nullptr);
+
+    ~MappedEvalFile();
+    MappedEvalFile(const MappedEvalFile &) = delete;
+    MappedEvalFile &operator=(const MappedEvalFile &) = delete;
+
+    /** Binary-search a key; thread-safe (no mutation, no locks). */
+    bool lookup(const EvalKey &key, EvalValue &out) const;
+
+    /** @return record count. */
+    size_t size() const { return count; }
+
+    /** @return record i in (model, instance) order. */
+    const EvalFileRecord &record(size_t i) const { return records[i]; }
+
+  private:
+    MappedEvalFile() = default;
+
+    void *base = nullptr;   //!< whole-file mapping
+    size_t mappedBytes = 0;
+    const EvalFileRecord *records = nullptr;
+    size_t count = 0;
 };
 
 } // namespace raceval::engine

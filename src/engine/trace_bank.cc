@@ -7,48 +7,10 @@
 namespace raceval::engine
 {
 
-/**
- * Replay of a memory-resident trace: static decode shared from the
- * SiftTrace, dynamic facts from the packed event vector.
- */
-class TraceBank::MemoryCursor final : public vm::TraceSource
-{
-  public:
-    MemoryCursor(std::shared_ptr<const sift::SiftTrace> trace,
-                 std::shared_ptr<const std::vector<ReplayEvent>> events)
-        : trace(std::move(trace)), events(std::move(events))
-    {
-    }
-
-    bool
-    next(vm::DynInst &out) override
-    {
-        if (pos >= events->size())
-            return false;
-        const ReplayEvent &ev = (*events)[pos++];
-        out.pc = trace->program().pcOf(ev.index);
-        out.inst = trace->decodedAt(ev.index);
-        out.memAddr = ev.memAddr;
-        out.nextPc = ev.nextPc;
-        out.taken = ev.taken;
-        return true;
-    }
-
-    void reset() override { pos = 0; }
-    const std::string &name() const override { return trace->name(); }
-    const isa::Program *program() const override
-    {
-        return &trace->program();
-    }
-
-  private:
-    std::shared_ptr<const sift::SiftTrace> trace;
-    std::shared_ptr<const std::vector<ReplayEvent>> events;
-    size_t pos = 0;
-};
-
-TraceBank::TraceBank(uint64_t memory_resident_max_insts)
-    : maxResidentInsts(memory_resident_max_insts)
+TraceBank::TraceBank(uint64_t memory_resident_max_insts,
+                     uint64_t residency_budget_insts)
+    : maxResidentInsts(memory_resident_max_insts),
+      residencyBudgetInsts(residency_budget_insts)
 {
 }
 
@@ -99,37 +61,54 @@ TraceBank::record(Entry &entry)
         vm::FunctionalCore live(entry.program);
         auto trace = std::make_shared<const sift::SiftTrace>(
             sift::encodeTrace(entry.program, live));
-
-        std::shared_ptr<const std::vector<ReplayEvent>> events;
-        if (trace->instCount() <= maxResidentInsts) {
-            auto vec = std::make_shared<std::vector<ReplayEvent>>();
-            vec->reserve(trace->instCount());
-            sift::SiftCursor cursor(trace);
-            vm::DynInst dyn;
-            uint64_t code_base = trace->program().codeBase;
-            while (cursor.next(dyn)) {
-                vec->push_back(ReplayEvent{
-                    dyn.memAddr, dyn.nextPc,
-                    static_cast<uint32_t>((dyn.pc - code_base) / 4),
-                    dyn.taken});
-            }
-            events = std::move(vec);
-        }
-
-        std::lock_guard<std::mutex> lock(mutex);
-        entry.trace = std::move(trace);
-        entry.events = std::move(events);
-        ++counters.recordings;
-        counters.recordedInsts += entry.trace->instCount();
-        counters.encodedBytes += entry.trace->encodedBytes();
-        if (entry.events) {
-            ++counters.residentTraces;
-            counters.residentBytes +=
-                entry.events->size() * sizeof(ReplayEvent);
-        } else {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            entry.trace = std::move(trace);
+            ++counters.recordings;
+            counters.recordedInsts += entry.trace->instCount();
+            counters.encodedBytes += entry.trace->encodedBytes();
+            // Provisionally spilled; admission moves it to resident.
             ++counters.spilledTraces;
         }
+        tryAdmit(entry);
     });
+}
+
+void
+TraceBank::tryAdmit(Entry &entry)
+{
+    // One packer per entry; concurrent replayers of other entries are
+    // not blocked (the global mutex is only taken for bookkeeping).
+    std::lock_guard<std::mutex> admit(entry.admitMutex);
+    uint64_t insts;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (entry.packedTrace)
+            return;
+        insts = entry.trace->instCount();
+        if (insts > maxResidentInsts)
+            return;
+        if (residencyBudgetInsts
+            && residentInsts + insts > residencyBudgetInsts)
+            return;
+        // Reserve before the (slow) pack so a concurrent admission of
+        // another entry cannot overshoot the budget.
+        residentInsts += insts;
+    }
+
+    sift::SiftCursor cursor(entry.trace);
+    auto packed = std::make_shared<const vm::PackedTrace>(
+        vm::PackedTrace::build(entry.trace->program(), cursor));
+
+    std::lock_guard<std::mutex> lock(mutex);
+    counters.residentBytes += packed->packedBytes();
+    entry.packedTrace = std::move(packed);
+    ++counters.residentTraces;
+    --counters.spilledTraces;
+    // First-recording admission is not a re-admission: the trace never
+    // served a replay from its spilled form.
+    if (entry.servedSpilled)
+        ++counters.readmittedTraces;
 }
 
 std::unique_ptr<vm::TraceSource>
@@ -137,11 +116,42 @@ TraceBank::open(size_t id)
 {
     Entry &entry = entryFor(id);
     record(entry);
-    std::lock_guard<std::mutex> lock(mutex);
-    ++counters.replays;
-    if (entry.events)
-        return std::make_unique<MemoryCursor>(entry.trace, entry.events);
+    std::shared_ptr<const vm::PackedTrace> packed;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.replays;
+        packed = entry.packedTrace;
+        if (!packed)
+            entry.servedSpilled = true;
+    }
+    if (!packed) {
+        // Spilled: retry admission (the budget may have been raised or
+        // freed since recording) rather than re-walking the sift
+        // stream on every replay.
+        tryAdmit(entry);
+        std::lock_guard<std::mutex> lock(mutex);
+        packed = entry.packedTrace;
+    }
+    if (packed)
+        return std::make_unique<vm::PackedCursor>(std::move(packed));
     return std::make_unique<sift::SiftCursor>(entry.trace);
+}
+
+std::shared_ptr<const vm::PackedTrace>
+TraceBank::packed(size_t id)
+{
+    Entry &entry = entryFor(id);
+    record(entry);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.replays;
+        if (entry.packedTrace)
+            return entry.packedTrace;
+        entry.servedSpilled = true;
+    }
+    tryAdmit(entry);
+    std::lock_guard<std::mutex> lock(mutex);
+    return entry.packedTrace;
 }
 
 uint64_t
@@ -151,6 +161,13 @@ TraceBank::instCount(size_t id)
     record(entry);
     std::lock_guard<std::mutex> lock(mutex);
     return entry.trace->instCount();
+}
+
+void
+TraceBank::setResidencyBudget(uint64_t insts)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    residencyBudgetInsts = insts;
 }
 
 TraceBankStats

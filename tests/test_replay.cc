@@ -1,0 +1,528 @@
+/** @file Packed-replay determinism tests: the bit-identity contract of
+ *  chunked (BSP seam-handoff) replay vs serial replay for every timing
+ *  family, the serial fallback for short traces, TraceBank residency
+ *  re-admission, and the v3 (sorted, mmap-able) EvalCache file format. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <unistd.h>
+
+#include "core/inorder.hh"
+#include "core/interval.hh"
+#include "core/ooo.hh"
+#include "core/replay.hh"
+#include "core/timing_model.hh"
+#include "engine/engine.hh"
+#include "engine/eval_cache.hh"
+#include "engine/trace_bank.hh"
+#include "ubench/ubench.hh"
+#include "vm/functional.hh"
+#include "vm/packed_trace.hh"
+
+using namespace raceval;
+using core::ModelFamily;
+using core::ReplayMode;
+using core::ReplayOptions;
+
+namespace
+{
+
+isa::Program
+smallProgram(const char *name, uint64_t insts = 20000)
+{
+    const ubench::UbenchInfo *info = ubench::find(name);
+    EXPECT_NE(info, nullptr);
+    return info->builder(insts, true);
+}
+
+vm::PackedTrace
+packProgram(const isa::Program &prog)
+{
+    vm::FunctionalCore live(prog);
+    return vm::PackedTrace::build(prog, live);
+}
+
+/** Require every counter of two runs to match exactly. */
+void
+expectBitIdentical(const core::CoreStats &a, const core::CoreStats &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.branch.branches, b.branch.branches) << what;
+    EXPECT_EQ(a.branch.mispredicts, b.branch.mispredicts) << what;
+    EXPECT_EQ(a.branch.directionMispredicts,
+              b.branch.directionMispredicts) << what;
+    EXPECT_EQ(a.branch.targetMispredicts, b.branch.targetMispredicts)
+        << what;
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses) << what;
+    EXPECT_EQ(a.l1dAccesses, b.l1dAccesses) << what;
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses) << what;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << what;
+    EXPECT_EQ(a.dramReads, b.dramReads) << what;
+}
+
+const ModelFamily allFamilies[] = {ModelFamily::InOrder,
+                                   ModelFamily::Ooo,
+                                   ModelFamily::Interval};
+
+core::CoreStats
+runPlanned(ModelFamily family, const core::CoreParams &params,
+           const vm::PackedTrace &trace, const ReplayOptions &opts)
+{
+    return core::makeTimingModel(family, params)->run(trace, opts);
+}
+
+} // namespace
+
+// ------------------------------------------------------------ ReplayPlan
+
+TEST(ReplayPlan, SerialModeAlwaysOneChunk)
+{
+    ReplayOptions opts;
+    opts.mode = ReplayMode::Serial;
+    opts.partitions = 64;
+    opts.minPartitionInsts = 1;
+    EXPECT_EQ(core::resolveReplayPlan(1'000'000, opts).partitions, 1u);
+    EXPECT_FALSE(core::resolveReplayPlan(1'000'000, opts).chunked());
+}
+
+TEST(ReplayPlan, ShortTracesFallBackToSerialSilently)
+{
+    ReplayOptions opts;
+    opts.mode = ReplayMode::Chunked;
+    opts.partitions = 8;
+    opts.minPartitionInsts = 1 << 16;
+    // Shorter than one minimum chunk: one partition, no matter what
+    // was requested.
+    EXPECT_EQ(core::resolveReplayPlan(100, opts).partitions, 1u);
+    EXPECT_EQ(core::resolveReplayPlan((1 << 16) - 1, opts).partitions,
+              1u);
+    // Exactly two minimum chunks: at most two partitions.
+    EXPECT_EQ(core::resolveReplayPlan(2ull << 16, opts).partitions, 2u);
+}
+
+TEST(ReplayPlan, CapsAtMinimumChunkSize)
+{
+    ReplayOptions opts;
+    opts.mode = ReplayMode::Chunked;
+    opts.partitions = 64;
+    opts.minPartitionInsts = 10;
+    EXPECT_EQ(core::resolveReplayPlan(100, opts).partitions, 10u);
+    opts.partitions = 4;
+    EXPECT_EQ(core::resolveReplayPlan(100, opts).partitions, 4u);
+}
+
+TEST(ReplayPlan, ZeroPartitionsConsultsHardware)
+{
+    ReplayOptions opts;
+    opts.mode = ReplayMode::Chunked;
+    opts.partitions = 0;
+    opts.minPartitionInsts = 1;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    EXPECT_EQ(core::resolveReplayPlan(1ull << 40, opts).partitions, hw);
+}
+
+// ---------------------------------------------------------- bit-identity
+
+// The tentpole contract: chunked replay is bit-identical to serial
+// replay for every family at every partition count, because each seam
+// hands the complete micro-architectural state across.
+TEST(PackedReplay, ChunkedBitIdenticalToSerialAllFamilies)
+{
+    core::CoreParams params = core::publicInfoA53();
+    isa::Program prog = smallProgram("CCh");
+    vm::PackedTrace trace = packProgram(prog);
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    const unsigned partition_counts[] = {1, 2, 7, hw};
+
+    for (ModelFamily family : allFamilies) {
+        ReplayOptions serial;
+        serial.mode = ReplayMode::Serial;
+        core::CoreStats reference =
+            runPlanned(family, params, trace, serial);
+        for (unsigned partitions : partition_counts) {
+            ReplayOptions chunked;
+            chunked.mode = ReplayMode::Chunked;
+            chunked.partitions = partitions;
+            chunked.minPartitionInsts = 1;
+            core::CoreStats stats =
+                runPlanned(family, params, trace, chunked);
+            expectBitIdentical(
+                reference, stats,
+                std::string(core::modelFamilyName(family)) + " x "
+                    + std::to_string(partitions) + " partitions");
+        }
+    }
+}
+
+// Seam positions must be safe wherever they land: partition counts
+// that do not divide the trace put seams mid-pattern in branch-heavy
+// and memory-striding ubenchs (delta chains and predictor state
+// straddle the seam).
+TEST(PackedReplay, SeamStraddlingBranchAndMemPatterns)
+{
+    core::CoreParams params = core::publicInfoA53();
+    const char *benches[] = {"CCh", "CRd", "MC", "MCS"};
+    for (const char *name : benches) {
+        const ubench::UbenchInfo *info = ubench::find(name);
+        if (!info)
+            continue; // suite membership varies; cover what exists
+        isa::Program prog = info->builder(9973, true); // prime length
+        vm::PackedTrace trace = packProgram(prog);
+        ReplayOptions serial;
+        serial.mode = ReplayMode::Serial;
+        ReplayOptions chunked;
+        chunked.mode = ReplayMode::Chunked;
+        chunked.partitions = 7;
+        chunked.minPartitionInsts = 1;
+        for (ModelFamily family : allFamilies) {
+            expectBitIdentical(
+                runPlanned(family, params, trace, serial),
+                runPlanned(family, params, trace, chunked),
+                std::string(name) + " / "
+                    + core::modelFamilyName(family));
+        }
+    }
+}
+
+// The packed serial path must agree with the generic TraceSource run
+// over the same recording (the duck-typed streams share one loop).
+TEST(PackedReplay, PackedSerialMatchesSourceRun)
+{
+    core::CoreParams params = core::publicInfoA53();
+    isa::Program prog = smallProgram("MC");
+    vm::PackedTrace trace = packProgram(prog);
+    for (ModelFamily family : allFamilies) {
+        vm::FunctionalCore live(prog);
+        core::CoreStats from_source =
+            core::makeTimingModel(family, params)->run(live);
+        ReplayOptions serial;
+        serial.mode = ReplayMode::Serial;
+        expectBitIdentical(from_source,
+                           runPlanned(family, params, trace, serial),
+                           core::modelFamilyName(family));
+    }
+}
+
+// Drive the seam API directly (beginRun / runSegment / copy /
+// finishRun) at a deliberately awkward split, catching any state a
+// family's copy constructor forgets to carry.
+template <class Model>
+static void
+directSeamCheck(const core::CoreParams &params,
+                const vm::PackedTrace &trace, const char *what)
+{
+    ReplayOptions serial;
+    serial.mode = ReplayMode::Serial;
+    Model reference(params);
+    core::CoreStats want =
+        core::runPackedTrace(reference, trace, serial);
+
+    Model first(params);
+    first.beginRun();
+    vm::PackedStream stream(trace);
+    uint64_t split = trace.instCount() / 3 + 1;
+    first.runSegment(stream, split);
+    Model second(first); // the seam handoff
+    second.runSegment(stream, ~uint64_t{0});
+    expectBitIdentical(want, second.finishRun(), what);
+}
+
+TEST(PackedReplay, DirectSeamHandoffMatchesSerial)
+{
+    core::CoreParams params = core::publicInfoA53();
+    isa::Program prog = smallProgram("CCh", 10007);
+    vm::PackedTrace trace = packProgram(prog);
+    directSeamCheck<core::InOrderCore>(params, trace, "inorder");
+    directSeamCheck<core::OooCore>(params, trace, "ooo");
+    directSeamCheck<core::IntervalCore>(params, trace, "interval");
+}
+
+// Short traces silently run serial through the full run() entry point
+// (no chunking machinery below the threshold), and still match.
+TEST(PackedReplay, ShortTraceRunsSerialThroughRunEntry)
+{
+    core::CoreParams params = core::publicInfoA53();
+    isa::Program prog = smallProgram("MC", 500);
+    vm::PackedTrace trace = packProgram(prog);
+    ReplayOptions chunked;
+    chunked.mode = ReplayMode::Chunked;
+    chunked.partitions = 8; // ignored: 500 insts < one minimum chunk
+    ASSERT_EQ(core::resolveReplayPlan(trace.instCount(), chunked)
+                  .partitions,
+              1u);
+    ReplayOptions serial;
+    serial.mode = ReplayMode::Serial;
+    for (ModelFamily family : allFamilies) {
+        expectBitIdentical(runPlanned(family, params, trace, serial),
+                           runPlanned(family, params, trace, chunked),
+                           core::modelFamilyName(family));
+    }
+}
+
+// --------------------------------------------------- TraceBank residency
+
+// A spilled trace (residency budget too small at record time) is
+// re-admitted into packed residency on a later replay once the budget
+// allows, instead of re-walking the sift stream forever.
+TEST(TraceBankResidency, SpilledTraceReadmittedWhenBudgetAllows)
+{
+    engine::TraceBank bank(/*memory_resident_max_insts=*/1ull << 20,
+                           /*residency_budget_insts=*/1);
+    isa::Program prog = smallProgram("MC");
+    size_t id = bank.add(prog);
+
+    // First replay: recorded, but the 1-inst budget blocks admission.
+    EXPECT_EQ(bank.packed(id), nullptr);
+    engine::TraceBankStats stats = bank.stats();
+    EXPECT_EQ(stats.spilledTraces, 1u);
+    EXPECT_EQ(stats.residentTraces, 0u);
+    EXPECT_EQ(stats.readmittedTraces, 0u);
+
+    // Budget raised: the next replay re-admits the trace.
+    bank.setResidencyBudget(0); // unlimited
+    std::shared_ptr<const vm::PackedTrace> packed = bank.packed(id);
+    ASSERT_NE(packed, nullptr);
+    EXPECT_EQ(packed->instCount(), bank.instCount(id));
+    stats = bank.stats();
+    EXPECT_EQ(stats.spilledTraces, 0u);
+    EXPECT_EQ(stats.residentTraces, 1u);
+    EXPECT_EQ(stats.readmittedTraces, 1u);
+    EXPECT_GT(stats.residentBytes, 0u);
+
+    // open() now serves the packed cursor; no further re-admissions.
+    auto cursor = bank.open(id);
+    EXPECT_NE(dynamic_cast<vm::PackedCursor *>(cursor.get()), nullptr);
+    EXPECT_EQ(bank.stats().readmittedTraces, 1u);
+}
+
+// First-time admission at record time must never count as re-admission.
+TEST(TraceBankResidency, FirstAdmissionIsNotReadmission)
+{
+    engine::TraceBank bank;
+    size_t id = bank.add(smallProgram("CCh"));
+    EXPECT_NE(bank.packed(id), nullptr);
+    engine::TraceBankStats stats = bank.stats();
+    EXPECT_EQ(stats.residentTraces, 1u);
+    EXPECT_EQ(stats.readmittedTraces, 0u);
+}
+
+// ------------------------------------------------------- EvalCache v3
+
+namespace
+{
+
+/** Deterministic synthetic cache content. */
+engine::EvalCache
+syntheticCache(size_t entries)
+{
+    engine::EvalCache cache(4);
+    for (size_t i = 0; i < entries; ++i) {
+        // Scramble key order so the save path genuinely has to sort.
+        uint64_t model = (i * 0x9e3779b97f4a7c15ull) ^ 0x5bd1e995ull;
+        engine::EvalKey key{model, i % 7};
+        cache.insert(key, engine::EvalValue{0.25 * i, 1.0 + 0.5 * i});
+    }
+    return cache;
+}
+
+const char *testCachePath = "test_replay_cache.bin";
+
+} // namespace
+
+TEST(EvalCacheV3, MappedLoadEqualsHeapLoadEntryForEntry)
+{
+    engine::EvalCache original = syntheticCache(257);
+    ASSERT_EQ(original.save(testCachePath, /*digest=*/7), 257u);
+
+    engine::EvalCache heap(4);
+    bool compatible = false;
+    ASSERT_EQ(heap.load(testCachePath, 7, &compatible), 257u);
+    EXPECT_TRUE(compatible);
+
+    std::string error;
+    auto mapped = engine::MappedEvalFile::open(testCachePath, 7, &error);
+    ASSERT_NE(mapped, nullptr) << error;
+    ASSERT_EQ(mapped->size(), 257u);
+
+    // Records are sorted by (model, instance) -- the binary-search
+    // precondition.
+    for (size_t i = 1; i < mapped->size(); ++i) {
+        const engine::EvalFileRecord &a = mapped->record(i - 1);
+        const engine::EvalFileRecord &b = mapped->record(i);
+        EXPECT_TRUE(a.model < b.model
+                    || (a.model == b.model && a.instance < b.instance))
+            << "records out of order at " << i;
+    }
+
+    // Entry-for-entry: every original entry answers identically from
+    // the heap load and the mapping.
+    for (const auto &[key, value] : original.entries()) {
+        engine::EvalValue from_heap, from_map;
+        ASSERT_TRUE(heap.lookup(key, from_heap));
+        ASSERT_TRUE(mapped->lookup(key, from_map));
+        EXPECT_EQ(value.cost, from_heap.cost);
+        EXPECT_EQ(value.simCpi, from_heap.simCpi);
+        EXPECT_EQ(value.cost, from_map.cost);
+        EXPECT_EQ(value.simCpi, from_map.simCpi);
+    }
+
+    // Absent keys miss instead of aliasing into a neighbor.
+    engine::EvalValue out;
+    EXPECT_FALSE(mapped->lookup(engine::EvalKey{1, 999}, out));
+
+    std::remove(testCachePath);
+}
+
+TEST(EvalCacheV3, RefusesV2FilesWithClearError)
+{
+    // Hand-write a v2 header (old magic, digest 7, zero entries).
+    std::FILE *file = std::fopen(testCachePath, "wb");
+    ASSERT_NE(file, nullptr);
+    const char v2magic[8] = {'R', 'V', 'E', 'C', 'A', 'C', 'H', '2'};
+    uint64_t digest = 7, count = 0;
+    ASSERT_EQ(std::fwrite(v2magic, 1, 8, file), 8u);
+    ASSERT_EQ(std::fwrite(&digest, 8, 1, file), 1u);
+    ASSERT_EQ(std::fwrite(&count, 8, 1, file), 1u);
+    std::fclose(file);
+
+    // Heap load refuses and flags incompatibility (so callers do not
+    // overwrite someone else's file by accident).
+    engine::EvalCache cache;
+    bool compatible = true;
+    EXPECT_EQ(cache.load(testCachePath, 7, &compatible), 0u);
+    EXPECT_FALSE(compatible);
+    EXPECT_EQ(cache.size(), 0u);
+
+    // The mapper refuses with an error that names the v2 format.
+    std::string error;
+    EXPECT_EQ(engine::MappedEvalFile::open(testCachePath, 7, &error),
+              nullptr);
+    EXPECT_NE(error.find("v2"), std::string::npos) << error;
+
+    std::remove(testCachePath);
+}
+
+TEST(EvalCacheV3, MapperRejectsDigestMismatchAndTruncation)
+{
+    engine::EvalCache original = syntheticCache(16);
+    ASSERT_EQ(original.save(testCachePath, 7), 16u);
+
+    std::string error;
+    EXPECT_EQ(engine::MappedEvalFile::open(testCachePath, 8, &error),
+              nullptr);
+    EXPECT_NE(error.find("digest"), std::string::npos) << error;
+
+    // Truncate mid-records: refused rather than read out of bounds.
+    std::FILE *file = std::fopen(testCachePath, "rb+");
+    ASSERT_NE(file, nullptr);
+    std::fclose(file);
+    ASSERT_EQ(truncate(testCachePath, 24 + 5 * 32 + 8), 0);
+    EXPECT_EQ(engine::MappedEvalFile::open(testCachePath, 7, &error),
+              nullptr);
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+    std::remove(testCachePath);
+}
+
+TEST(EvalCacheV3, ConcurrentReadersSeeIdenticalHits)
+{
+    engine::EvalCache original = syntheticCache(512);
+    ASSERT_EQ(original.save(testCachePath, 3), 512u);
+    auto mapped = engine::MappedEvalFile::open(testCachePath, 3);
+    ASSERT_NE(mapped, nullptr);
+    auto expected = original.entries();
+
+    // Two readers share one mapping (lock-free lookups) and a third
+    // opens its own; all must agree on every entry.
+    auto readAll = [&](const engine::MappedEvalFile &file,
+                       size_t &hits) {
+        for (const auto &[key, value] : expected) {
+            engine::EvalValue out;
+            if (file.lookup(key, out) && out.cost == value.cost
+                && out.simCpi == value.simCpi)
+                ++hits;
+        }
+    };
+    size_t hits_a = 0, hits_b = 0, hits_c = 0;
+    auto own = engine::MappedEvalFile::open(testCachePath, 3);
+    ASSERT_NE(own, nullptr);
+    std::thread a([&] { readAll(*mapped, hits_a); });
+    std::thread b([&] { readAll(*mapped, hits_b); });
+    std::thread c([&] { readAll(*own, hits_c); });
+    a.join();
+    b.join();
+    c.join();
+    EXPECT_EQ(hits_a, expected.size());
+    EXPECT_EQ(hits_b, expected.size());
+    EXPECT_EQ(hits_c, expected.size());
+
+    std::remove(testCachePath);
+}
+
+// ------------------------------------------------- engine warm mapping
+
+TEST(EngineWarmFile, ServesEvaluationsWithoutSimulating)
+{
+    const char *path = "test_replay_warm.bin";
+    core::CoreParams model = core::publicInfoA53();
+    isa::Program prog = smallProgram("MC");
+
+    engine::EvalValue fresh_inorder, fresh_ooo;
+    {
+        engine::EvalEngine producer(ModelFamily::InOrder);
+        size_t id = producer.addInstance(prog);
+        fresh_inorder =
+            producer.evaluateModel(ModelFamily::InOrder, model, id);
+        fresh_ooo = producer.evaluateModel(ModelFamily::Ooo, model, id);
+        ASSERT_EQ(producer.saveCache(path), 2u);
+    }
+
+    engine::EvalEngine consumer(ModelFamily::InOrder);
+    size_t id = consumer.addInstance(prog);
+    ASSERT_EQ(consumer.mapWarmFile(path), 2u);
+    ASSERT_NE(consumer.warmFile(), nullptr);
+
+    engine::EvalValue warm_inorder =
+        consumer.evaluateModel(ModelFamily::InOrder, model, id);
+    engine::EvalValue warm_ooo =
+        consumer.evaluateModel(ModelFamily::Ooo, model, id);
+
+    // Family-salted keys: each family gets its own value back (no
+    // cross-family aliasing through the shared file) ...
+    EXPECT_EQ(warm_inorder.cost, fresh_inorder.cost);
+    EXPECT_EQ(warm_inorder.simCpi, fresh_inorder.simCpi);
+    EXPECT_EQ(warm_ooo.cost, fresh_ooo.cost);
+    EXPECT_EQ(warm_ooo.simCpi, fresh_ooo.simCpi);
+    EXPECT_NE(warm_inorder.simCpi, warm_ooo.simCpi);
+
+    // ... and no simulation ran in the consumer.
+    engine::EngineStats stats = consumer.stats();
+    EXPECT_EQ(stats.warmFileHits, 2u);
+    EXPECT_EQ(stats.evaluations, 0u);
+
+    std::remove(path);
+}
+
+TEST(EngineWarmFile, MissingFileWarnsAndRacesCold)
+{
+    engine::EvalEngine engine(ModelFamily::InOrder);
+    EXPECT_EQ(engine.mapWarmFile("no_such_warm_file.bin"), 0u);
+    EXPECT_EQ(engine.warmFile(), nullptr);
+
+    // Evaluation still works (cold).
+    size_t id = engine.addInstance(smallProgram("MC", 2000));
+    engine::EvalValue value =
+        engine.evaluateModel(core::publicInfoA53(), id);
+    EXPECT_GT(value.simCpi, 0.0);
+    EXPECT_EQ(engine.stats().evaluations, 1u);
+}
