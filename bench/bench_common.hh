@@ -13,9 +13,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/json_writer.hh"
 #include "common/log.hh"
 #include "core/timing_model.hh"
 #include "engine/engine.hh"
+#include "obs/heartbeat.hh"
+#include "obs/trace.hh"
 #include "tuner/strategy.hh"
 #include "ubench/ubench.hh"
 #include "validate/flow.hh"
@@ -100,53 +103,81 @@ jsonMetric(const std::string &name, double value)
     jsonMetrics().emplace_back(name, value);
 }
 
-/** Minimal JSON string escaping (quotes and backslashes). */
-inline std::string
-jsonEscape(const std::string &in)
+/** Target path of the --trace Chrome trace ("" = disabled). */
+inline std::string &
+tracePath()
 {
-    std::string out;
-    for (char c : in) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
+    static std::string path;
+    return path;
+}
+
+/** @return @p path with its ".json" suffix (when present) replaced by
+ *  ".metrics.json", else with ".metrics.json" appended. */
+inline std::string
+metricsPathFor(const std::string &path)
+{
+    const std::string suffix = ".json";
+    if (path.size() >= suffix.size()
+        && path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0) {
+        return path.substr(0, path.size() - suffix.size())
+            + ".metrics.json";
     }
-    return out;
+    return path + ".metrics.json";
 }
 
 /**
- * Write the --json blob (no-op when --json was not given).
+ * Finish the driver's telemetry: stop the heartbeat (final snapshot),
+ * close the --trace session (writes the Chrome trace file) and, when
+ * --json was given, drop a sibling <blob>.metrics.json with the final
+ * metrics-registry snapshot. Idempotent; writeJson() calls it.
+ */
+inline void
+finishTelemetry()
+{
+    if (obs::heartbeatRunning())
+        obs::stopHeartbeat();
+    if (obs::tracingActive())
+        obs::stopTracing();
+    if (!jsonPath().empty())
+        obs::writeMetricsJson(metricsPathFor(jsonPath()));
+}
+
+/**
+ * Write the --json blob (telemetry still finishes when --json was not
+ * given; the blob itself is skipped).
  *
  * @param engine_stats engine report to embed, or nullptr.
  */
 inline void
 writeJson(const engine::EngineStats *engine_stats = nullptr)
 {
+    finishTelemetry();
     if (jsonPath().empty())
         return;
     double wall = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - driverStart()).count();
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject()
+        .field("driver", driverName())
+        .field("smoke", smokeMode())
+        .field("wall_seconds", wall);
+    w.beginObject("metrics");
+    for (const auto &[name, value] : jsonMetrics())
+        w.field(name.c_str(), value);
+    w.endObject();
+    if (engine_stats)
+        w.rawField("engine", engine_stats->json());
+    w.endObject();
     std::FILE *file = std::fopen(jsonPath().c_str(), "w");
     if (!file) {
         std::fprintf(stderr, "cannot write json blob '%s'\n",
                      jsonPath().c_str());
         std::exit(1);
     }
-    std::fprintf(file, "{\n  \"driver\": \"%s\",\n",
-                 jsonEscape(driverName()).c_str());
-    std::fprintf(file, "  \"smoke\": %s,\n",
-                 smokeMode() ? "true" : "false");
-    std::fprintf(file, "  \"wall_seconds\": %.3f,\n", wall);
-    std::fprintf(file, "  \"metrics\": {");
-    for (size_t i = 0; i < jsonMetrics().size(); ++i) {
-        std::fprintf(file, "%s\n    \"%s\": %.6g", i ? "," : "",
-                     jsonEscape(jsonMetrics()[i].first).c_str(),
-                     jsonMetrics()[i].second);
-    }
-    std::fprintf(file, "\n  }");
-    if (engine_stats)
-        std::fprintf(file, ",\n  \"engine\": %s",
-                     engine_stats->json().c_str());
-    std::fprintf(file, "\n}\n");
+    const std::string &blob = w.str();
+    std::fwrite(blob.data(), 1, blob.size(), file);
+    std::fputc('\n', file);
     std::fclose(file);
 }
 
@@ -232,6 +263,25 @@ beginDriver(int argc, char **argv)
     }
 }
 
+/** Shared postamble of both arg parsers: open the --trace session and
+ *  honor RACEVAL_HEARTBEAT=<seconds> (periodic metrics snapshots to
+ *  stderr and, with --json, to the sibling metrics file). */
+inline void
+beginTelemetry()
+{
+    if (!tracePath().empty())
+        obs::startTracing(tracePath());
+    if (const char *env = std::getenv("RACEVAL_HEARTBEAT")) {
+        obs::HeartbeatOptions hb;
+        double seconds = std::atof(env);
+        if (seconds > 0.0)
+            hb.intervalSeconds = seconds;
+        if (!jsonPath().empty())
+            hb.metricsJsonPath = metricsPathFor(jsonPath());
+        obs::startHeartbeat(hb);
+    }
+}
+
 /**
  * Parse the standard driver command line. Every bench accepts
  * --help/-h (print usage, exit 0), --smoke (tiny budgets for CI) and
@@ -248,7 +298,7 @@ parseDriverArgs(int argc, char **argv, const char *what)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--smoke] [--list] [--json <path>] "
-                        "[--strategy <name>]"
+                        "[--trace <path>] [--strategy <name>]"
                         "\n\n%s\n\n"
                         "  --smoke        reduced budgets/workloads for "
                         "CI smoke runs\n"
@@ -257,10 +307,17 @@ parseDriverArgs(int argc, char **argv, const char *what)
                         "search strategies\n"
                         "  --json <path>  write a machine-readable "
                         "result blob\n"
+                        "  --trace <path> record a Chrome trace-event "
+                        "JSON (chrome://tracing, Perfetto)\n"
                         "  --strategy <name>  search strategy for the "
                         "tuning step (default irace)\n"
                         "  RACEVAL_BUDGET=<n> overrides the racing "
-                        "budget\n", argv[0], what);
+                        "budget\n"
+                        "  RACEVAL_HEARTBEAT=<s> periodic metrics "
+                        "snapshots every <s> seconds\n"
+                        "  RACEVAL_LOG=<level> log filter "
+                        "(debug|info|warn|error|quiet)\n", argv[0],
+                        what);
             std::exit(0);
         } else if (arg == "--list") {
             printList();
@@ -274,6 +331,13 @@ parseDriverArgs(int argc, char **argv, const char *what)
                 std::exit(2);
             }
             jsonPath() = argv[++i];
+        } else if (arg == "--trace") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --trace needs a path\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            tracePath() = argv[++i];
         } else if (arg == "--strategy") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: --strategy needs a name\n",
@@ -287,6 +351,7 @@ parseDriverArgs(int argc, char **argv, const char *what)
             std::exit(2);
         }
     }
+    beginTelemetry();
 }
 
 /**
@@ -305,7 +370,8 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--smoke] [--list] [--json <path>] "
-                        "[--strategy <name>] [--benchmark_* flags]"
+                        "[--trace <path>] [--strategy <name>] "
+                        "[--benchmark_* flags]"
                         "\n\n%s\n", argv[0], what);
             std::exit(0);
         } else if (arg == "--list") {
@@ -321,6 +387,13 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
                 std::exit(2);
             }
             jsonPath() = argv[++i];
+        } else if (arg == "--trace") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --trace needs a path\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            tracePath() = argv[++i];
         } else if (arg == "--strategy") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: --strategy needs a name\n",
@@ -333,6 +406,7 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
         }
     }
     argc = out;
+    beginTelemetry();
 }
 
 /** Racing budget: RACEVAL_BUDGET env overrides the scaled default. */

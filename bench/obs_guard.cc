@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Telemetry-overhead guard over the tuning_throughput smoke blob.
+ *
+ * Reads bench-json/BENCH_tuning_throughput.json (produced by the
+ * smoke_tuning_throughput ctest fixture, which runs the telemetry A-B
+ * measurement) and fails when either pillar of the observability
+ * contract regressed:
+ *
+ *   - telemetry_bit_identical must be 1: racing with span recording
+ *     live produces the same RaceResult as racing with it paused --
+ *     telemetry must never perturb determinism;
+ *   - telemetry_overhead_pct must stay under the tolerance (default
+ *     10%, override with RACEVAL_OBS_TOLERANCE_PCT). The measured
+ *     steady-state cost is ~1-2%; the slack absorbs timer noise on
+ *     loaded single-core CI hosts, while still catching a span landing
+ *     on a per-instruction path (thousands of percent, not ten).
+ *
+ * Run as a plain binary: `obs_guard <path-to-json>`. Not a bench
+ * driver (no --smoke/--json protocol): it is the ctest check that
+ * locks the telemetry overhead in.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+/** Extract `"key": <number>` from a JSON blob (flat search; the bench
+ *  blobs never nest a duplicate metric name). */
+bool
+findNumber(const std::string &text, const std::string &key, double &out)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    return std::sscanf(text.c_str() + pos + needle.size(), " %lf",
+                       &out) == 1;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_tuning_throughput.json>\n"
+                 "fails when telemetry_bit_identical != 1 or "
+                 "telemetry_overhead_pct exceeds the tolerance\n"
+                 "(default 10%%; override with "
+                 "RACEVAL_OBS_TOLERANCE_PCT)\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 2 && std::strcmp(argv[1], "--help") == 0) {
+        usage(argv[0]);
+        return 0;
+    }
+    if (argc != 2)
+        return usage(argv[0]);
+
+    double tolerance_pct = 10.0;
+    if (const char *env = std::getenv("RACEVAL_OBS_TOLERANCE_PCT"))
+        tolerance_pct = std::atof(env);
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr,
+                     "obs_guard: cannot read '%s' (run the "
+                     "smoke_tuning_throughput test first)\n", argv[1]);
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+
+    double bit_identical = 0.0, overhead_pct = 0.0;
+    if (!findNumber(text, "telemetry_bit_identical", bit_identical)
+        || !findNumber(text, "telemetry_overhead_pct", overhead_pct)) {
+        std::fprintf(stderr,
+                     "obs_guard: '%s' is missing the telemetry_* "
+                     "metrics\n", argv[1]);
+        return 2;
+    }
+
+    int failures = 0;
+    if (bit_identical != 1.0) {
+        std::fprintf(stderr,
+                     "obs_guard: FAIL telemetry_bit_identical = %g "
+                     "(expected 1): racing with tracing on diverged "
+                     "from racing with it off\n", bit_identical);
+        ++failures;
+    }
+    if (overhead_pct > tolerance_pct) {
+        std::fprintf(stderr,
+                     "obs_guard: FAIL telemetry_overhead_pct = %.2f "
+                     "(> %.2f tolerance): span recording slowed the "
+                     "cold race\n", overhead_pct, tolerance_pct);
+        ++failures;
+    }
+    if (failures)
+        return 1;
+    std::printf("obs_guard: OK (bit_identical = 1, overhead = %+.2f%% "
+                "<= %.2f%%)\n", overhead_pct, tolerance_pct);
+    return 0;
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Chrome-trace well-formedness checker for the --trace files the bench
+ * drivers emit.
+ *
+ * `trace_check <trace.json> [required-span-name ...]` fails when:
+ *
+ *   - the file is missing, empty, or not balanced JSON;
+ *   - it has no "traceEvents" array;
+ *   - an event lacks name / cat / ph / ts / dur / pid / tid, or its
+ *     ph is not "X" (we only emit complete spans -- a "B" without an
+ *     "E" is exactly the unterminated-span corruption this guards
+ *     against);
+ *   - two spans on one thread partially overlap: sibling spans must be
+ *     disjoint and nested spans fully contained, or the RAII pairing
+ *     was broken;
+ *   - a required span name (extra argv) never occurs.
+ *
+ * Run as a plain binary against the smoke trace in CI; not a bench
+ * driver (no --smoke/--json protocol).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+struct Event
+{
+    std::string name;
+    double ts = 0.0;
+    double dur = 0.0;
+    long tid = 0;
+};
+
+/** Extract `"key": "<string>"` from one event object's text. */
+bool
+findString(const std::string &text, const std::string &key,
+           std::string &out)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos = text.find('"', pos + needle.size());
+    if (pos == std::string::npos)
+        return false;
+    size_t end = pos + 1;
+    while (end < text.size()
+           && (text[end] != '"' || text[end - 1] == '\\'))
+        ++end;
+    if (end >= text.size())
+        return false;
+    out = text.substr(pos + 1, end - pos - 1);
+    return true;
+}
+
+bool
+findNumber(const std::string &text, const std::string &key, double &out)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    return std::sscanf(text.c_str() + pos + needle.size(), " %lf",
+                       &out) == 1;
+}
+
+/** Split the balanced `{...}` objects of an array body. @return false
+ *  on unbalanced braces. Trace events never contain brace characters
+ *  inside strings (names are static identifiers), so plain depth
+ *  counting is exact for the files we emit. */
+bool
+splitObjects(const std::string &body, std::vector<std::string> &out)
+{
+    int depth = 0;
+    size_t start = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+        if (body[i] == '{') {
+            if (depth == 0)
+                start = i;
+            ++depth;
+        } else if (body[i] == '}') {
+            if (depth == 0)
+                return false;
+            if (--depth == 0)
+                out.push_back(body.substr(start, i - start + 1));
+        }
+    }
+    return depth == 0;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <trace.json> [required-span-name ...]\n"
+                 "fails on malformed Chrome trace JSON, partially "
+                 "overlapping (unterminated) spans, or a missing "
+                 "required span name\n", argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "--help") == 0) {
+        usage(argv[0]);
+        return 0;
+    }
+    if (argc < 2)
+        return usage(argv[0]);
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "trace_check: cannot read '%s'\n",
+                     argv[1]);
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    if (text.empty()) {
+        std::fprintf(stderr, "trace_check: '%s' is empty\n", argv[1]);
+        return 1;
+    }
+
+    // Overall balance (the writer asserts this; re-check the artifact
+    // so a truncated upload cannot pass).
+    long braces = std::count(text.begin(), text.end(), '{')
+        - std::count(text.begin(), text.end(), '}');
+    long brackets = std::count(text.begin(), text.end(), '[')
+        - std::count(text.begin(), text.end(), ']');
+    if (braces != 0 || brackets != 0) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL '%s' is unbalanced JSON "
+                     "(%+ld braces, %+ld brackets) -- truncated "
+                     "file?\n", argv[1], braces, brackets);
+        return 1;
+    }
+
+    size_t arr = text.find("\"traceEvents\":");
+    if (arr == std::string::npos) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL '%s' has no traceEvents "
+                     "array\n", argv[1]);
+        return 1;
+    }
+    size_t open = text.find('[', arr);
+    // The events array is the last container in the document; its ']'
+    // is the final one.
+    size_t close = text.rfind(']');
+    if (open == std::string::npos || close == std::string::npos
+        || close < open) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL '%s': traceEvents is not an "
+                     "array\n", argv[1]);
+        return 1;
+    }
+
+    std::vector<std::string> objects;
+    if (!splitObjects(text.substr(open + 1, close - open - 1),
+                      objects)) {
+        std::fprintf(stderr,
+                     "trace_check: FAIL '%s': unbalanced event "
+                     "objects\n", argv[1]);
+        return 1;
+    }
+
+    int failures = 0;
+    std::vector<Event> events;
+    events.reserve(objects.size());
+    for (size_t i = 0; i < objects.size(); ++i) {
+        const std::string &obj = objects[i];
+        Event ev;
+        std::string ph;
+        double tid = 0.0, pid = 0.0;
+        if (!findString(obj, "name", ev.name)
+            || !findString(obj, "ph", ph)
+            || !findNumber(obj, "ts", ev.ts)
+            || !findNumber(obj, "dur", ev.dur)
+            || !findNumber(obj, "pid", pid)
+            || !findNumber(obj, "tid", tid)) {
+            std::fprintf(stderr,
+                         "trace_check: FAIL event %zu is missing a "
+                         "required field: %s\n", i, obj.c_str());
+            ++failures;
+            continue;
+        }
+        if (ph != "X") {
+            std::fprintf(stderr,
+                         "trace_check: FAIL event %zu ('%s') has "
+                         "ph=\"%s\" (only complete \"X\" spans are "
+                         "well-formed -- unterminated span?)\n", i,
+                         ev.name.c_str(), ph.c_str());
+            ++failures;
+            continue;
+        }
+        if (ev.ts < 0.0 || ev.dur < 0.0) {
+            std::fprintf(stderr,
+                         "trace_check: FAIL event %zu ('%s') has "
+                         "negative ts/dur\n", i, ev.name.c_str());
+            ++failures;
+            continue;
+        }
+        ev.tid = static_cast<long>(tid);
+        events.push_back(std::move(ev));
+    }
+
+    // Per-thread nesting: walking time-ordered spans with a stack,
+    // every span must either nest inside the enclosing one or start
+    // after it ends. A partial overlap means two RAII spans on one
+    // thread destructed out of construction order -- impossible for
+    // scoped spans, so it flags a corrupted or hand-edited file.
+    const double eps = 0.0005; // half an ns, in us: decimal slack
+    std::map<long, std::vector<const Event *>> by_tid;
+    for (const Event &ev : events)
+        by_tid[ev.tid].push_back(&ev);
+    for (auto &[tid, list] : by_tid) {
+        // Ties (a coarse clock giving outer and inner the same start)
+        // order longest-first, so the enclosing span hits the stack
+        // before its children.
+        std::stable_sort(list.begin(), list.end(),
+                         [](const Event *a, const Event *b) {
+                             if (a->ts != b->ts)
+                                 return a->ts < b->ts;
+                             return a->dur > b->dur;
+                         });
+        std::vector<const Event *> stack;
+        for (const Event *ev : list) {
+            while (!stack.empty()
+                   && stack.back()->ts + stack.back()->dur
+                       <= ev->ts + eps)
+                stack.pop_back();
+            if (!stack.empty()) {
+                double enclosing_end =
+                    stack.back()->ts + stack.back()->dur;
+                if (ev->ts + ev->dur > enclosing_end + eps) {
+                    std::fprintf(
+                        stderr,
+                        "trace_check: FAIL tid %ld: span '%s' "
+                        "[%.3f, %.3f] partially overlaps enclosing "
+                        "'%s' ending at %.3f\n", tid,
+                        ev->name.c_str(), ev->ts, ev->ts + ev->dur,
+                        stack.back()->name.c_str(), enclosing_end);
+                    ++failures;
+                    continue;
+                }
+            }
+            stack.push_back(ev);
+        }
+    }
+
+    std::set<std::string> names;
+    for (const Event &ev : events)
+        names.insert(ev.name);
+    for (int i = 2; i < argc; ++i) {
+        if (!names.count(argv[i])) {
+            std::fprintf(stderr,
+                         "trace_check: FAIL required span '%s' never "
+                         "occurs in '%s'\n", argv[i], argv[1]);
+            ++failures;
+        }
+    }
+
+    if (failures)
+        return 1;
+    std::printf("trace_check: OK (%zu events, %zu span names, %zu "
+                "threads)\n", events.size(), names.size(),
+                by_tid.size());
+    return 0;
+}

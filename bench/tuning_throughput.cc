@@ -29,6 +29,7 @@
 #include "common/log.hh"
 #include "core/inorder.hh"
 #include "engine/engine.hh"
+#include "obs/trace.hh"
 #include "tuner/strategy.hh"
 #include "ubench/ubench.hh"
 #include "validate/oracle.hh"
@@ -212,6 +213,69 @@ sameRace(const tuner::RaceResult &a, const tuner::RaceResult &b)
         && a.iterations == b.iterations;
 }
 
+/** Telemetry A-B: the same cold race with span recording paused vs
+ *  live, interleaved min-of-N. Feeds the perf_obs_guard ctest entry:
+ *  enabled-mode overhead must stay in the low single digits and the
+ *  RaceResult must stay bit-identical with tracing on. */
+void
+measureTelemetryOverhead()
+{
+    if (!engineCold.race)
+        return; // filtered run
+
+    Task &t = task();
+    // The A-B needs a live trace session so the "on" side actually
+    // records spans; open a throwaway one when --trace was not given.
+    const char *temp_trace = "tuning_throughput.tmp-trace.json";
+    bool own_session = !obs::tracingActive();
+    if (own_session)
+        obs::startTracing(temp_trace);
+
+    auto race_once = [&] {
+        auto eng = makeEngine();
+        return timedRace([&] {
+            auto strategy = tuner::makeSearchStrategy(
+                bench::strategyName(), t.sspace.space(), *eng,
+                t.programs.size(), t.ropts);
+            strategy->addInitialCandidate(t.sspace.encode(t.base));
+            return strategy->run();
+        });
+    };
+
+    // Interleave the sides so drift (frequency scaling, competing
+    // ctest jobs) hits both equally; min-of-rounds rejects the noise.
+    PathResult off, on;
+    bool identical = true;
+    for (int round = 0; round < 3; ++round) {
+        obs::setTracingPaused(true);
+        PathResult r = race_once();
+        if (round == 0 || r.seconds < off.seconds)
+            off = std::move(r);
+        obs::setTracingPaused(false);
+        r = race_once();
+        if (round == 0 || r.seconds < on.seconds)
+            on = std::move(r);
+        identical = identical && sameRace(*off.race, *on.race)
+            && sameRace(*on.race, *engineCold.race);
+    }
+    obs::setTracingPaused(false);
+    if (own_session) {
+        obs::stopTracing();
+        std::remove(temp_trace);
+    }
+
+    double overhead_pct = off.seconds > 0.0
+        ? 100.0 * (on.seconds - off.seconds) / off.seconds : 0.0;
+    std::printf("\ntelemetry overhead (cold race, min of 3): "
+                "off %.3f s, on %.3f s, %+.2f%%; bit-identical: %s\n",
+                off.seconds, on.seconds, overhead_pct,
+                identical ? "yes" : "NO (BUG)");
+    bench::jsonMetric("telemetry_off_seconds", off.seconds);
+    bench::jsonMetric("telemetry_on_seconds", on.seconds);
+    bench::jsonMetric("telemetry_overhead_pct", overhead_pct);
+    bench::jsonMetric("telemetry_bit_identical", identical ? 1.0 : 0.0);
+}
+
 void
 report()
 {
@@ -270,6 +334,7 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     report();
+    measureTelemetryOverhead();
     bench::writeJson(&finalEngineStats);
     return 0;
 }

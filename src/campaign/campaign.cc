@@ -6,8 +6,11 @@
 #include <thread>
 #include <unordered_set>
 
+#include "common/json_writer.hh"
 #include "common/log.hh"
 #include "engine/fingerprint.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace raceval::campaign
 {
@@ -163,14 +166,17 @@ CampaignStats::summary() const
 std::string
 CampaignStats::json() const
 {
-    return strprintf(
-        "{\"tasks_total\": %u, \"tasks_raced\": %u, "
-        "\"tasks_from_checkpoint\": %u, \"experiments\": %llu, "
-        "\"wall_seconds\": %.4f, \"experiments_per_s\": %.1f, "
-        "\"engine\": %s}",
-        tasksTotal, tasksRaced, tasksFromCheckpoint,
-        static_cast<unsigned long long>(experiments), wallSeconds,
-        experimentsPerSecond(), engine.json().c_str());
+    JsonWriter w;
+    w.beginObject()
+        .field("tasks_total", tasksTotal)
+        .field("tasks_raced", tasksRaced)
+        .field("tasks_from_checkpoint", tasksFromCheckpoint)
+        .field("experiments", experiments)
+        .field("wall_seconds", wallSeconds)
+        .field("experiments_per_s", experimentsPerSecond())
+        .rawField("engine", engine.json())
+        .endObject();
+    return w.str();
 }
 
 // -------------------------------------------------------- CampaignRunner
@@ -229,6 +235,8 @@ CampaignRunner::runTask(size_t index, uint64_t fingerprint,
                         std::vector<CheckpointEntry> &completed)
 {
     const CampaignTask &task = tasks[index];
+    RV_SPAN("campaign.task", static_cast<uint64_t>(index));
+    RV_COUNTER_ADD("campaign.tasks_started", 1);
     SubsetEvaluator evaluator(engine, task);
     std::unique_ptr<tuner::SearchStrategy> strategy =
         tuner::makeSearchStrategy(
@@ -246,7 +254,10 @@ CampaignRunner::runTask(size_t index, uint64_t fingerprint,
     std::lock_guard<std::mutex> lock(mutex);
     outcomes[index] =
         TaskOutcome{task.name, std::move(result), wall, false};
+    RV_COUNTER_ADD("campaign.tasks_done", 1);
+    RV_GAUGE_ADD("campaign.pending_tasks", -1);
     if (!opts.checkpointPath.empty()) {
+        RV_SPAN("campaign.checkpoint");
         upsertEntry(completed,
                     CheckpointEntry{task.name, fingerprint,
                                     outcomes[index].result});
@@ -307,6 +318,9 @@ CampaignRunner::run()
             pending.push_back(i);
         }
     }
+
+    RV_GAUGE_SET("campaign.pending_tasks",
+                 static_cast<int64_t>(pending.size()));
 
     // Racer threads pull pending tasks off a shared counter; each
     // racing step is one whole engine batch, so concurrent tasks

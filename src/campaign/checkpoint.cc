@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/json_writer.hh"
 #include "common/log.hh"
 
 namespace raceval::campaign
@@ -25,36 +26,33 @@ writeConfig(std::string &out, const tuner::Configuration &config)
     out += ']';
 }
 
-/** Append a double array; %.17g round-trips IEEE-754 exactly. */
+/** Append a double array; jsonDouble (%.17g) round-trips IEEE-754
+ *  exactly. */
 void
 writeDoubles(std::string &out, const std::vector<double> &values)
 {
     out += '[';
-    for (size_t i = 0; i < values.size(); ++i)
-        out += strprintf("%s%.17g", i ? "," : "", values[i]);
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ',';
+        out += jsonDouble(values[i]);
+    }
     out += ']';
 }
 
 void
 writeEntry(std::string &out, const CheckpointEntry &entry)
 {
-    // Task names are driver-chosen identifiers; escape the two
-    // characters that could break the quoting.
-    std::string name;
-    for (char c : entry.name) {
-        if (c == '"' || c == '\\')
-            name += '\\';
-        name += c;
-    }
-    out += strprintf("    {\n      \"name\": \"%s\",\n", name.c_str());
+    out += strprintf("    {\n      \"name\": \"%s\",\n",
+                     jsonEscape(entry.name).c_str());
     // The fingerprint is a full 64-bit hash: keep it a hex string so
     // no JSON reader ever rounds it through a double.
     out += strprintf("      \"fingerprint\": \"0x%016" PRIx64 "\",\n",
                      entry.fingerprint);
     out += "      \"best\": ";
     writeConfig(out, entry.result.best);
-    out += strprintf(",\n      \"best_mean_cost\": %.17g,\n",
-                     entry.result.bestMeanCost);
+    out += strprintf(",\n      \"best_mean_cost\": %s,\n",
+                     jsonDouble(entry.result.bestMeanCost).c_str());
     out += "      \"best_costs\": ";
     writeDoubles(out, entry.result.bestCosts);
     out += strprintf(",\n      \"experiments_used\": %" PRIu64 ",\n",
@@ -66,8 +64,9 @@ writeEntry(std::string &out, const CheckpointEntry &entry)
         out += e ? ",\n        " : "\n        ";
         out += "{\"config\": ";
         writeConfig(out, entry.result.elites[e].first);
-        out += strprintf(", \"mean_cost\": %.17g}",
-                         entry.result.elites[e].second);
+        out += strprintf(", \"mean_cost\": %s}",
+                         jsonDouble(entry.result.elites[e].second)
+                             .c_str());
     }
     out += entry.result.elites.empty() ? "]\n    }" : "\n      ]\n    }";
 }

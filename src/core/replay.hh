@@ -34,6 +34,7 @@
 #include <memory>
 
 #include "core/stats.hh"
+#include "obs/trace.hh"
 #include "vm/packed_trace.hh"
 
 namespace raceval::core
@@ -97,6 +98,7 @@ runPackedTrace(Model &model, const vm::PackedTrace &trace,
     vm::PackedStream stream(trace);
     model.beginRun();
     if (!plan.chunked()) {
+        RV_SPAN("replay.chunk", trace.instCount());
         model.runSegment(stream, ~uint64_t{0});
         return model.finishRun();
     }
@@ -107,7 +109,10 @@ runPackedTrace(Model &model, const vm::PackedTrace &trace,
     std::unique_ptr<Model> carrier;
     for (;;) {
         uint64_t n = chunk < remaining ? chunk : remaining;
-        current->runSegment(stream, n);
+        {
+            RV_SPAN("replay.chunk", n);
+            current->runSegment(stream, n);
+        }
         remaining -= n;
         if (!remaining)
             break;

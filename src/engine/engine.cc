@@ -2,8 +2,10 @@
 
 #include <chrono>
 
+#include "common/json_writer.hh"
 #include "common/log.hh"
 #include "core/timing_model.hh"
+#include "obs/trace.hh"
 
 namespace raceval::engine
 {
@@ -69,41 +71,62 @@ EngineStats::summary() const
 std::string
 EngineStats::json() const
 {
-    return strprintf(
-        "{\"instances\": %llu, \"recordings\": %llu, "
-        "\"recorded_insts\": %llu, \"resident_traces\": %llu, "
-        "\"spilled_traces\": %llu, \"readmitted_traces\": %llu, "
-        "\"packed_bytes\": %llu, \"replay_mode\": \"%s\", "
-        "\"partitions\": %llu, \"replays\": %llu, "
-        "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-        "\"cache_hit_rate\": %.4f, \"cache_entries\": %llu, "
-        "\"cache_evictions\": %llu, \"requests\": %llu, "
-        "\"fresh_evals\": %llu, \"warm_file_hits\": %llu, "
-        "\"eval_seconds\": %.4f, "
-        "\"experiments_per_s\": %.1f, \"batches\": %llu, "
-        "\"batch_submitted\": %llu, \"batch_deduplicated\": %llu}",
-        static_cast<unsigned long long>(bank.instances),
-        static_cast<unsigned long long>(bank.recordings),
-        static_cast<unsigned long long>(bank.recordedInsts),
-        static_cast<unsigned long long>(bank.residentTraces),
-        static_cast<unsigned long long>(bank.spilledTraces),
-        static_cast<unsigned long long>(bank.readmittedTraces),
-        static_cast<unsigned long long>(bank.residentBytes),
-        replayMode.c_str(),
-        static_cast<unsigned long long>(partitions),
-        static_cast<unsigned long long>(bank.replays),
-        static_cast<unsigned long long>(cache.hits),
-        static_cast<unsigned long long>(cache.misses),
-        cache.hitRate(),
-        static_cast<unsigned long long>(cache.entries),
-        static_cast<unsigned long long>(cache.evictions),
-        static_cast<unsigned long long>(requests),
-        static_cast<unsigned long long>(evaluations),
-        static_cast<unsigned long long>(warmFileHits),
-        evalSeconds, experimentsPerSecond(),
-        static_cast<unsigned long long>(batches),
-        static_cast<unsigned long long>(batchSubmissions),
-        static_cast<unsigned long long>(batchDeduplicated));
+    JsonWriter w;
+    w.beginObject()
+        .field("instances", bank.instances)
+        .field("recordings", bank.recordings)
+        .field("recorded_insts", bank.recordedInsts)
+        .field("resident_traces", bank.residentTraces)
+        .field("spilled_traces", bank.spilledTraces)
+        .field("readmitted_traces", bank.readmittedTraces)
+        .field("packed_bytes", bank.residentBytes)
+        .field("replay_mode", replayMode)
+        .field("partitions", partitions)
+        .field("replays", bank.replays)
+        .field("cache_hits", cache.hits)
+        .field("cache_misses", cache.misses)
+        .field("cache_hit_rate", cache.hitRate())
+        .field("cache_entries", cache.entries)
+        .field("cache_evictions", cache.evictions)
+        .field("requests", requests)
+        .field("fresh_evals", evaluations)
+        .field("warm_file_hits", warmFileHits)
+        .field("eval_seconds", evalSeconds)
+        .field("experiments_per_s", experimentsPerSecond())
+        .field("batches", batches)
+        .field("batch_submitted", batchSubmissions)
+        .field("batch_deduplicated", batchDeduplicated)
+        .endObject();
+    return w.str();
+}
+
+std::vector<obs::Sample>
+EngineStats::samples() const
+{
+    auto n = [](uint64_t v) { return static_cast<double>(v); };
+    return {
+        {"instances", n(bank.instances)},
+        {"recordings", n(bank.recordings)},
+        {"recorded_insts", n(bank.recordedInsts)},
+        {"resident_traces", n(bank.residentTraces)},
+        {"spilled_traces", n(bank.spilledTraces)},
+        {"readmitted_traces", n(bank.readmittedTraces)},
+        {"resident_bytes", n(bank.residentBytes)},
+        {"replays", n(bank.replays)},
+        {"cache_hits", n(cache.hits)},
+        {"cache_misses", n(cache.misses)},
+        {"cache_hit_rate", cache.hitRate()},
+        {"cache_entries", n(cache.entries)},
+        {"cache_evictions", n(cache.evictions)},
+        {"requests", n(requests)},
+        {"fresh_evals", n(evaluations)},
+        {"warm_file_hits", n(warmFileHits)},
+        {"eval_seconds", evalSeconds},
+        {"experiments_per_s", experimentsPerSecond()},
+        {"batches", n(batches)},
+        {"batch_submitted", n(batchSubmissions)},
+        {"batch_deduplicated", n(batchDeduplicated)},
+    };
 }
 
 // ------------------------------------------------------------ EvalEngine
@@ -114,6 +137,12 @@ EvalEngine::EvalEngine(core::ModelFamily family, EngineOptions options)
       cache(options.cacheShards, options.cacheMaxEntriesPerShard),
       pool(options.threads)
 {
+    // Export this engine's aggregate stats through the registry; the
+    // heartbeat reporter and the metrics blobs pull them at snapshot
+    // time. The handle unregisters in ~EvalEngine before any sampled
+    // member dies.
+    obsSource = obs::MetricRegistry::instance().addSource(
+        "engine", [this] { return stats().samples(); });
 }
 
 size_t
@@ -198,6 +227,7 @@ EvalEngine::computeFresh(core::ModelFamily family,
                          const core::CoreParams &model, size_t instance,
                          size_t domain)
 {
+    RV_SPAN("engine.eval", static_cast<uint64_t>(instance));
     // A mapped warm file answers before any simulation runs. Its keys
     // carry the program fingerprint (not the bank-local id), mirroring
     // saveCache()/loadCache().
@@ -211,7 +241,14 @@ EvalEngine::computeFresh(core::ModelFamily family,
         }
     }
 
+    auto fresh_start = std::chrono::steady_clock::now();
     core::CoreStats run = replayRun(family, model, instance);
+    RV_HISTOGRAM_RECORD(
+        "engine.eval_ns",
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - fresh_start)
+                .count()));
     const SimCostFn &cost = domains[domain].fn;
     EvalValue value;
     value.simCpi = run.cpi();
@@ -305,6 +342,7 @@ persistDigest()
 size_t
 EvalEngine::saveCache(const std::string &path) const
 {
+    RV_SPAN("cache.save");
     // Translate the instance half of each key from the bank-local id
     // to the program's content fingerprint before writing, so the
     // file is valid for any future run that registers the same
@@ -330,6 +368,7 @@ EvalEngine::saveCache(const std::string &path) const
 size_t
 EvalEngine::loadCache(const std::string &path)
 {
+    RV_SPAN("cache.load");
     EvalCache from_disk(1);
     bool compatible = true;
     if (from_disk.load(path, persistDigest(), &compatible) == 0) {
@@ -360,6 +399,7 @@ EvalEngine::loadCache(const std::string &path)
 size_t
 EvalEngine::mapWarmFile(const std::string &path)
 {
+    RV_SPAN("cache.map");
     std::string error;
     std::shared_ptr<const MappedEvalFile> mapped =
         MappedEvalFile::open(path, persistDigest(), &error);
@@ -455,6 +495,7 @@ BatchEvaluator::collect()
             fresh.push_back(s);
     }
     if (!fresh.empty()) {
+        RV_SPAN("engine.batch", static_cast<uint64_t>(fresh.size()));
         // One wall-clock charge for the whole parallel wave, so
         // experimentsPerSecond() reports real throughput rather than
         // summed per-thread time.
@@ -468,6 +509,12 @@ BatchEvaluator::collect()
             slot.served = true;
         });
         engine.chargeWall(start);
+        RV_HISTOGRAM_RECORD(
+            "engine.batch_ns",
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()));
     }
     ++engine.batches;
     collected = true;

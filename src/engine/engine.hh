@@ -34,6 +34,7 @@
 
 #include "common/thread_pool.hh"
 #include "core/params.hh"
+#include "obs/metrics.hh"
 #include "core/stats.hh"
 #include "core/timing_model.hh"
 #include "engine/eval_cache.hh"
@@ -93,6 +94,10 @@ struct EngineStats
 
     /** JSON object (for the --json bench blobs). */
     std::string json() const;
+
+    /** Flat samples for the metrics registry (the engine registers a
+     *  pull source named "engine"; names match the json() keys). */
+    std::vector<obs::Sample> samples() const;
 };
 
 /**
@@ -375,6 +380,10 @@ class EvalEngine : public tuner::CostEvaluator
     std::atomic<uint64_t> batchSubmissions{0};
     std::atomic<uint64_t> batchDeduplicated{0};
     std::atomic<uint64_t> evalNanos{0};
+
+    /** Registry pull source exporting stats() (released before the
+     *  members it samples are destroyed -- keep it last). */
+    obs::MetricRegistry::SourceHandle obsSource;
 };
 
 /**

@@ -2,6 +2,8 @@
 
 #include "common/log.hh"
 #include "engine/fingerprint.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "vm/functional.hh"
 
 namespace raceval::engine
@@ -58,6 +60,7 @@ void
 TraceBank::record(Entry &entry)
 {
     std::call_once(entry.recordOnce, [&] {
+        RV_SPAN("bank.record");
         vm::FunctionalCore live(entry.program);
         auto trace = std::make_shared<const sift::SiftTrace>(
             sift::encodeTrace(entry.program, live));
@@ -70,6 +73,7 @@ TraceBank::record(Entry &entry)
             // Provisionally spilled; admission moves it to resident.
             ++counters.spilledTraces;
         }
+        RV_INSTANT("bank.spill", entry.trace->instCount());
         tryAdmit(entry);
     });
 }
@@ -100,15 +104,25 @@ TraceBank::tryAdmit(Entry &entry)
     auto packed = std::make_shared<const vm::PackedTrace>(
         vm::PackedTrace::build(entry.trace->program(), cursor));
 
-    std::lock_guard<std::mutex> lock(mutex);
-    counters.residentBytes += packed->packedBytes();
-    entry.packedTrace = std::move(packed);
-    ++counters.residentTraces;
-    --counters.spilledTraces;
-    // First-recording admission is not a re-admission: the trace never
-    // served a replay from its spilled form.
-    if (entry.servedSpilled)
-        ++counters.readmittedTraces;
+    bool readmitted;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        counters.residentBytes += packed->packedBytes();
+        entry.packedTrace = std::move(packed);
+        ++counters.residentTraces;
+        --counters.spilledTraces;
+        // First-recording admission is not a re-admission: the trace
+        // never served a replay from its spilled form.
+        readmitted = entry.servedSpilled;
+        if (readmitted)
+            ++counters.readmittedTraces;
+        RV_GAUGE_SET("bank.resident_bytes",
+                     static_cast<int64_t>(counters.residentBytes));
+    }
+    if (readmitted)
+        RV_INSTANT("bank.readmit", insts);
+    else
+        RV_INSTANT("bank.admit", insts);
 }
 
 std::unique_ptr<vm::TraceSource>

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 
 namespace raceval::tuner
@@ -70,6 +71,7 @@ SuccessiveHalvingStrategy::runBracket(std::vector<Candidate> candidates,
         // shape, so the engine path is identical to irace's).
         for (size_t t = seen; t < target; ++t) {
             size_t instance = order[t];
+            RV_SPAN("race.step", static_cast<uint64_t>(instance));
             std::vector<size_t> alive;
             uint64_t fresh = 0;
             for (size_t c = 0; c < candidates.size(); ++c) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 #include "stats/tests.hh"
 
@@ -93,6 +94,7 @@ IteratedRacer::race(std::vector<Candidate> candidates, Rng &rng,
 
     for (size_t t = 0; t < numInstances; ++t) {
         size_t instance = order[t];
+        RV_SPAN("race.step", static_cast<uint64_t>(instance));
 
         // The whole racing step is one batch: every live candidate on
         // this instance. Only pairs new to this race cost budget;
@@ -189,6 +191,7 @@ IteratedRacer::race(std::vector<Candidate> candidates, Rng &rng,
 RaceResult
 IteratedRacer::run()
 {
+    RV_SPAN("race.run");
     Rng rng(opts.seed);
     unsigned num_iterations = 2 + static_cast<unsigned>(
         std::log2(std::max<size_t>(2, space.size())));
@@ -197,6 +200,7 @@ IteratedRacer::run()
     RaceResult result;
 
     for (unsigned iter = 0; iter < num_iterations; ++iter) {
+        RV_SPAN("race.iteration", iter);
         if (experimentsUsed >= opts.maxExperiments)
             break;
 

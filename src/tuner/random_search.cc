@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 
 namespace raceval::tuner
@@ -70,6 +71,7 @@ RandomSearchStrategy::run()
     size_t active = candidates.size();
     for (size_t t = 0; t < numInstances; ++t) {
         size_t instance = order[t];
+        RV_SPAN("race.step", static_cast<uint64_t>(instance));
         uint64_t fresh = 0;
         for (size_t c = 0; c < active; ++c) {
             if (!charged.count(
