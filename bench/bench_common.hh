@@ -19,6 +19,7 @@
 #include "engine/engine.hh"
 #include "obs/heartbeat.hh"
 #include "obs/trace.hh"
+#include "scenario/scenario.hh"
 #include "tuner/strategy.hh"
 #include "ubench/ubench.hh"
 #include "validate/flow.hh"
@@ -55,6 +56,70 @@ strategyName()
 {
     static std::string name = tuner::defaultSearchStrategy;
     return name;
+}
+
+/** Target board selected with --target ("" = the driver's historical
+ *  default; see benchTarget()). */
+inline std::string &
+targetName()
+{
+    static std::string name;
+    return name;
+}
+
+/** True when --target was given explicitly; drivers whose default
+ *  behavior spans several boards (family_comparison) narrow to the
+ *  selected one. */
+inline bool &
+targetExplicit()
+{
+    static bool explicit_ = false;
+    return explicit_;
+}
+
+/**
+ * Resolve the board a driver should validate against: the --target
+ * selection when given, else @p fallback (the driver's pre-scenario
+ * default, so existing invocations keep their exact behavior).
+ */
+inline const scenario::TargetBoard &
+benchTarget(const char *fallback)
+{
+    return scenario::targetOrDie(
+        targetName().empty() ? fallback : targetName());
+}
+
+/** Workload suite selected with --suite ("" = the driver's default). */
+inline std::string &
+suiteName()
+{
+    static std::string name;
+    return name;
+}
+
+/**
+ * Resolve the workload suite a driver should tune over: the --suite
+ * selection when given, else @p fallback. Drivers that *race* their
+ * suite must reject held-out roles themselves (the engine enforces
+ * the contract too, but a CLI error beats a panic).
+ */
+inline const scenario::WorkloadSuite &
+benchSuite(const char *fallback)
+{
+    return scenario::suiteOrDie(
+        suiteName().empty() ? fallback : suiteName());
+}
+
+/** Validate and record a --suite argument (exits on unknown). */
+inline void
+setSuiteArg(const char *argv0, const std::string &name)
+{
+    if (!scenario::ScenarioRegistry::instance().findSuite(name)) {
+        std::fprintf(stderr, "%s: unknown workload suite '%s' "
+                     "(try --list)\n", argv0, name.c_str());
+        std::exit(2);
+    }
+    suiteName() = name;
 }
 
 /// @name --json result blobs
@@ -185,8 +250,12 @@ writeJson(const engine::EngineStats *engine_stats = nullptr)
 
 /**
  * `--list`: enumerate everything a driver can be pointed at -- the
- * registered timing-model families, the hardware target presets, the
- * micro-benchmark suite and the SPEC stand-in workloads.
+ * registered timing-model families, the search strategies, the
+ * validation target boards (--target), the workload suites with their
+ * hold-out roles, the micro-benchmark suite and the SPEC stand-in
+ * workloads. Target and suite rows come straight from the
+ * ScenarioRegistry, so a registered extension shows up in every driver
+ * without touching any of them.
  */
 inline void
 printList()
@@ -200,16 +269,26 @@ printList()
          tuner::SearchStrategyRegistry::instance().all())
         std::printf("  %-9s %s\n", info.name, info.description);
 
-    std::printf("\nhardware target presets (validation boards):\n");
-    std::printf("  %-12s hidden A53-class in-order board "
-                "(hw::secretA53)\n", "secret-a53");
-    std::printf("  %-12s hidden A72-class out-of-order board "
-                "(hw::secretA72)\n", "secret-a72");
-    std::printf("\npublic-information base models (racing seeds):\n");
-    std::printf("  %-12s %s\n", "public-a53",
-                core::publicInfoA53().name.c_str());
-    std::printf("  %-12s %s\n", "public-a72",
-                core::publicInfoA72().name.c_str());
+    std::printf("\nvalidation target boards (--target):\n");
+    for (const auto &board :
+         scenario::ScenarioRegistry::instance().targets()) {
+        std::string families;
+        for (core::ModelFamily family : board.families) {
+            if (!families.empty())
+                families += ",";
+            families += core::modelFamilyName(family);
+        }
+        std::printf("  %-14s %s [families: %s]\n", board.name,
+                    board.description, families.c_str());
+    }
+
+    std::printf("\nworkload suites:\n");
+    for (const auto &suite :
+         scenario::ScenarioRegistry::instance().workloadSuites()) {
+        std::printf("  %-14s %-9s %s\n", suite.name,
+                    scenario::workloadRoleName(suite.role),
+                    suite.description);
+    }
 
     std::printf("\nmicro-benchmarks (paper Table I):\n");
     for (const auto &info : ubench::all()) {
@@ -219,7 +298,8 @@ printList()
                         info.paperDynInsts));
     }
 
-    std::printf("\nSPEC CPU2017 stand-in workloads (paper Table II):\n");
+    std::printf("\nSPEC CPU2017 stand-in workloads (paper Table II, "
+                "held out):\n");
     for (const auto &info : workload::all()) {
         std::printf("  %-12s %10llu paper insts\n", info.name,
                     static_cast<unsigned long long>(
@@ -247,6 +327,19 @@ setStrategyArg(const char *argv0, const std::string &name)
     }
     strategyName() = name;
     strategyExplicit() = true;
+}
+
+/** Validate and record a --target argument (exits on unknown). */
+inline void
+setTargetArg(const char *argv0, const std::string &name)
+{
+    if (!scenario::ScenarioRegistry::instance().findTarget(name)) {
+        std::fprintf(stderr, "%s: unknown target board '%s' "
+                     "(try --list)\n", argv0, name.c_str());
+        std::exit(2);
+    }
+    targetName() = name;
+    targetExplicit() = true;
 }
 
 /** Shared preamble of both arg parsers: stamp the wall clock and
@@ -298,12 +391,13 @@ parseDriverArgs(int argc, char **argv, const char *what)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--smoke] [--list] [--json <path>] "
-                        "[--trace <path>] [--strategy <name>]"
+                        "[--trace <path>] [--strategy <name>] "
+                        "[--target <board>]"
                         "\n\n%s\n\n"
                         "  --smoke        reduced budgets/workloads for "
                         "CI smoke runs\n"
-                        "  --list         enumerate workloads, hw "
-                        "presets, model families and "
+                        "  --list         enumerate workloads, target "
+                        "boards, model families and "
                         "search strategies\n"
                         "  --json <path>  write a machine-readable "
                         "result blob\n"
@@ -311,6 +405,10 @@ parseDriverArgs(int argc, char **argv, const char *what)
                         "JSON (chrome://tracing, Perfetto)\n"
                         "  --strategy <name>  search strategy for the "
                         "tuning step (default irace)\n"
+                        "  --target <board>   validation target board "
+                        "(default per driver; see --list)\n"
+                        "  --suite <name>     workload suite to tune "
+                        "over (default per driver; see --list)\n"
                         "  RACEVAL_BUDGET=<n> overrides the racing "
                         "budget\n"
                         "  RACEVAL_HEARTBEAT=<s> periodic metrics "
@@ -345,6 +443,20 @@ parseDriverArgs(int argc, char **argv, const char *what)
                 std::exit(2);
             }
             setStrategyArg(argv[0], argv[++i]);
+        } else if (arg == "--target") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --target needs a board\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            setTargetArg(argv[0], argv[++i]);
+        } else if (arg == "--suite") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --suite needs a name\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            setSuiteArg(argv[0], argv[++i]);
         } else {
             std::fprintf(stderr, "%s: unknown argument '%s' "
                          "(try --help)\n", argv[0], arg.c_str());
@@ -371,7 +483,7 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
         if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--smoke] [--list] [--json <path>] "
                         "[--trace <path>] [--strategy <name>] "
-                        "[--benchmark_* flags]"
+                        "[--target <board>] [--benchmark_* flags]"
                         "\n\n%s\n", argv[0], what);
             std::exit(0);
         } else if (arg == "--list") {
@@ -401,6 +513,13 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
                 std::exit(2);
             }
             setStrategyArg(argv[0], argv[++i]);
+        } else if (arg == "--target") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --target needs a board\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            setTargetArg(argv[0], argv[++i]);
         } else {
             argv[out++] = argv[i];
         }

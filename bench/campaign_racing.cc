@@ -151,6 +151,10 @@ main(int argc, char **argv)
         task.instances = *subset.ids;
         task.family = family;
         task.strategy = strategy;
+        // The board every task here validates against. cortex-a53 is a
+        // zero-salt pre-scenario target, so this stamps the task with
+        // its board without invalidating pre-scenario checkpoints.
+        task.target = "cortex-a53";
         task.racer.maxExperiments = bench::budgetFromEnv(1200);
         task.racer.seed = 20190324 + seed;
         task.initialCandidates = {space.encode(base)};

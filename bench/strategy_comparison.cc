@@ -2,10 +2,19 @@
  * @file
  * The paper's premise, made measurable (Fig. 2 step 4): iterated
  * racing must beat unguided search at fitting simulator parameters to
- * hardware. This driver races the SAME A53 tuning task (same board,
- * same raced space, same public-information seed, same instance
- * suite, same experiment budget) under every registered search
- * strategy and reports tuned error + experiments/s per strategy.
+ * hardware. This driver races the SAME tuning task (same board, same
+ * raced space, same public-information seed, same instance suite, same
+ * experiment budget) under every registered search strategy and
+ * reports tuned error + experiments/s per strategy.
+ *
+ * The task defaults to the paper's: the A53-class board over the
+ * Table I micro-benchmark suite. --target <board> retargets it (e.g.
+ * cortex-m-class, racing that board's clamped space with its default
+ * family), and --suite <name> swaps the workload family (e.g. the
+ * firmware suite's long interrupt-dispatch / timer-wheel / list-walk
+ * traces). Held-out suites are refused: by the paper's contract those
+ * programs are measured and reported, never tuned against -- the
+ * engine would panic a few frames later anyway.
  *
  * All strategies evaluate through one shared evaluation engine:
  * earlier strategies warm the cache for later ones, which makes them
@@ -24,11 +33,13 @@
 #include "bench/bench_common.hh"
 #include "common/log.hh"
 #include "engine/engine.hh"
+#include "scenario/scenario.hh"
 #include "stats/descriptive.hh"
 #include "tuner/strategy.hh"
 #include "ubench/ubench.hh"
 #include "validate/oracle.hh"
 #include "validate/sniper_space.hh"
+#include "workload/firmware.hh"
 
 using namespace raceval;
 
@@ -36,33 +47,57 @@ int
 main(int argc, char **argv)
 {
     bench::parseDriverArgs(argc, argv,
-                           "Strategy comparison: the same A53 tuning "
-                           "task under every registered search "
-                           "strategy at equal budget.");
+                           "Strategy comparison: the same tuning task "
+                           "(one board, one workload suite) under "
+                           "every registered search strategy at equal "
+                           "budget.");
     setQuiet(true);
-    bench::header("Search-strategy comparison: one A53 task, equal "
-                  "budget per strategy");
 
-    // The shared task: tune the in-order public-info model against
-    // the hidden A53 board over the micro-benchmark suite. Under
-    // --smoke a strided subset keeps the instance count low enough
-    // that the tiny smoke budget still buys every strategy a
-    // meaningful field of candidates.
-    validate::SniperParamSpace sspace(core::ModelFamily::InOrder);
-    core::CoreParams base = core::publicInfoA53();
+    const scenario::TargetBoard &board = bench::benchTarget("cortex-a53");
+    const scenario::WorkloadSuite &suite = bench::benchSuite("ubench");
+    if (suite.role == scenario::WorkloadRole::HeldOut) {
+        std::fprintf(stderr, "%s: suite '%s' is held out -- measured "
+                     "and reported, never tuned against (--suite "
+                     "ubench or firmware)\n", argv[0], suite.name);
+        return 2;
+    }
+    bench::header(strprintf("Search-strategy comparison: one %s/%s "
+                            "task, equal budget per strategy",
+                            board.name, suite.name));
+
+    // The shared task: tune the board's public-info model against its
+    // hidden ground truth over the selected suite, racing the board's
+    // clamped space with its default family. Under --smoke a strided
+    // subset (ubench) and shrunken instruction counts keep the tiny
+    // smoke budget meaningful.
+    core::ModelFamily family = board.defaultFamily;
+    validate::SniperParamSpace sspace(family, board.clamp);
+    core::CoreParams base = board.publicInfo();
     auto oracle = std::make_unique<validate::HardwareOracle>(
-        hw::makeMachine(hw::secretA53(), false));
+        hw::makeMachine(board.secret(), board.outOfOrderHw));
 
-    engine::EvalEngine eng(core::ModelFamily::InOrder);
+    engine::EvalEngine eng(family);
     std::vector<isa::Program> programs;
-    size_t stride = bench::smokeScaled<size_t>(1, 4);
-    const auto &all_ubench = ubench::all();
-    for (size_t i = 0; i < all_ubench.size(); i += stride) {
-        uint64_t insts = ubench::scaledCount(all_ubench[i].paperDynInsts);
-        if (bench::smokeMode())
-            insts /= 16;
-        programs.push_back(all_ubench[i].builder(insts, true));
-        eng.addInstance(programs.back());
+    if (suite.role == scenario::WorkloadRole::Firmware) {
+        for (const auto &info : workload::firmware::all()) {
+            uint64_t insts = ubench::scaledCount(
+                info.dynInsts, workload::firmware::traceCap);
+            if (bench::smokeMode())
+                insts /= 16;
+            programs.push_back(info.builder(insts));
+            eng.addInstance(programs.back());
+        }
+    } else {
+        size_t stride = bench::smokeScaled<size_t>(1, 4);
+        const auto &all_ubench = ubench::all();
+        for (size_t i = 0; i < all_ubench.size(); i += stride) {
+            uint64_t insts =
+                ubench::scaledCount(all_ubench[i].paperDynInsts);
+            if (bench::smokeMode())
+                insts /= 16;
+            programs.push_back(all_ubench[i].builder(insts, true));
+            eng.addInstance(programs.back());
+        }
     }
     // Pre-measure the board outside the timed region, exactly like
     // the validation flow does before racing.
@@ -71,23 +106,31 @@ main(int argc, char **argv)
     eng.setModelFn([&](const tuner::Configuration &config) {
         return sspace.apply(config, base);
     });
+    // Same tag rule as the flow: the board's salt keeps boards apart
+    // in any shared cache, and the zero-salt A53 default reproduces
+    // the pre-scenario tag exactly.
     eng.setCostFn(
         [&](const core::CoreStats &sim, size_t instance) {
             double hw_cpi = oracle->measure(programs[instance]).cpi();
             return hw_cpi > 0.0
                 ? std::abs(sim.cpi() - hw_cpi) / hw_cpi : 0.0;
         },
-        /*cost_tag=*/1);
+        /*cost_tag=*/1 ^ board.fingerprintSalt);
 
     tuner::RacerOptions opts;
     // The generic 150-experiment smoke budget is too small for the
     // racing-beats-sampling shape to emerge (irace spends its first
     // ~300 experiments learning the elite distribution); 600 on the
-    // strided suite keeps the smoke run under a second AND lands on
-    // the paper's side of the comparison.
+    // strided ubench suite keeps the smoke run under a second AND
+    // lands on the paper's side of the comparison. The firmware suite
+    // has only 3 instances, so each racing iteration charges far
+    // fewer experiments and irace needs ~1200 to converge past the
+    // unguided baselines.
+    uint64_t smoke_budget =
+        suite.role == scenario::WorkloadRole::Firmware ? 1200 : 600;
     opts.maxExperiments = std::getenv("RACEVAL_BUDGET")
         ? bench::budgetFromEnv()
-        : bench::smokeScaled<uint64_t>(2400, 600);
+        : bench::smokeScaled<uint64_t>(2400, smoke_budget);
     opts.seed = 20190324;
 
     // The seed model's own mean CPI error, for reference (reporting,

@@ -86,16 +86,17 @@ MemoryHierarchy::runPrefetcher(Prefetcher *prefetcher, Cache &level1,
         if (level1.probe(pf_line))
             continue;
         // Determine the fill source for timing/bandwidth accounting.
-        bool in_l2 = l2Cache.probe(pf_line);
+        bool in_l2 = hparams.l2Present && l2Cache.probe(pf_line);
         uint64_t ready = now + (in_l2 ? hparams.l2.latency
                                       : hparams.dram.latency);
         if (!in_l2) {
             if (hparams.prefetchConsumesBandwidth)
                 dramModel.writeback(now); // occupies the channel
-            l2Cache.fill(pf_line, true, false);
+            if (hparams.l2Present)
+                l2Cache.fill(pf_line, true, false);
         }
         Cache::FillResult fill = level1.fill(pf_line, true, false);
-        if (fill.evictedDirty)
+        if (fill.evictedDirty && hparams.l2Present)
             l2Cache.writebackInto(fill.evictedLine);
         if (hparams.timedPrefetch)
             inFlight[pf_line] = ready;
@@ -123,6 +124,20 @@ MemoryHierarchy::accessMiss(uint64_t pc, uint64_t line, bool is_store,
                             uint64_t now, AccessResult result,
                             Cache &level1)
 {
+    if (!hparams.l2Present) {
+        // L1 miss -> flat memory (TCM-like microcontroller hierarchy):
+        // no L2 lookup latency, no L2 fill, dirty evictions go straight
+        // back over the memory channel.
+        result.latency += dramModel.access(now);
+        result.servedBy = ServedBy::Memory;
+        Cache::FillResult fill = level1.fill(line, false, is_store);
+        if (fill.evictedDirty)
+            dramModel.writeback(now);
+        if (inFlight.size() > 4096)
+            inFlight.clear();
+        return result;
+    }
+
     // L1 miss -> L2.
     result.latency += hparams.l2.latency
         + (hparams.l2.serialTagData ? 1 : 0);

@@ -64,8 +64,12 @@ HierarchyParams::validate() const
 {
     l1i.validate();
     l1d.validate();
-    l2.validate();
-    if (l2.lineBytes != l1d.lineBytes || l1i.lineBytes != l1d.lineBytes)
+    if (l2Present) {
+        l2.validate();
+        if (l2.lineBytes != l1d.lineBytes)
+            fatal("hierarchy: all levels must share one line size");
+    }
+    if (l1i.lineBytes != l1d.lineBytes)
         fatal("hierarchy: all levels must share one line size");
     if (dram.latency == 0)
         fatal("hierarchy: zero dram latency");

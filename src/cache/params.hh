@@ -96,6 +96,15 @@ struct HierarchyParams
     DramParams dram;
 
     /**
+     * Whether the hierarchy has an L2 at all. Microcontroller-class
+     * boards (Cortex-M) run L1 + flat TCM-like memory: misses skip
+     * straight to dram.latency and `l2` is ignored (kept so default
+     * construction and fingerprints of L2-bearing configs are
+     * unchanged).
+     */
+    bool l2Present = true;
+
+    /**
      * Model prefetch timeliness: a prefetched line is only usable once
      * its fill would actually have arrived. The abstract Sniper-like
      * models leave this off (idealized prefetch), the detailed hardware

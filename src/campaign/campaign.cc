@@ -11,6 +11,7 @@
 #include "engine/fingerprint.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "scenario/scenario.hh"
 
 namespace raceval::campaign
 {
@@ -98,6 +99,16 @@ taskFingerprint(const engine::EvalEngine &engine,
         ? tuner::defaultSearchStrategy : task.strategy;
     if (strategy_name != tuner::defaultSearchStrategy)
         fp.mix(tuner::searchStrategySalt(strategy_name));
+    // The target board, by its fingerprint salt, under the same
+    // asymmetry: the pre-scenario boards carry salt zero and mix
+    // nothing, so checkpoints written before targets existed restore
+    // for exactly the boards that were implicit back then.
+    if (!task.target.empty()) {
+        uint64_t target_salt =
+            scenario::targetOrDie(task.target).fingerprintSalt;
+        if (target_salt != 0)
+            fp.mix(target_salt);
+    }
 
     const tuner::RacerOptions &r = task.racer;
     fp.mix(r.maxExperiments)
@@ -218,6 +229,11 @@ CampaignRunner::addTask(CampaignTask task)
                          task.strategy) != nullptr,
               "campaign task '%s': unknown search strategy '%s'",
               task.name.c_str(), task.strategy.c_str());
+    RV_ASSERT(task.target.empty()
+                  || scenario::ScenarioRegistry::instance().findTarget(
+                         task.target) != nullptr,
+              "campaign task '%s': unknown target board '%s'",
+              task.name.c_str(), task.target.c_str());
     RV_ASSERT(task.racer.maxExperiments > 0,
               "campaign task '%s': zero experiment budget",
               task.name.c_str());

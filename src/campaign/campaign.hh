@@ -76,6 +76,13 @@ struct CampaignTask
      *  irace (explicit or defaulted) contributes nothing, keeping
      *  pre-strategy checkpoints valid. */
     std::string strategy;
+    /** Registered target board this task validates against ("" = not
+     *  target-scoped). Covered by the checkpoint task fingerprint via
+     *  the board's fingerprint salt, with the same asymmetry as the
+     *  strategy: the zero-salt pre-scenario boards (cortex-a53 /
+     *  cortex-a72, explicit or via "") mix nothing, so pre-scenario
+     *  checkpoints stay valid for exactly those tasks. */
+    std::string target;
     /** Racing knobs: budget, seed replicate, elimination params. */
     tuner::RacerOptions racer;
     /** Seed configurations (e.g. the target's public-info model). */

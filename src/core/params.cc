@@ -228,4 +228,49 @@ publicInfoA72()
     return p;
 }
 
+CoreParams
+publicInfoCortexM()
+{
+    CoreParams p;
+    p.name = "cortex-m-public";
+    // Datasheet facts: single-issue in-order, short pipeline, 16 KiB
+    // L1s with 32-byte lines, no L2, flat TCM-like memory.
+    p.fetchWidth = 1;
+    p.dispatchWidth = 1;
+    p.commitWidth = 1;
+    p.numIntAlu = 1;
+    p.numIntMul = 1;
+    p.numFpSimd = 1;
+    p.numLoadPorts = 1;
+    p.numStorePorts = 1;
+    p.numBranch = 1;
+    // Guesses below here (the specification gap the tuner closes).
+    p.mispredictPenalty = 2;          // guess from pipeline depth
+    p.storeBufferEntries = 1;         // undisclosed
+    p.forwarding = true;
+    p.forwardLatency = 2;             // undisclosed
+    p.latency = defaultLatencies();   // generic textbook numbers
+    p.mem.l1i.name = "l1i";
+    p.mem.l1i.sizeBytes = 16 * KiB;
+    p.mem.l1i.assoc = 2;
+    p.mem.l1i.lineBytes = 32;
+    p.mem.l1i.latency = 1;
+    p.mem.l1d.name = "l1d";
+    p.mem.l1d.sizeBytes = 16 * KiB;
+    p.mem.l1d.assoc = 4;
+    p.mem.l1d.lineBytes = 32;
+    p.mem.l1d.latency = 2;            // typical lmbench estimate
+    p.mem.l1d.mshrs = 1;              // undisclosed: conservative guess
+    p.mem.l2Present = false;
+    p.mem.dram.latency = 12;          // flash wait-state guess
+    p.mem.dram.cyclesPerLine = 2;
+    p.mem.timedPrefetch = true;
+    p.bp.kind = branch::PredictorKind::NotTaken; // undisclosed
+    p.bp.tableBits = 6;
+    p.bp.btbBits = 4;
+    p.bp.rasEntries = 2;
+    p.bp.indirect = false;
+    return p;
+}
+
 } // namespace raceval::core

@@ -118,6 +118,13 @@ struct CoreParams
 CoreParams publicInfoA53();
 CoreParams publicInfoA72();
 
+/**
+ * Public-information baseline for the Cortex-M-class board: datasheet
+ * facts (single-issue, short pipeline, small L1s, no L2, flat TCM-like
+ * memory) plus guesses for everything the datasheet leaves out.
+ */
+CoreParams publicInfoCortexM();
+
 } // namespace raceval::core
 
 #endif // RACEVAL_CORE_PARAMS_HH

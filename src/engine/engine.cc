@@ -266,9 +266,22 @@ EvalEngine::chargeWall(std::chrono::steady_clock::time_point start)
             .count());
 }
 
+void
+EvalEngine::markHeldOut(size_t instance)
+{
+    RV_ASSERT(instance < bank.size(),
+              "engine: markHeldOut on unknown instance %zu", instance);
+    if (heldOutFlags.size() < bank.size())
+        heldOutFlags.resize(bank.size(), false);
+    heldOutFlags[instance] = true;
+}
+
 double
 EvalEngine::evaluate(const tuner::Configuration &config, size_t instance)
 {
+    RV_ASSERT(!isHeldOut(instance),
+              "engine: racing experiment against held-out instance %zu "
+              "(hold-out workloads are report-only)", instance);
     return evaluateModel(materialize(config), instance).cost;
 }
 
@@ -440,6 +453,9 @@ BatchEvaluator::BatchEvaluator(EvalEngine &engine_) : engine(engine_) {}
 BatchEvaluator::Ticket
 BatchEvaluator::submit(const tuner::Configuration &config, size_t instance)
 {
+    RV_ASSERT(!engine.isHeldOut(instance),
+              "engine: racing experiment against held-out instance %zu "
+              "(hold-out workloads are report-only)", instance);
     return submitModel(engine.materialize(config), instance);
 }
 

@@ -160,6 +160,25 @@ class EvalEngine : public tuner::CostEvaluator
     /** @return registered instance count. */
     size_t numInstances() const { return bank.size(); }
 
+    /**
+     * Mark an instance as held out (the paper's hold-out contract:
+     * Table II SPEC stand-ins are measured and reported but never
+     * tuned against). Any racing experiment -- a Configuration-keyed
+     * evaluation, the path every search strategy charges its budget
+     * through -- against a held-out instance panics; raw model
+     * evaluations (evaluateModel / submitModel) stay allowed, they
+     * are reporting. Mark before evaluation starts; marking is not
+     * synchronized against concurrent evaluation.
+     */
+    void markHeldOut(size_t instance);
+
+    /** @return true when the instance was marked held out. */
+    bool
+    isHeldOut(size_t instance) const
+    {
+        return instance < heldOutFlags.size() && heldOutFlags[instance];
+    }
+
     /** @return the default model family (construction-time choice). */
     core::ModelFamily modelFamily() const { return fam; }
 
@@ -366,6 +385,9 @@ class EvalEngine : public tuner::CostEvaluator
                        std::vector<std::pair<uint64_t, EvalValue>>>
         pendingWarmStart;
     bool warmRefused = false;
+
+    /** Instances marked held out (never raced); see markHeldOut(). */
+    std::vector<bool> heldOutFlags;
 
     /** Read-only mapped warm file (see mapWarmFile). */
     std::shared_ptr<const MappedEvalFile> warm;

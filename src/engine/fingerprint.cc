@@ -71,6 +71,11 @@ fingerprint(const core::CoreParams &p)
         .mix(uint64_t{p.mem.dram.cyclesPerLine})
         .mix(p.mem.timedPrefetch)
         .mix(p.mem.prefetchConsumesBandwidth);
+    // Mixed only when absent so every L2-bearing config (all of them
+    // before the scenario layer existed) keeps its fingerprint, and
+    // with it every old checkpoint and warm cache file.
+    if (!p.mem.l2Present)
+        fp.str("no-l2");
     fp.mix(static_cast<uint64_t>(p.bp.kind))
         .mix(uint64_t{p.bp.tableBits})
         .mix(uint64_t{p.bp.historyBits})

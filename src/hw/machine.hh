@@ -108,6 +108,13 @@ HwParams secretA53();
 /** The hidden ground-truth Cortex-A72 stand-in configuration. */
 HwParams secretA72();
 
+/**
+ * The hidden ground-truth Cortex-M-class stand-in: single-issue
+ * in-order, short pipeline, no L2 (TCM-like flat memory), tiny BTB,
+ * no MMU (no page walks, no zero-page trick).
+ */
+HwParams secretCortexM();
+
 } // namespace raceval::hw
 
 #endif // RACEVAL_HW_MACHINE_HH

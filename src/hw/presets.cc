@@ -184,4 +184,77 @@ secretA72()
     return hw;
 }
 
+HwParams
+secretCortexM()
+{
+    HwParams hw;
+    CoreParams &p = hw.core;
+    p.name = "cortex-m-secret";
+    // Datasheet facts: single-issue in-order, short pipeline, small
+    // L1s backed by flat TCM-like memory (no L2, no MMU).
+    p.fetchWidth = 1;
+    p.dispatchWidth = 1;
+    p.commitWidth = 1;
+    p.numIntAlu = 1;
+    p.numIntMul = 1;
+    p.numFpSimd = 1;
+    p.numLoadPorts = 1;
+    p.numStorePorts = 1;
+    p.numBranch = 1;
+
+    // Undisclosed truth the tuner must recover: a 3-stage-class flush
+    // penalty, a tiny store buffer, fast iterative divide.
+    p.mispredictPenalty = 3;
+    p.takenBranchBubble = 1;
+    p.storeBufferEntries = 2;
+    p.forwarding = true;
+    p.forwardLatency = 1;
+    auto &lat = p.latency;
+    lat[static_cast<size_t>(isa::OpClass::IntMul)] = 2;
+    lat[static_cast<size_t>(isa::OpClass::IntDiv)] = 6;
+    lat[static_cast<size_t>(isa::OpClass::FpAdd)] = 3;
+    lat[static_cast<size_t>(isa::OpClass::FpMul)] = 3;
+    lat[static_cast<size_t>(isa::OpClass::FpDiv)] = 14;
+    lat[static_cast<size_t>(isa::OpClass::FpSqrt)] = 14;
+    lat[static_cast<size_t>(isa::OpClass::FpCvt)] = 2;
+    lat[static_cast<size_t>(isa::OpClass::FpMov)] = 1;
+    lat[static_cast<size_t>(isa::OpClass::SimdAdd)] = 3;
+    lat[static_cast<size_t>(isa::OpClass::SimdMul)] = 4;
+
+    // Memory: small L1s over flat single-cycle-class SRAM. 32-byte
+    // lines (M7-style), no L2 level at all.
+    p.mem.l1i.name = "l1i";
+    p.mem.l1i.sizeBytes = 16 * KiB;
+    p.mem.l1i.assoc = 2;
+    p.mem.l1i.lineBytes = 32;
+    p.mem.l1i.latency = 1;
+    p.mem.l1d.name = "l1d";
+    p.mem.l1d.sizeBytes = 16 * KiB;
+    p.mem.l1d.assoc = 4;
+    p.mem.l1d.lineBytes = 32;
+    p.mem.l1d.latency = 2;
+    p.mem.l1d.mshrs = 2;
+    p.mem.l1d.repl = ReplKind::Random; // M-class pseudo-random
+    p.mem.l2Present = false;
+    p.mem.dram.latency = 9;       // wait-stated SRAM, not DDR
+    p.mem.dram.cyclesPerLine = 2;
+
+    // Branch unit: small bimodal with a tiny BTB, no indirect
+    // predictor, shallow RAS.
+    p.bp.kind = PredictorKind::Bimodal;
+    p.bp.tableBits = 8;
+    p.bp.historyBits = 4;
+    p.bp.btbBits = 5;
+    p.bp.rasEntries = 4;
+    p.bp.indirect = false;
+
+    // Hardware-only effects: no MMU, so no page walks and no OS zero
+    // page; a quiesced microcontroller measures very cleanly.
+    hw.zeroPageReads = false;
+    hw.pageWalkPenalty = 0;
+    hw.partialForwardPenalty = 4;
+    hw.noiseStdDev = 0.006;
+    return hw;
+}
+
 } // namespace raceval::hw

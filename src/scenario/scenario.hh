@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The scenario registry: one declarative seam between "a validation
+ * target" and everything that consumes one.
+ *
+ * The paper validates against exactly two boards (Cortex-A53/A72) and
+ * two program suites (Table I ubenches for tuning, Table II SPEC
+ * stand-ins held out), and before this layer existed those four names
+ * were hardwired through the flow, the raced-space bindings, the
+ * campaign and every bench driver. A scenario is the pairing the paper
+ * treats as implicit: a TargetBoard (hidden ground truth + public-info
+ * baseline + the model families allowed to claim they model it) and a
+ * WorkloadSuite (a named program family with a role: `tuning` programs
+ * may be raced, `held-out` programs may only be measured and reported,
+ * `firmware` is the microcontroller-shaped family). Drivers resolve
+ * both by name -- the same move core::TimingModelRegistry made for
+ * model families and tuner::SearchStrategyRegistry made for search
+ * strategies.
+ */
+
+#ifndef RACEVAL_SCENARIO_SCENARIO_HH
+#define RACEVAL_SCENARIO_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "core/timing_model.hh"
+#include "hw/machine.hh"
+#include "isa/program.hh"
+
+namespace raceval::scenario
+{
+
+/**
+ * Per-target clamping of the raced parameter space, consumed by
+ * validate::SniperParamSpace. A default-constructed clamp reproduces
+ * the paper's A-class space *exactly* -- the binding table's
+ * declaration order is raced-trajectory ABI, and the A53/A72 fig4/fig5
+ * results must stay bit-identical.
+ */
+struct SpaceClamp
+{
+    /** False drops every l2_* knob (the board has no L2 to race). */
+    bool hasL2 = true;
+    /// @name Level overrides (empty = keep the default level list)
+    /// @{
+    std::vector<int64_t> mispredictPenaltyLevels; //!< short pipelines
+    std::vector<int64_t> btbBitsLevels;           //!< small BTBs
+    std::vector<int64_t> dramLatencyLevels;       //!< TCM vs DDR
+    std::vector<int64_t> dramCyclesPerLineLevels;
+    /// @}
+};
+
+/**
+ * One validation target: everything the flow needs to race a model
+ * against a board, minus any A53/A72 assumption.
+ */
+struct TargetBoard
+{
+    const char *name = "";        //!< stable CLI/report tag
+    const char *description = ""; //!< one-line --list blurb
+    /** Which detailed hardware machine measures the ground truth. */
+    bool outOfOrderHw = false;
+    /** Family drivers pick when the user names only the target. */
+    core::ModelFamily defaultFamily = core::ModelFamily::InOrder;
+    /** Model families allowed to validate against this board. */
+    std::vector<core::ModelFamily> families;
+    /**
+     * Cache-key / checkpoint salt for this target. The pre-scenario
+     * A53/A72 targets deliberately use salt 0 so that every
+     * checkpoint, warm EvalCache file and raced trajectory recorded
+     * before this layer existed stays valid (the same back-compat rule
+     * the default search strategy follows). Every target added since
+     * must carry a distinct nonzero salt, stable across versions --
+     * it is what keeps a shared warm cache from aliasing two boards
+     * that happen to share a model family.
+     */
+    uint64_t fingerprintSalt = 0;
+    /** Hidden ground truth; measured, never read (black-box rule). */
+    hw::HwParams (*secret)() = nullptr;
+    /** Steps #1-#3 public-information baseline. */
+    core::CoreParams (*publicInfo)() = nullptr;
+    /** Raced-space clamping for this board's hardware class. */
+    SpaceClamp clamp;
+
+    /** @return true when @p family may validate against this board. */
+    bool allows(core::ModelFamily family) const;
+};
+
+/** What a workload suite is for (the paper's hold-out contract). */
+enum class WorkloadRole : uint8_t
+{
+    Tuning,  //!< raced during step #4 (Table I ubenches)
+    HeldOut, //!< measured + reported only, never raced (Table II)
+    Firmware //!< microcontroller-shaped long traces (tunable)
+};
+
+/** @return stable display name of a role. */
+const char *workloadRoleName(WorkloadRole role);
+
+/** One named program family with its hold-out role. */
+struct WorkloadSuite
+{
+    const char *name = "";        //!< stable CLI tag
+    const char *description = "";
+    WorkloadRole role = WorkloadRole::Tuning;
+    size_t (*count)() = nullptr;
+    const char *(*nameAt)(size_t index) = nullptr;
+    isa::Program (*buildAt)(size_t index) = nullptr;
+};
+
+/**
+ * Declaration-ordered registry of targets and workload suites. The
+ * built-in scenarios (cortex-a53, cortex-a72, cortex-m-class; ubench,
+ * spec2017, firmware) are pre-registered; registerTarget() /
+ * registerSuite() are the extension points.
+ */
+class ScenarioRegistry
+{
+  public:
+    /** @return the process-wide registry. */
+    static ScenarioRegistry &instance();
+
+    /** @return the target named @p name, or nullptr when unknown. */
+    const TargetBoard *findTarget(const std::string &name) const;
+
+    /** @return all registered targets, declaration order. */
+    const std::vector<TargetBoard> &targets() const { return boards; }
+
+    /** Register a target (fatal on duplicate name, or on a duplicate
+     *  or zero salt -- only the two pre-scenario boards are grand-
+     *  fathered at salt 0). */
+    void registerTarget(TargetBoard board);
+
+    /** @return the suite named @p name, or nullptr when unknown. */
+    const WorkloadSuite *findSuite(const std::string &name) const;
+
+    /** @return all registered suites, declaration order. */
+    const std::vector<WorkloadSuite> &workloadSuites() const
+    {
+        return suites;
+    }
+
+    /** Register a workload suite (fatal on duplicate name). */
+    void registerSuite(WorkloadSuite suite);
+
+  private:
+    ScenarioRegistry();
+    std::vector<TargetBoard> boards;
+    std::vector<WorkloadSuite> suites;
+};
+
+/** @return a registered target; fatal with the known names on miss. */
+const TargetBoard &targetOrDie(const std::string &name);
+
+/** @return a registered suite; fatal with the known names on miss. */
+const WorkloadSuite &suiteOrDie(const std::string &name);
+
+/** Stable default target of a model family (the pre-scenario mapping:
+ *  OoO validated the A72-class board, everything else the A53). */
+const TargetBoard &defaultTargetFor(core::ModelFamily family);
+
+} // namespace raceval::scenario
+
+#endif // RACEVAL_SCENARIO_SCENARIO_HH

@@ -22,10 +22,10 @@ categoryName(Category cat)
 }
 
 uint64_t
-scaledCount(uint64_t paper_count)
+scaledCount(uint64_t paper_count, uint64_t cap)
 {
     uint64_t scaled = paper_count;
-    while (scaled > 260'000)
+    while (scaled > cap)
         scaled /= 2;
     return scaled;
 }

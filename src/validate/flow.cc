@@ -13,19 +13,28 @@ namespace raceval::validate
 
 ValidationFlow::ValidationFlow(core::ModelFamily family,
                                FlowOptions options)
-    : fam(family), opts(options), sniperSpace(family)
+    : ValidationFlow(scenario::defaultTargetFor(family), family,
+                     std::move(options))
+{
+}
+
+ValidationFlow::ValidationFlow(const scenario::TargetBoard &target,
+                               core::ModelFamily family,
+                               FlowOptions options)
+    : fam(family), opts(options), targetBoard(&target),
+      sniperSpace(family, target.clamp)
 {
     RV_ASSERT(tuner::SearchStrategyRegistry::instance().find(
                   opts.strategy) != nullptr,
               "flow: unknown search strategy '%s'",
               opts.strategy.c_str());
-    // The OoO family targets the A72-class board; the in-order and
-    // interval families are alternative models of the same in-order
-    // A53-class hardware.
-    bool ooo_board = fam == core::ModelFamily::Ooo;
+    RV_ASSERT(target.allows(fam),
+              "flow: family '%s' is not whitelisted for target '%s'",
+              core::modelFamilyName(fam), target.name);
+    // The board is the target entry's hidden ground truth; the flow
+    // only ever measures it (black-box rule).
     hwOracle = std::make_unique<HardwareOracle>(
-        hw::makeMachine(ooo_board ? hw::secretA72() : hw::secretA53(),
-                        ooo_board));
+        hw::makeMachine(target.secret(), target.outOfOrderHw));
 
     engine::EngineOptions engine_opts;
     engine_opts.threads = opts.threads;
@@ -42,7 +51,9 @@ ValidationFlow::ValidationFlow(core::ModelFamily family,
 
     // The racing objective: CPI error vs the board, optionally with
     // the branch-misprediction-rate term of step #5. The cost tag
-    // keeps the two metrics apart in the shared EvalCache.
+    // keeps the two metrics apart in the shared EvalCache; the
+    // target's salt keeps *boards* apart (zero for the pre-scenario
+    // A53/A72 targets, so their warm cache files stay valid).
     CostKind cost_kind = opts.costKind;
     evalEngine->setCostFn(
         [this, cost_kind](const core::CoreStats &sim, size_t instance) {
@@ -65,7 +76,8 @@ ValidationFlow::ValidationFlow(core::ModelFamily family,
                 / std::max(0.005, hw_rate);
             return cpi_err + 0.5 * rate_err;
         },
-        static_cast<uint64_t>(cost_kind) + 1);
+        (static_cast<uint64_t>(cost_kind) + 1)
+            ^ target.fingerprintSalt);
 
     if (!opts.evalCachePath.empty()) {
         size_t loaded = evalEngine->loadCache(opts.evalCachePath);
@@ -189,13 +201,18 @@ ValidationFlow::run()
     FlowReport report;
 
     // Steps #1 + #3: public information and best-effort guesses.
-    core::CoreParams base = fam == core::ModelFamily::Ooo
-        ? core::publicInfoA72() : core::publicInfoA53();
+    core::CoreParams base = targetBoard->publicInfo();
 
-    // Step #2: lmbench-style latency probing on the board.
+    // Step #2: lmbench-style latency probing on the board. The second
+    // probe chases a working set far beyond L1; on an L2-bearing board
+    // that is the L2 latency, on a flat-memory board it is the memory
+    // latency itself.
     report.latencies = probeLatencies(hwOracle->board());
     base.mem.l1d.latency = report.latencies.l1d;
-    base.mem.l2.latency = report.latencies.l2;
+    if (base.mem.l2Present)
+        base.mem.l2.latency = report.latencies.l2;
+    else
+        base.mem.dram.latency = report.latencies.l2;
     if (opts.verbose) {
         inform("step #2: probed latencies l1d=%u l2=%u",
                report.latencies.l1d, report.latencies.l2);

@@ -26,6 +26,7 @@
 
 #include "core/params.hh"
 #include "engine/engine.hh"
+#include "scenario/scenario.hh"
 #include "tuner/strategy.hh"
 #include "validate/latency_probe.hh"
 #include "validate/oracle.hh"
@@ -97,11 +98,21 @@ class ValidationFlow
 {
   public:
     /**
-     * @param family the timing-model family to validate. The OoO
-     *        family validates against the A72-class board; the
-     *        in-order and interval families model (and validate
-     *        against) the A53-class in-order board.
+     * @param target the registered board to validate against (see
+     *        scenario::ScenarioRegistry): ground truth, public-info
+     *        baseline, raced-space clamp and cache salt all come from
+     *        the entry. Must outlive the flow.
+     * @param family the timing-model family to validate; must be on
+     *        the target's family whitelist.
      * @param options flow options.
+     */
+    ValidationFlow(const scenario::TargetBoard &target,
+                   core::ModelFamily family, FlowOptions options = {});
+
+    /**
+     * Family-only constructor: validates against the family's
+     * pre-scenario default board (OoO on cortex-a72, in-order and
+     * interval on cortex-a53).
      */
     ValidationFlow(core::ModelFamily family, FlowOptions options = {});
 
@@ -172,12 +183,16 @@ class ValidationFlow
     /** @return the validated timing-model family. */
     core::ModelFamily family() const { return fam; }
 
+    /** @return the target board this flow validates against. */
+    const scenario::TargetBoard &target() const { return *targetBoard; }
+
   private:
     /** Absolute relative CPI error vs the board for an instance. */
     double cpiError(double sim_cpi, size_t instance);
 
     core::ModelFamily fam;
     FlowOptions opts;
+    const scenario::TargetBoard *targetBoard;
     SniperParamSpace sniperSpace;
     std::unique_ptr<HardwareOracle> hwOracle;
     std::unique_ptr<engine::EvalEngine> evalEngine;

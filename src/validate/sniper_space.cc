@@ -61,12 +61,21 @@ SniperParamSpace::add(ParamBinding binding)
     table.push_back(std::move(binding));
 }
 
-SniperParamSpace::SniperParamSpace(core::ModelFamily family)
+SniperParamSpace::SniperParamSpace(core::ModelFamily family,
+                                   const scenario::SpaceClamp &clamp)
     : fam(family)
 {
     // Row builders. `ref` is a field accessor (CoreParams& -> field&);
     // the same accessor serves the setter and the getter, so a binding
     // cannot go stale in one direction only.
+
+    // Per-target level override: an empty clamp list keeps the default
+    // levels, so the default clamp reproduces the pre-scenario table
+    // bit for bit (declaration order included).
+    auto levels = [](const std::vector<int64_t> &clamped,
+                     std::vector<int64_t> defaults) {
+        return clamped.empty() ? std::move(defaults) : clamped;
+    };
 
     // Ordered numeric knob: binds the numeric level itself.
     auto ord = [&](const char *name, std::vector<int64_t> levels,
@@ -121,7 +130,9 @@ SniperParamSpace::SniperParamSpace(core::ModelFamily family)
     };
 
     // Front end / branch unit.
-    ord("mispredict_penalty", {4, 6, 8, 10, 12, 14, 16, 18},
+    ord("mispredict_penalty",
+        levels(clamp.mispredictPenaltyLevels,
+               {4, 6, 8, 10, 12, 14, 16, 18}),
         [](CoreParams &p) -> auto & { return p.mispredictPenalty; });
     ord("taken_branch_bubble", {0, 1, 2},
         [](CoreParams &p) -> auto & { return p.takenBranchBubble; });
@@ -131,7 +142,7 @@ SniperParamSpace::SniperParamSpace(core::ModelFamily family)
         [](CoreParams &p) -> auto & { return p.bp.tableBits; });
     ord("bp_history_bits", {4, 6, 8, 10, 12},
         [](CoreParams &p) -> auto & { return p.bp.historyBits; });
-    ord("bp_btb_bits", {7, 8, 9, 10, 11, 12},
+    ord("bp_btb_bits", levels(clamp.btbBitsLevels, {7, 8, 9, 10, 11, 12}),
         [](CoreParams &p) -> auto & { return p.bp.btbBits; });
     ord("bp_ras_entries", {2, 4, 8, 16, 32},
         [](CoreParams &p) -> auto & { return p.bp.rasEntries; });
@@ -202,28 +213,39 @@ SniperParamSpace::SniperParamSpace(core::ModelFamily family)
         return p.mem.l1d.prefetchOnPrefetchHit;
     });
 
-    // L2.
-    cat("l2_hash", hashLabels,
-        [](CoreParams &p) -> auto & { return p.mem.l2.hash; });
-    cat("l2_repl", replLabels,
-        [](CoreParams &p) -> auto & { return p.mem.l2.repl; });
-    cat("l2_prefetch", pfLabels,
-        [](CoreParams &p) -> auto & { return p.mem.l2.prefetch; });
-    ord("l2_pf_degree", {1, 2, 4, 8},
-        [](CoreParams &p) -> auto & { return p.mem.l2.prefetchDegree; });
-    ord("l2_ghb_entries", {64, 128, 256, 512},
-        [](CoreParams &p) -> auto & { return p.mem.l2.ghbEntries; });
-    flag("l2_serial_tag",
-         [](CoreParams &p) -> auto & { return p.mem.l2.serialTagData; });
-    if (races_contention_knobs) {
-        ord("l2_mshrs", {4, 8, 10, 16},
-            [](CoreParams &p) -> auto & { return p.mem.l2.mshrs; });
+    // L2 -- dropped wholesale for boards without one (racing knobs of
+    // a cache level that does not exist would burn budget on timing-
+    // dead dimensions, exactly like the interval family's contention
+    // knobs above).
+    if (clamp.hasL2) {
+        cat("l2_hash", hashLabels,
+            [](CoreParams &p) -> auto & { return p.mem.l2.hash; });
+        cat("l2_repl", replLabels,
+            [](CoreParams &p) -> auto & { return p.mem.l2.repl; });
+        cat("l2_prefetch", pfLabels,
+            [](CoreParams &p) -> auto & { return p.mem.l2.prefetch; });
+        ord("l2_pf_degree", {1, 2, 4, 8},
+            [](CoreParams &p) -> auto & {
+                return p.mem.l2.prefetchDegree;
+            });
+        ord("l2_ghb_entries", {64, 128, 256, 512},
+            [](CoreParams &p) -> auto & { return p.mem.l2.ghbEntries; });
+        flag("l2_serial_tag", [](CoreParams &p) -> auto & {
+            return p.mem.l2.serialTagData;
+        });
+        if (races_contention_knobs) {
+            ord("l2_mshrs", {4, 8, 10, 16},
+                [](CoreParams &p) -> auto & { return p.mem.l2.mshrs; });
+        }
     }
 
     // Main memory.
-    ord("dram_latency", {120, 135, 150, 160, 170, 185, 200},
+    ord("dram_latency",
+        levels(clamp.dramLatencyLevels,
+               {120, 135, 150, 160, 170, 185, 200}),
         [](CoreParams &p) -> auto & { return p.mem.dram.latency; });
-    ord("dram_cycles_per_line", {2, 4, 6, 8, 12, 16},
+    ord("dram_cycles_per_line",
+        levels(clamp.dramCyclesPerLineLevels, {2, 4, 6, 8, 12, 16}),
         [](CoreParams &p) -> auto & { return p.mem.dram.cyclesPerLine; });
 
     // Window knobs: the OoO family races all four queues; the interval

@@ -21,6 +21,7 @@
 
 #include "core/params.hh"
 #include "core/timing_model.hh"
+#include "scenario/scenario.hh"
 #include "tuner/space.hh"
 
 namespace raceval::validate
@@ -65,8 +66,14 @@ uint16_t nearestLevel(const tuner::Parameter &p, int64_t value);
 class SniperParamSpace
 {
   public:
-    /** @param family the timing-model family whose knob set to race. */
-    explicit SniperParamSpace(core::ModelFamily family);
+    /**
+     * @param family the timing-model family whose knob set to race.
+     * @param clamp per-target space clamping (see scenario::SpaceClamp;
+     *        the default clamp reproduces the paper's A-class space
+     *        exactly -- declaration order is raced-trajectory ABI).
+     */
+    explicit SniperParamSpace(core::ModelFamily family,
+                              const scenario::SpaceClamp &clamp = {});
 
     /** Legacy two-family constructor (OoO vs in-order). */
     explicit SniperParamSpace(bool out_of_order)

@@ -1,0 +1,161 @@
+#include "workload/firmware.hh"
+
+#include "isa/assembler.hh"
+#include "ubench/builders.hh"
+#include "ubench/ubench.hh"
+
+namespace raceval::workload::firmware
+{
+
+namespace
+{
+
+using isa::Assembler;
+using isa::Program;
+using namespace raceval::ubench::detail;
+
+// Small SRAM-like data regions: sized against the M-class 16 KiB L1D
+// so the working sets behave like on-chip firmware state (the list
+// walk deliberately overflows it).
+constexpr uint64_t mmioBase = 0x100000;  //!< device-register block
+constexpr uint64_t wheelBase = 0x110000; //!< timer-wheel slots
+constexpr uint64_t heapBase = 0x120000;  //!< list arena
+
+// fw-dispatch: the canonical bare-metal main loop. Pseudo-random
+// pending-interrupt bits select one of 8 ISRs through a jump table
+// (indirect branch, data-dependent target); each ISR reads a device
+// register, acknowledges it with a store, and returns to the loop.
+Program
+buildFwDispatch(uint64_t target)
+{
+    constexpr unsigned handlers = 8;
+    Assembler a("fw-dispatch");
+    initRegion(a, mmioBase, 4096);
+    lcgSetup(a);
+    a.loadImm(rBaseA, mmioBase);
+    // Jump-table base: patched with the real handler PC after
+    // assembly (same idiom as the xalancbmk stand-in).
+    size_t base_slot = a.here();
+    a.movz(24, 0, 0);
+    a.movk(24, 0, 1);
+    a.movk(24, 0, 2);
+    a.movk(24, 0, 3);
+    beginLoop(a, itersFor(target, 13, 4 + 4 + 4 + 2));
+    lcgStep(a);
+    a.lsri(0, rLcg, 30);
+    a.andi(0, 0, handlers - 1); // pending-IRQ priority encode
+    a.lsli(1, 0, 5);            // 32 bytes (8 slots) per handler
+    a.add(1, 24, 1);
+    a.br(1);
+    size_t handler0 = a.here();
+    for (unsigned h = 0; h < handlers; ++h) {
+        a.ldr(2, rBaseA, static_cast<int16_t>(8 * h), 8); // status reg
+        a.addi(3, 3, 1);                                  // ISR work
+        a.eori(2, 2, static_cast<int16_t>(h + 1));
+        a.str(2, rBaseA, static_cast<int16_t>(8 * h), 8); // ack write
+        a.b("irq_done");
+        a.nop();
+        a.nop();
+        a.nop();
+    }
+    a.label("irq_done");
+    a.addi(4, 4, 1); // main-loop housekeeping tick
+    endLoop(a);
+    Program prog = a.finish();
+    uint64_t table_pc = prog.pcOf(handler0);
+    prog.code[base_slot] = isa::encodeWide(
+        isa::Opcode::Movz, 24, 0, static_cast<uint16_t>(table_pc));
+    for (uint8_t hword = 1; hword < 4; ++hword) {
+        prog.code[base_slot + hword] = isa::encodeWide(
+            isa::Opcode::Movk, 24, hword,
+            static_cast<uint16_t>(table_pc >> (16 * hword)));
+    }
+    return prog;
+}
+
+// fw-timer-wheel: a software-timer wheel (256 slots x 8 bytes). Every
+// tick advances the wheel cursor, probes the slot, and occasionally
+// (1 in 8, data-dependent) "expires" a timer: bump its generation and
+// re-arm it with a store. Mostly-biased branches over a tiny array.
+Program
+buildFwTimerWheel(uint64_t target)
+{
+    Assembler a("fw-timer-wheel");
+    initRegion(a, wheelBase, 4096);
+    lcgSetup(a);
+    a.loadImm(rBaseA, wheelBase);
+    a.movz(rOff, 0);
+    beginLoop(a, itersFor(target, 13, 4 + 4 + 4 + 2));
+    a.addi(rOff, rOff, 8);       // next slot
+    a.andi(rOff, rOff, 2047);    // wrap the 256-entry wheel
+    a.ldx(0, rBaseA, rOff);      // slot probe
+    lcgStep(a);
+    a.lsri(1, rLcg, 34);
+    a.andi(1, 1, 7);
+    a.cbnz(1, "not_expired");    // ~7/8 of ticks: nothing due
+    a.addi(0, 0, 1);             // expiry: bump generation...
+    a.stx(0, rBaseA, rOff);      // ...and re-arm the timer
+    a.label("not_expired");
+    a.add(2, 2, 0);              // deadline accounting
+    a.addi(3, 3, 1);             // tick counter
+    endLoop(a);
+    return a.finish();
+}
+
+// fw-list-walk: dependent pointer chase over a 32 KiB node arena --
+// twice the M-class L1D, so the walk lives off the flat TCM-like
+// memory. The next-node address is serialized through the loaded
+// payload (mcf-style), plus one payload touch per node.
+Program
+buildFwListWalk(uint64_t target)
+{
+    Assembler a("fw-list-walk");
+    initRegion(a, heapBase, 32 * 1024);
+    lcgSetup(a);
+    a.loadImm(rBaseA, heapBase);
+    a.movz(rOff, 0);
+    beginLoop(a, itersFor(target, 9, 8 * 4 + 4 + 4 + 2));
+    a.ldx(0, rBaseA, rOff);      // node->next
+    a.add(rLcg, rLcg, 0);        // serialize the chase on the load
+    lcgStep(a);
+    a.lsri(rOff, rLcg, 18);
+    a.andi(rOff, rOff, 32704);   // stay in the arena, 64-B aligned
+    a.ldr(1, rBaseA, 8, 8);      // payload touch
+    a.add(2, 2, 1);              // visit count
+    endLoop(a);
+    return a.finish();
+}
+
+} // namespace
+
+const std::vector<FirmwareInfo> &
+all()
+{
+    static const std::vector<FirmwareInfo> suite = {
+        { "fw-dispatch", "interrupt-style ISR dispatch loop",
+          160'000'000, buildFwDispatch },
+        { "fw-timer-wheel", "software-timer wheel tick loop",
+          84'000'000, buildFwTimerWheel },
+        { "fw-list-walk", "linked-list traversal over a node arena",
+          42'000'000, buildFwListWalk },
+    };
+    return suite;
+}
+
+const FirmwareInfo *
+find(const std::string &name)
+{
+    for (const FirmwareInfo &info : all()) {
+        if (name == info.name)
+            return &info;
+    }
+    return nullptr;
+}
+
+Program
+build(const FirmwareInfo &info)
+{
+    return info.builder(ubench::scaledCount(info.dynInsts, traceCap));
+}
+
+} // namespace raceval::workload::firmware
