@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Perf-regression guard for config-batched lockstep replay, over the
+ * tuning_throughput smoke blob.
+ *
+ * Reads bench-json/BENCH_tuning_throughput.json (produced by the
+ * smoke_tuning_throughput ctest fixture) and fails when either pillar
+ * of the lockstep contract regressed:
+ *
+ *   - lockstep_bit_identical must be 1: the lockstep-batched cold race
+ *     produced exactly the results of the single-config cold race;
+ *   - lockstep_speedup must stay >= minSpeedup: the steady-state
+ *     contract is parity-or-better (block-cycled lockstep with
+ *     decode-event sharing is never materially slower than M
+ *     independent stream passes; on hosts where the smoke traces are
+ *     LLC-resident the measured distribution centers at ~1.0x, and
+ *     the decode saving only turns into wall-clock win when stream
+ *     decode or memory bandwidth dominates). The floor leaves a 20%
+ *     allowance for scheduler noise on contended single-core CI
+ *     runners -- the bench's interleaved min-of-3 A-B bounds the
+ *     noise, not to zero. A structural regression (e.g. a
+ *     per-instruction interleave that thrashes L1 measures ~0.67x)
+ *     still trips the gate.
+ *
+ * Run as a plain binary: `batch_guard <path-to-json>`. Not a bench
+ * driver (no --smoke/--json protocol): it is the ctest check that
+ * locks the lockstep cold-path contract in.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+/** Noise-tolerant floor on lockstep_speedup (see file comment). */
+constexpr double minSpeedup = 0.8;
+
+/** Extract `"key": <number>` from a JSON blob (flat search; the bench
+ *  blobs never nest a duplicate metric name). */
+bool
+findNumber(const std::string &text, const std::string &key, double &out)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    return std::sscanf(text.c_str() + pos + needle.size(), " %lf",
+                       &out) == 1;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_tuning_throughput.json>\n"
+                 "fails when lockstep_bit_identical != 1 or "
+                 "lockstep_speedup < %.2f\n",
+                 argv0, minSpeedup);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 2 && std::strcmp(argv[1], "--help") == 0) {
+        usage(argv[0]);
+        return 0;
+    }
+    if (argc != 2)
+        return usage(argv[0]);
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr,
+                     "batch_guard: cannot read '%s' (run the "
+                     "smoke_tuning_throughput test first)\n", argv[1]);
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+
+    double bit_identical = 0.0, speedup = 0.0;
+    if (!findNumber(text, "lockstep_bit_identical", bit_identical)
+        || !findNumber(text, "lockstep_speedup", speedup)) {
+        std::fprintf(stderr,
+                     "batch_guard: '%s' is missing "
+                     "lockstep_bit_identical / lockstep_speedup "
+                     "metrics\n", argv[1]);
+        return 2;
+    }
+
+    int failures = 0;
+    if (bit_identical != 1.0) {
+        std::fprintf(stderr,
+                     "batch_guard: FAIL lockstep_bit_identical = %g "
+                     "(expected 1): the lockstep cold race diverged "
+                     "from the single-config cold race\n",
+                     bit_identical);
+        ++failures;
+    }
+    if (speedup < minSpeedup) {
+        std::fprintf(stderr,
+                     "batch_guard: FAIL lockstep_speedup = %.3f "
+                     "(< %.2f): config-batched replay is slower than "
+                     "single-config replay beyond measurement "
+                     "noise\n", speedup, minSpeedup);
+        ++failures;
+    }
+    if (failures)
+        return 1;
+    std::printf("batch_guard: OK (lockstep_bit_identical = 1, "
+                "lockstep_speedup = %.3f)\n", speedup);
+    return 0;
+}

@@ -34,6 +34,8 @@ InOrderCore::resetState()
     std::fill(storeBufFree.begin(), storeBufFree.end(), 0);
     std::fill(pendingStores.begin(), pendingStores.end(), PendingStore{});
     pendingStoreHead = 0;
+    pendingStoreLive = 0;
+    pendingStoreMaxDrain = 0;
     lastDrain = 0;
 }
 
@@ -59,7 +61,10 @@ bool
 InOrderCore::forwardedFromStore(uint64_t addr, unsigned size,
                                 uint64_t now) const
 {
-    for (const PendingStore &st : pendingStores) {
+    if (pendingStoreMaxDrain <= now)
+        return false; // every buffered store already drained
+    for (size_t i = 0; i < pendingStoreLive; ++i) {
+        const PendingStore &st = pendingStores[i];
         if (st.size == 0 || st.drainAt <= now)
             continue; // empty slot or already drained to the cache
         if (addr >= st.addr && addr + size <= st.addr + st.size)
@@ -76,122 +81,143 @@ InOrderCore::beginRun()
 }
 
 template <class Stream>
+void
+InOrderCore::step(const Stream &s)
+{
+    ++runStats.instructions;
+    frontend.fetch(mem, cparams, s.pc(), cycle);
+
+    OpClass cls = s.cls();
+
+    // Operand readiness (in-order: also bounded by the front end).
+    uint64_t ready =
+        cycle > frontend.readyAt ? cycle : frontend.readyAt;
+    for (unsigned i = 0; i < s.srcCount(); ++i) {
+        uint64_t at = regReady[s.srcReg(i)];
+        if (at > ready)
+            ready = at;
+    }
+
+    // Structural hazard: wait for a unit of the right pool.
+    uint64_t start = contention.reserve(cls, ready);
+    stallUntil(start);
+
+    uint64_t done = cycle + contention.latencyOf(cls);
+
+    switch (cls) {
+      case OpClass::Load: {
+        unsigned lat;
+        if (cparams.forwarding
+            && forwardedFromStore(s.memAddr(), s.memSize(), cycle)) {
+            lat = cparams.forwardLatency;
+            // The cache still sees the access (tag energy, MSHR
+            // pressure are not modeled for forwarded hits).
+            mem.access(s.pc(), s.memAddr(), false, false, cycle);
+        } else {
+            // An L1 miss needs an MSHR before it can leave the
+            // core, which also spaces out DRAM arrivals (limited
+            // hit-under-miss).
+            uint64_t access_at = cycle;
+            size_t slot = mshrFree.size();
+            if (!mem.l1d().probe(s.memAddr() / mem.lineBytes())) {
+                slot = 0;
+                for (size_t i = 1; i < mshrFree.size(); ++i) {
+                    if (mshrFree[i] < mshrFree[slot])
+                        slot = i;
+                }
+                if (mshrFree[slot] > access_at)
+                    access_at = mshrFree[slot];
+            }
+            cache::AccessResult res =
+                mem.access(s.pc(), s.memAddr(), false, false,
+                           access_at);
+            lat = static_cast<unsigned>(access_at - cycle)
+                + res.latency;
+            if (slot != mshrFree.size())
+                mshrFree[slot] = access_at + res.latency;
+        }
+        done = cycle + lat;
+        break;
+      }
+
+      case OpClass::Store: {
+        // Claim a store buffer slot; a full buffer stalls issue.
+        size_t slot = 0;
+        for (size_t i = 1; i < storeBufFree.size(); ++i) {
+            if (storeBufFree[i] < storeBufFree[slot])
+                slot = i;
+        }
+        stallUntil(storeBufFree[slot]);
+        cache::AccessResult res =
+            mem.access(s.pc(), s.memAddr(), true, false, cycle);
+        uint64_t drain_start =
+            cycle > lastDrain ? cycle : lastDrain;
+        uint64_t drain_done = drain_start + res.latency;
+        lastDrain = drain_done;
+        storeBufFree[slot] = drain_done;
+        pendingStores[pendingStoreHead] =
+            PendingStore{s.memAddr(), s.memSize(), drain_done};
+        if (pendingStoreLive <= pendingStoreHead)
+            pendingStoreLive = pendingStoreHead + 1;
+        if (drain_done > pendingStoreMaxDrain)
+            pendingStoreMaxDrain = drain_done;
+        pendingStoreHead =
+            (pendingStoreHead + 1) % pendingStores.size();
+        done = cycle + contention.latencyOf(cls);
+        break;
+      }
+
+      case OpClass::BranchCond:
+      case OpClass::BranchUncond:
+      case OpClass::BranchIndirect:
+      case OpClass::BranchCall:
+      case OpClass::BranchRet: {
+        bool mispredict =
+            bp.predict(s.pc(), cls, s.taken(), s.nextPc());
+        if (mispredict)
+            frontend.redirect(done + cparams.mispredictPenalty);
+        else if (s.taken() && cparams.takenBranchBubble)
+            frontend.stallUntil(cycle + cparams.takenBranchBubble);
+        break;
+      }
+
+      default:
+        break;
+    }
+
+    if (s.hasDst())
+        regReady[s.dstReg()] = done;
+    if (done > maxDone)
+        maxDone = done;
+    advanceSlot();
+}
+
+template <class Stream>
 uint64_t
 InOrderCore::runSegment(Stream &s, uint64_t max_insts)
 {
     uint64_t consumed = 0;
     while (consumed < max_insts && s.next()) {
         ++consumed;
-        ++runStats.instructions;
-        frontend.fetch(mem, cparams, s.pc(), cycle);
-
-        OpClass cls = s.cls();
-
-        // Operand readiness (in-order: also bounded by the front end).
-        uint64_t ready =
-            cycle > frontend.readyAt ? cycle : frontend.readyAt;
-        for (unsigned i = 0; i < s.srcCount(); ++i) {
-            uint64_t at = regReady[s.srcReg(i)];
-            if (at > ready)
-                ready = at;
-        }
-
-        // Structural hazard: wait for a unit of the right pool.
-        uint64_t start = contention.reserve(cls, ready);
-        stallUntil(start);
-
-        uint64_t done = cycle + contention.latencyOf(cls);
-
-        switch (cls) {
-          case OpClass::Load: {
-            unsigned lat;
-            if (cparams.forwarding
-                && forwardedFromStore(s.memAddr(), s.memSize(), cycle)) {
-                lat = cparams.forwardLatency;
-                // The cache still sees the access (tag energy, MSHR
-                // pressure are not modeled for forwarded hits).
-                mem.access(s.pc(), s.memAddr(), false, false, cycle);
-            } else {
-                // An L1 miss needs an MSHR before it can leave the
-                // core, which also spaces out DRAM arrivals (limited
-                // hit-under-miss).
-                uint64_t access_at = cycle;
-                size_t slot = mshrFree.size();
-                if (!mem.l1d().probe(s.memAddr() / mem.lineBytes())) {
-                    slot = 0;
-                    for (size_t i = 1; i < mshrFree.size(); ++i) {
-                        if (mshrFree[i] < mshrFree[slot])
-                            slot = i;
-                    }
-                    if (mshrFree[slot] > access_at)
-                        access_at = mshrFree[slot];
-                }
-                cache::AccessResult res =
-                    mem.access(s.pc(), s.memAddr(), false, false,
-                               access_at);
-                lat = static_cast<unsigned>(access_at - cycle)
-                    + res.latency;
-                if (slot != mshrFree.size())
-                    mshrFree[slot] = access_at + res.latency;
-            }
-            done = cycle + lat;
-            break;
-          }
-
-          case OpClass::Store: {
-            // Claim a store buffer slot; a full buffer stalls issue.
-            size_t slot = 0;
-            for (size_t i = 1; i < storeBufFree.size(); ++i) {
-                if (storeBufFree[i] < storeBufFree[slot])
-                    slot = i;
-            }
-            stallUntil(storeBufFree[slot]);
-            cache::AccessResult res =
-                mem.access(s.pc(), s.memAddr(), true, false, cycle);
-            uint64_t drain_start =
-                cycle > lastDrain ? cycle : lastDrain;
-            uint64_t drain_done = drain_start + res.latency;
-            lastDrain = drain_done;
-            storeBufFree[slot] = drain_done;
-            pendingStores[pendingStoreHead] =
-                PendingStore{s.memAddr(), s.memSize(), drain_done};
-            pendingStoreHead =
-                (pendingStoreHead + 1) % pendingStores.size();
-            done = cycle + contention.latencyOf(cls);
-            break;
-          }
-
-          case OpClass::BranchCond:
-          case OpClass::BranchUncond:
-          case OpClass::BranchIndirect:
-          case OpClass::BranchCall:
-          case OpClass::BranchRet: {
-            bool mispredict =
-                bp.predict(s.pc(), cls, s.taken(), s.nextPc());
-            if (mispredict)
-                frontend.redirect(done + cparams.mispredictPenalty);
-            else if (s.taken() && cparams.takenBranchBubble)
-                frontend.stallUntil(cycle + cparams.takenBranchBubble);
-            break;
-          }
-
-          default:
-            break;
-        }
-
-        if (s.hasDst())
-            regReady[s.dstReg()] = done;
-        if (done > maxDone)
-            maxDone = done;
-        advanceSlot();
+        step(s);
     }
     return consumed;
+}
+
+template <class Stream>
+uint64_t
+InOrderCore::runSegmentMulti(std::vector<InOrderCore> &cores,
+                             Stream &stream, uint64_t max_insts)
+{
+    return runLockstepSegment(cores, stream, max_insts);
 }
 
 template uint64_t
 InOrderCore::runSegment<vm::PackedStream>(vm::PackedStream &, uint64_t);
 template uint64_t
 InOrderCore::runSegment<vm::SourceStream>(vm::SourceStream &, uint64_t);
+template uint64_t InOrderCore::runSegmentMulti<vm::PackedStream>(
+    std::vector<InOrderCore> &, vm::PackedStream &, uint64_t);
 
 CoreStats
 InOrderCore::finishRun()

@@ -38,86 +38,103 @@ IntervalCore::beginRun()
 }
 
 template <class Stream>
+void
+IntervalCore::step(const Stream &s)
+{
+    ++runStats.instructions;
+    frontend.fetch(mem, cparams, s.pc(), dispatchCycle);
+
+    OpClass cls = s.cls();
+
+    // --- dispatch: width per cycle, gated only by the front end
+    // and the ROB window. A long-latency instruction opens a stall
+    // interval exactly when the window fills behind it; younger
+    // misses inside the same window overlap for free (MLP).
+    uint64_t dready = dispatchCycle > frontend.readyAt
+        ? dispatchCycle : frontend.readyAt;
+    uint64_t rob_free = robFreeAt[seq % robFreeAt.size()];
+    if (rob_free > dready)
+        dready = rob_free;
+    if (dready > dispatchCycle) {
+        dispatchCycle = dready;
+        dispatchedThisCycle = 0;
+    }
+
+    // --- completion: true dependencies plus the class latency
+    // (read straight off the table). No issue-queue, LSQ, FU or
+    // store-drain modeling: inside an interval the core is assumed
+    // to sustain full width.
+    uint64_t ready = dispatchCycle;
+    for (unsigned i = 0; i < s.srcCount(); ++i) {
+        uint64_t at = regReady[s.srcReg(i)];
+        if (at > ready)
+            ready = at;
+    }
+    uint64_t complete =
+        ready + cparams.latency[static_cast<size_t>(cls)];
+
+    if (cls == OpClass::Load) {
+        cache::AccessResult res =
+            mem.access(s.pc(), s.memAddr(), false, false, ready);
+        complete = ready + res.latency;
+    } else if (cls == OpClass::Store) {
+        // The cache sees the store (state evolves) but drain cost
+        // is assumed hidden behind the window.
+        mem.access(s.pc(), s.memAddr(), true, false, ready);
+    }
+
+    if (s.isBranch()) {
+        if (bp.predict(s.pc(), cls, s.taken(), s.nextPc())) {
+            // The penalty window: resolve + pipeline refill.
+            frontend.redirect(complete + cparams.mispredictPenalty);
+        } else if (s.taken() && cparams.takenBranchBubble) {
+            frontend.stallUntil(dispatchCycle
+                                + cparams.takenBranchBubble);
+        }
+    }
+
+    // In-order completion ordering for the ROB ring keeps the
+    // window accounting monotone.
+    uint64_t retire = complete > lastRetire ? complete : lastRetire;
+    robFreeAt[seq % robFreeAt.size()] = retire;
+    lastRetire = retire;
+    ++seq;
+
+    if (s.hasDst())
+        regReady[s.dstReg()] = complete;
+
+    if (++dispatchedThisCycle >= cparams.dispatchWidth) {
+        ++dispatchCycle;
+        dispatchedThisCycle = 0;
+    }
+}
+
+template <class Stream>
 uint64_t
 IntervalCore::runSegment(Stream &s, uint64_t max_insts)
 {
     uint64_t consumed = 0;
     while (consumed < max_insts && s.next()) {
         ++consumed;
-        ++runStats.instructions;
-        frontend.fetch(mem, cparams, s.pc(), dispatchCycle);
-
-        OpClass cls = s.cls();
-
-        // --- dispatch: width per cycle, gated only by the front end
-        // and the ROB window. A long-latency instruction opens a stall
-        // interval exactly when the window fills behind it; younger
-        // misses inside the same window overlap for free (MLP).
-        uint64_t dready = dispatchCycle > frontend.readyAt
-            ? dispatchCycle : frontend.readyAt;
-        uint64_t rob_free = robFreeAt[seq % robFreeAt.size()];
-        if (rob_free > dready)
-            dready = rob_free;
-        if (dready > dispatchCycle) {
-            dispatchCycle = dready;
-            dispatchedThisCycle = 0;
-        }
-
-        // --- completion: true dependencies plus the class latency
-        // (read straight off the table). No issue-queue, LSQ, FU or
-        // store-drain modeling: inside an interval the core is assumed
-        // to sustain full width.
-        uint64_t ready = dispatchCycle;
-        for (unsigned i = 0; i < s.srcCount(); ++i) {
-            uint64_t at = regReady[s.srcReg(i)];
-            if (at > ready)
-                ready = at;
-        }
-        uint64_t complete =
-            ready + cparams.latency[static_cast<size_t>(cls)];
-
-        if (cls == OpClass::Load) {
-            cache::AccessResult res =
-                mem.access(s.pc(), s.memAddr(), false, false, ready);
-            complete = ready + res.latency;
-        } else if (cls == OpClass::Store) {
-            // The cache sees the store (state evolves) but drain cost
-            // is assumed hidden behind the window.
-            mem.access(s.pc(), s.memAddr(), true, false, ready);
-        }
-
-        if (s.isBranch()) {
-            if (bp.predict(s.pc(), cls, s.taken(), s.nextPc())) {
-                // The penalty window: resolve + pipeline refill.
-                frontend.redirect(complete + cparams.mispredictPenalty);
-            } else if (s.taken() && cparams.takenBranchBubble) {
-                frontend.stallUntil(dispatchCycle
-                                    + cparams.takenBranchBubble);
-            }
-        }
-
-        // In-order completion ordering for the ROB ring keeps the
-        // window accounting monotone.
-        uint64_t retire = complete > lastRetire ? complete : lastRetire;
-        robFreeAt[seq % robFreeAt.size()] = retire;
-        lastRetire = retire;
-        ++seq;
-
-        if (s.hasDst())
-            regReady[s.dstReg()] = complete;
-
-        if (++dispatchedThisCycle >= cparams.dispatchWidth) {
-            ++dispatchCycle;
-            dispatchedThisCycle = 0;
-        }
+        step(s);
     }
     return consumed;
+}
+
+template <class Stream>
+uint64_t
+IntervalCore::runSegmentMulti(std::vector<IntervalCore> &cores,
+                              Stream &stream, uint64_t max_insts)
+{
+    return runLockstepSegment(cores, stream, max_insts);
 }
 
 template uint64_t
 IntervalCore::runSegment<vm::PackedStream>(vm::PackedStream &, uint64_t);
 template uint64_t
 IntervalCore::runSegment<vm::SourceStream>(vm::SourceStream &, uint64_t);
+template uint64_t IntervalCore::runSegmentMulti<vm::PackedStream>(
+    std::vector<IntervalCore> &, vm::PackedStream &, uint64_t);
 
 CoreStats
 IntervalCore::finishRun()

@@ -77,6 +77,22 @@ class IntervalCore : public TimingModel
     template <class Stream>
     uint64_t runSegment(Stream &stream, uint64_t max_insts);
 
+    /**
+     * Lockstep variant of runSegment over M per-config core states:
+     * block-cycles every core's ordinary runSegment over the same
+     * stream range (see core::runLockstepSegment), so solo and
+     * lockstep replay are bit-identical by construction. Instantiated
+     * for vm::PackedStream only (the driver records each block into a
+     * vm::DecodedEvent buffer that followers replay from).
+     * Every core must be mid-run (beginRun() called, same consumed
+     * count).
+     *
+     * @return instructions consumed.
+     */
+    template <class Stream>
+    static uint64_t runSegmentMulti(std::vector<IntervalCore> &cores,
+                                    Stream &stream, uint64_t max_insts);
+
     /** Close accounting (end cycle) and return the stats. */
     CoreStats finishRun();
     /// @}
@@ -105,6 +121,12 @@ class IntervalCore : public TimingModel
     std::vector<uint64_t> robFreeAt;
 
     void resetState();
+
+    /** Per-instruction accounting body, shared verbatim by runSegment
+     *  (solo) and runSegmentMulti (lockstep): consume one decoded
+     *  record, advance all interval state. */
+    template <class Stream>
+    void step(const Stream &s);
 };
 
 } // namespace raceval::core

@@ -1,0 +1,151 @@
+#include "core/multi_replay.hh"
+
+#include <unordered_map>
+
+#include "core/inorder.hh"
+#include "core/interval.hh"
+#include "core/ooo.hh"
+#include "isa/opcodes.hh"
+
+namespace raceval::core
+{
+
+unsigned
+resolveConfigBatch(const ReplayOptions &options)
+{
+    return options.configBatch ? options.configBatch
+                               : defaultConfigBatch;
+}
+
+namespace
+{
+
+uint64_t
+cacheStateBytes(const cache::CacheParams &c)
+{
+    // Tag + stamp + PLRU-ish metadata per line, plus victim buffer.
+    uint64_t lines = c.lineBytes ? c.sizeBytes / c.lineBytes : 0;
+    return lines * 16 + uint64_t{c.victimEntries} * 16;
+}
+
+uint64_t
+branchStateBytes(const branch::BranchParams &b)
+{
+    uint64_t bytes = 0;
+    // Direction tables (bimodal/gshare/local/chooser share tableBits).
+    bytes += (uint64_t{4} << b.tableBits);
+    bytes += (uint64_t{8} << b.btbBits);
+    bytes += uint64_t{b.rasEntries} * 8;
+    if (b.indirect)
+        bytes += (uint64_t{8} << b.indirectBits);
+    return bytes;
+}
+
+} // namespace
+
+uint64_t
+approxLockstepStateBytes(ModelFamily family, const CoreParams &params)
+{
+    uint64_t bytes = 0;
+    bytes += cacheStateBytes(params.mem.l1i);
+    bytes += cacheStateBytes(params.mem.l1d);
+    if (params.mem.l2Present)
+        bytes += cacheStateBytes(params.mem.l2);
+    bytes += branchStateBytes(params.bp);
+    bytes += uint64_t{isa::numIntRegs + isa::numFpRegs} * 8;
+    switch (family) {
+      case ModelFamily::InOrder:
+        bytes += uint64_t{params.mem.l1d.mshrs} * 8;
+        bytes += uint64_t{params.storeBufferEntries} * 8;
+        break;
+      case ModelFamily::Ooo:
+        bytes += uint64_t{params.robEntries + params.iqEntries
+                          + params.lqEntries + params.sqEntries
+                          + params.commitWidth} * 8;
+        bytes += uint64_t{params.mem.l1d.mshrs} * 8;
+        break;
+      case ModelFamily::Interval:
+        bytes += uint64_t{params.robEntries} * 8;
+        break;
+    }
+    return bytes;
+}
+
+LockstepPlan
+planLockstepGroups(const std::vector<LockstepCandidate> &candidates,
+                   const ReplayOptions &options)
+{
+    LockstepPlan plan;
+    unsigned width = resolveConfigBatch(options);
+
+    // Bucket by key, preserving submission order (both across keys and
+    // within one bucket) so the plan is deterministic.
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    std::vector<uint64_t> keyOrder;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        auto [it, fresh] = buckets.try_emplace(candidates[i].groupKey);
+        if (fresh)
+            keyOrder.push_back(candidates[i].groupKey);
+        it->second.push_back(i);
+    }
+
+    for (uint64_t key : keyOrder) {
+        const std::vector<size_t> &members = buckets[key];
+        size_t at = 0;
+        while (at < members.size()) {
+            LockstepGroup group;
+            uint64_t bytes = 0;
+            while (at < members.size() && group.members.size() < width) {
+                uint64_t b = candidates[members[at]].stateBytes;
+                if (!group.members.empty()
+                    && options.configStateBudgetBytes
+                    && bytes + b > options.configStateBudgetBytes)
+                    break; // group full by working-set budget
+                group.members.push_back(members[at]);
+                bytes += b;
+                ++at;
+            }
+            if (group.members.size() >= 2)
+                plan.groups.push_back(std::move(group));
+            else
+                plan.singles.push_back(group.members.front());
+        }
+    }
+    return plan;
+}
+
+namespace
+{
+
+template <class Model>
+std::vector<CoreStats>
+runFamily(const std::vector<CoreParams> &configs,
+          const vm::PackedTrace &trace, const ReplayOptions &options)
+{
+    std::vector<Model> models;
+    models.reserve(configs.size());
+    for (const CoreParams &params : configs)
+        models.emplace_back(params);
+    return runPackedTraceMulti(models, trace, options);
+}
+
+} // namespace
+
+std::vector<CoreStats>
+runPackedTraceMultiFamily(ModelFamily family,
+                          const std::vector<CoreParams> &configs,
+                          const vm::PackedTrace &trace,
+                          const ReplayOptions &options)
+{
+    switch (family) {
+      case ModelFamily::Ooo:
+        return runFamily<OooCore>(configs, trace, options);
+      case ModelFamily::Interval:
+        return runFamily<IntervalCore>(configs, trace, options);
+      case ModelFamily::InOrder:
+      default:
+        return runFamily<InOrderCore>(configs, trace, options);
+    }
+}
+
+} // namespace raceval::core

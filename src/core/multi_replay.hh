@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Config-batched lockstep replay: decode the trace once, simulate M
+ * candidate configurations per pass.
+ *
+ * The racer's inner loop is embarrassingly config-parallel: one racing
+ * step submits dozens of candidate CoreParams against the *same*
+ * recorded traces, yet a naive batch replays each candidate with its
+ * own cold PackedStream traversal -- re-streaming the packed arrays
+ * and cursor work once per candidate. Lockstep replay is the same
+ * static bulk-synchronous batching idea Manticore applies to RTL
+ * partitions and GSIM to large-design simulation, transposed across
+ * *configurations*: a group of M candidates shares one traversal,
+ * block-cycled so the lead core decodes each block once into a flat
+ * DecodedEvent buffer and cores 2..M replay the block from that
+ * cache-hot buffer -- skipping the stride-delta / branch-bitfield
+ * reconstruction entirely -- while every core's own tables stay hot
+ * for a whole block (see core::runLockstepSegment in core/replay.hh).
+ *
+ * Determinism contract (enforced by tests/test_multi_replay.cc):
+ * every per-config CoreStats out of the lockstep path is bit-identical
+ * to a solo replay of the same (config, trace) pair, at every group
+ * width and at every chunked-replay seam, because every core of a
+ * group runs the exact solo runSegment loop over the exact record
+ * sequence and all mutable state -- caches, predictors, contention,
+ * front end, scoreboards -- lives inside the per-config core object.
+ *
+ * Grouping rules (planLockstepGroups):
+ *   - only evaluations with the same groupKey -- in the engine,
+ *     (family, instance), which pins the trace fingerprint -- may
+ *     share a stream pass;
+ *   - groups pack greedily in submission order, capped by the resolved
+ *     batch width (ReplayOptions::configBatch; 0 = auto default,
+ *     1 disables lockstep) and by the summed approximate per-config
+ *     state bytes (ReplayOptions::configStateBudgetBytes), which keeps
+ *     one group's working set cache-resident;
+ *   - leftovers become singletons and keep the ordinary solo path
+ *     (warm-cache hits never reach the planner at all).
+ */
+
+#ifndef RACEVAL_CORE_MULTI_REPLAY_HH
+#define RACEVAL_CORE_MULTI_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/replay.hh"
+#include "core/stats.hh"
+#include "core/timing_model.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "vm/packed_trace.hh"
+
+namespace raceval::core
+{
+
+/** Lockstep width used when ReplayOptions::configBatch == 0 (auto). */
+constexpr unsigned defaultConfigBatch = 8;
+
+/** @return the effective batch width for @p options (>= 1). */
+unsigned resolveConfigBatch(const ReplayOptions &options);
+
+/**
+ * Approximate mutable micro-architectural state of one configured core
+ * (cache tag/stamp arrays, predictor tables, scoreboard rings), used
+ * to cap a lockstep group's summed working set. A coarse estimate is
+ * fine: the cap only guards against pathological huge-table configs.
+ */
+uint64_t approxLockstepStateBytes(ModelFamily family,
+                                  const CoreParams &params);
+
+/** Planner input: one fresh evaluation wanting a lockstep slot. */
+struct LockstepCandidate
+{
+    /** Evaluations may share a stream pass iff their keys match (the
+     *  engine keys by (family, instance), pinning the trace). */
+    uint64_t groupKey = 0;
+    /** approxLockstepStateBytes of this candidate's configured core. */
+    uint64_t stateBytes = 0;
+};
+
+/** One planned group: indices into the caller's candidate vector. */
+struct LockstepGroup
+{
+    std::vector<size_t> members;
+};
+
+/** The planner's decision for one batch of fresh evaluations. */
+struct LockstepPlan
+{
+    std::vector<LockstepGroup> groups; //!< lockstep, width >= 2
+    std::vector<size_t> singles;       //!< ordinary solo replay
+};
+
+/**
+ * Greedily pack candidates with matching groupKey into lockstep groups
+ * (submission order preserved; deterministic for identical input).
+ */
+LockstepPlan planLockstepGroups(
+    const std::vector<LockstepCandidate> &candidates,
+    const ReplayOptions &options);
+
+/**
+ * Replay one packed trace through M mid-construction models in
+ * lockstep, honoring the resolved chunked-replay plan: each superstep
+ * advances the shared stream once per instruction and steps every
+ * model; at a seam the complete state of ALL models crosses into fresh
+ * copies (the same BSP handoff runPackedTrace performs for one model).
+ *
+ * @return one CoreStats per model, index-aligned with @p models.
+ */
+template <class Model>
+std::vector<CoreStats>
+runPackedTraceMulti(std::vector<Model> &models,
+                    const vm::PackedTrace &trace,
+                    const ReplayOptions &options)
+{
+    RV_SPAN("replay.lockstep", models.size());
+    RV_HISTOGRAM_RECORD("replay.lockstep_width", models.size());
+    ReplayPlan plan = resolveReplayPlan(trace.instCount(), options);
+    vm::PackedStream stream(trace);
+    for (Model &m : models)
+        m.beginRun();
+
+    std::vector<CoreStats> out;
+    out.reserve(models.size());
+    if (!plan.chunked()) {
+        RV_SPAN("replay.chunk", trace.instCount());
+        Model::runSegmentMulti(models, stream, ~uint64_t{0});
+        for (Model &m : models)
+            out.push_back(m.finishRun());
+        return out;
+    }
+
+    uint64_t remaining = trace.instCount();
+    uint64_t chunk = (remaining + plan.partitions - 1) / plan.partitions;
+    std::vector<Model> *current = &models;
+    std::unique_ptr<std::vector<Model>> carrier;
+    for (;;) {
+        uint64_t n = chunk < remaining ? chunk : remaining;
+        {
+            RV_SPAN("replay.chunk", n);
+            Model::runSegmentMulti(*current, stream, n);
+        }
+        remaining -= n;
+        if (!remaining)
+            break;
+        // Seam: the complete micro-architectural state of every config
+        // crosses into fresh model instances for the next superstep.
+        carrier = std::make_unique<std::vector<Model>>(*current);
+        current = carrier.get();
+    }
+    for (Model &m : *current)
+        out.push_back(m.finishRun());
+    return out;
+}
+
+/**
+ * Family-dispatching lockstep replay: construct one core per config
+ * and run them over one stream pass.
+ *
+ * @return one CoreStats per config, index-aligned with @p configs.
+ */
+std::vector<CoreStats>
+runPackedTraceMultiFamily(ModelFamily family,
+                          const std::vector<CoreParams> &configs,
+                          const vm::PackedTrace &trace,
+                          const ReplayOptions &options);
+
+} // namespace raceval::core
+
+#endif // RACEVAL_CORE_MULTI_REPLAY_HH

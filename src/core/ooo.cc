@@ -45,13 +45,18 @@ OooCore::resetState()
     std::fill(mshrFree.begin(), mshrFree.end(), 0);
     std::fill(pendingStores.begin(), pendingStores.end(), PendingStore{});
     pendingStoreHead = 0;
+    pendingStoreLive = 0;
+    pendingStoreMaxDrain = 0;
 }
 
 bool
 OooCore::forwardedFromStore(uint64_t addr, unsigned size,
                             uint64_t now) const
 {
-    for (const PendingStore &st : pendingStores) {
+    if (pendingStoreMaxDrain <= now)
+        return false; // every buffered store already drained
+    for (size_t i = 0; i < pendingStoreLive; ++i) {
+        const PendingStore &st = pendingStores[i];
         if (st.size == 0 || st.drainAt <= now)
             continue;
         if (addr >= st.addr && addr + size <= st.addr + st.size)
@@ -68,144 +73,165 @@ OooCore::beginRun()
 }
 
 template <class Stream>
+void
+OooCore::step(const Stream &s)
+{
+    ++runStats.instructions;
+    frontend.fetch(mem, cparams, s.pc(), dispatchCycle);
+
+    OpClass cls = s.cls();
+    bool is_load = cls == OpClass::Load;
+    bool is_store = cls == OpClass::Store;
+
+    // --- dispatch: in-order, gated by window resources -----------------
+    uint64_t dready = dispatchCycle > frontend.readyAt
+        ? dispatchCycle : frontend.readyAt;
+    uint64_t rob_free = robFreeAt[seq % robFreeAt.size()];
+    if (rob_free > dready)
+        dready = rob_free;
+    uint64_t iq_free = iqFreeAt[seq % iqFreeAt.size()];
+    if (iq_free > dready)
+        dready = iq_free;
+    if (is_load) {
+        uint64_t lq_free = lqFreeAt[loadSeq % lqFreeAt.size()];
+        if (lq_free > dready)
+            dready = lq_free;
+    }
+    if (is_store) {
+        uint64_t sq_free = sqFreeAt[storeSeq % sqFreeAt.size()];
+        if (sq_free > dready)
+            dready = sq_free;
+    }
+    if (dready > dispatchCycle) {
+        dispatchCycle = dready;
+        dispatchedThisCycle = 0;
+    }
+
+    // --- issue: out-of-order on operand readiness + FU -----------------
+    uint64_t ready = dispatchCycle;
+    for (unsigned i = 0; i < s.srcCount(); ++i) {
+        uint64_t at = regReady[s.srcReg(i)];
+        if (at > ready)
+            ready = at;
+    }
+    uint64_t start = contention.reserve(cls, ready);
+    uint64_t complete = start + contention.latencyOf(cls);
+
+    if (is_load) {
+        unsigned lat;
+        if (cparams.forwarding
+            && forwardedFromStore(s.memAddr(), s.memSize(), start)) {
+            lat = cparams.forwardLatency;
+            mem.access(s.pc(), s.memAddr(), false, false, start);
+        } else {
+            // Memory-level parallelism is capped by the MSHRs: a
+            // miss leaves the core only when an MSHR frees up,
+            // which also spaces out its DRAM arrival time.
+            uint64_t access_at = start;
+            size_t slot = mshrFree.size();
+            if (!mem.l1d().probe(s.memAddr() / mem.lineBytes())) {
+                slot = 0;
+                for (size_t i = 1; i < mshrFree.size(); ++i) {
+                    if (mshrFree[i] < mshrFree[slot])
+                        slot = i;
+                }
+                if (mshrFree[slot] > access_at)
+                    access_at = mshrFree[slot];
+            }
+            cache::AccessResult res =
+                mem.access(s.pc(), s.memAddr(), false, false,
+                           access_at);
+            lat = static_cast<unsigned>(access_at - start)
+                + res.latency;
+            if (slot != mshrFree.size())
+                mshrFree[slot] = access_at + res.latency;
+        }
+        complete = start + lat;
+    }
+
+    if (s.isBranch()) {
+        if (bp.predict(s.pc(), cls, s.taken(), s.nextPc())) {
+            // The front end restarts only once the branch resolves.
+            frontend.redirect(complete + cparams.mispredictPenalty);
+        } else if (s.taken() && cparams.takenBranchBubble) {
+            frontend.stallUntil(dispatchCycle
+                                + cparams.takenBranchBubble);
+        }
+    }
+
+    // --- retire: in-order, commitWidth per cycle ------------------------
+    uint64_t retire = complete;
+    uint64_t window = retireRing[seq % retireRing.size()] + 1;
+    if (window > retire)
+        retire = window;
+    if (lastRetire > retire)
+        retire = lastRetire;
+    retireRing[seq % retireRing.size()] = retire;
+    lastRetire = retire;
+
+    if (is_store) {
+        // Stores drain to the cache after retiring; the SQ entry is
+        // pinned until the drain completes.
+        cache::AccessResult res =
+            mem.access(s.pc(), s.memAddr(), true, false, retire);
+        uint64_t drain_start =
+            retire > lastDrain ? retire : lastDrain;
+        uint64_t drain_done = drain_start + res.latency;
+        lastDrain = drain_done;
+        sqFreeAt[storeSeq % sqFreeAt.size()] = drain_done;
+        pendingStores[pendingStoreHead] =
+            PendingStore{s.memAddr(), s.memSize(), drain_done};
+        if (pendingStoreLive <= pendingStoreHead)
+            pendingStoreLive = pendingStoreHead + 1;
+        if (drain_done > pendingStoreMaxDrain)
+            pendingStoreMaxDrain = drain_done;
+        pendingStoreHead =
+            (pendingStoreHead + 1) % pendingStores.size();
+        ++storeSeq;
+    }
+    if (is_load) {
+        lqFreeAt[loadSeq % lqFreeAt.size()] = retire;
+        ++loadSeq;
+    }
+
+    if (s.hasDst())
+        regReady[s.dstReg()] = complete;
+    robFreeAt[seq % robFreeAt.size()] = retire;
+    iqFreeAt[seq % iqFreeAt.size()] = start;
+    ++seq;
+
+    if (++dispatchedThisCycle >= cparams.dispatchWidth) {
+        ++dispatchCycle;
+        dispatchedThisCycle = 0;
+    }
+}
+
+template <class Stream>
 uint64_t
 OooCore::runSegment(Stream &s, uint64_t max_insts)
 {
     uint64_t consumed = 0;
     while (consumed < max_insts && s.next()) {
         ++consumed;
-        ++runStats.instructions;
-        frontend.fetch(mem, cparams, s.pc(), dispatchCycle);
-
-        OpClass cls = s.cls();
-        bool is_load = cls == OpClass::Load;
-        bool is_store = cls == OpClass::Store;
-
-        // --- dispatch: in-order, gated by window resources -------------
-        uint64_t dready = dispatchCycle > frontend.readyAt
-            ? dispatchCycle : frontend.readyAt;
-        uint64_t rob_free = robFreeAt[seq % robFreeAt.size()];
-        if (rob_free > dready)
-            dready = rob_free;
-        uint64_t iq_free = iqFreeAt[seq % iqFreeAt.size()];
-        if (iq_free > dready)
-            dready = iq_free;
-        if (is_load) {
-            uint64_t lq_free = lqFreeAt[loadSeq % lqFreeAt.size()];
-            if (lq_free > dready)
-                dready = lq_free;
-        }
-        if (is_store) {
-            uint64_t sq_free = sqFreeAt[storeSeq % sqFreeAt.size()];
-            if (sq_free > dready)
-                dready = sq_free;
-        }
-        if (dready > dispatchCycle) {
-            dispatchCycle = dready;
-            dispatchedThisCycle = 0;
-        }
-
-        // --- issue: out-of-order on operand readiness + FU -------------
-        uint64_t ready = dispatchCycle;
-        for (unsigned i = 0; i < s.srcCount(); ++i) {
-            uint64_t at = regReady[s.srcReg(i)];
-            if (at > ready)
-                ready = at;
-        }
-        uint64_t start = contention.reserve(cls, ready);
-        uint64_t complete = start + contention.latencyOf(cls);
-
-        if (is_load) {
-            unsigned lat;
-            if (cparams.forwarding
-                && forwardedFromStore(s.memAddr(), s.memSize(), start)) {
-                lat = cparams.forwardLatency;
-                mem.access(s.pc(), s.memAddr(), false, false, start);
-            } else {
-                // Memory-level parallelism is capped by the MSHRs: a
-                // miss leaves the core only when an MSHR frees up,
-                // which also spaces out its DRAM arrival time.
-                uint64_t access_at = start;
-                size_t slot = mshrFree.size();
-                if (!mem.l1d().probe(s.memAddr() / mem.lineBytes())) {
-                    slot = 0;
-                    for (size_t i = 1; i < mshrFree.size(); ++i) {
-                        if (mshrFree[i] < mshrFree[slot])
-                            slot = i;
-                    }
-                    if (mshrFree[slot] > access_at)
-                        access_at = mshrFree[slot];
-                }
-                cache::AccessResult res =
-                    mem.access(s.pc(), s.memAddr(), false, false,
-                               access_at);
-                lat = static_cast<unsigned>(access_at - start)
-                    + res.latency;
-                if (slot != mshrFree.size())
-                    mshrFree[slot] = access_at + res.latency;
-            }
-            complete = start + lat;
-        }
-
-        if (s.isBranch()) {
-            if (bp.predict(s.pc(), cls, s.taken(), s.nextPc())) {
-                // The front end restarts only once the branch resolves.
-                frontend.redirect(complete + cparams.mispredictPenalty);
-            } else if (s.taken() && cparams.takenBranchBubble) {
-                frontend.stallUntil(dispatchCycle
-                                    + cparams.takenBranchBubble);
-            }
-        }
-
-        // --- retire: in-order, commitWidth per cycle --------------------
-        uint64_t retire = complete;
-        uint64_t window = retireRing[seq % retireRing.size()] + 1;
-        if (window > retire)
-            retire = window;
-        if (lastRetire > retire)
-            retire = lastRetire;
-        retireRing[seq % retireRing.size()] = retire;
-        lastRetire = retire;
-
-        if (is_store) {
-            // Stores drain to the cache after retiring; the SQ entry is
-            // pinned until the drain completes.
-            cache::AccessResult res =
-                mem.access(s.pc(), s.memAddr(), true, false, retire);
-            uint64_t drain_start =
-                retire > lastDrain ? retire : lastDrain;
-            uint64_t drain_done = drain_start + res.latency;
-            lastDrain = drain_done;
-            sqFreeAt[storeSeq % sqFreeAt.size()] = drain_done;
-            pendingStores[pendingStoreHead] =
-                PendingStore{s.memAddr(), s.memSize(), drain_done};
-            pendingStoreHead =
-                (pendingStoreHead + 1) % pendingStores.size();
-            ++storeSeq;
-        }
-        if (is_load) {
-            lqFreeAt[loadSeq % lqFreeAt.size()] = retire;
-            ++loadSeq;
-        }
-
-        if (s.hasDst())
-            regReady[s.dstReg()] = complete;
-        robFreeAt[seq % robFreeAt.size()] = retire;
-        iqFreeAt[seq % iqFreeAt.size()] = start;
-        ++seq;
-
-        if (++dispatchedThisCycle >= cparams.dispatchWidth) {
-            ++dispatchCycle;
-            dispatchedThisCycle = 0;
-        }
+        step(s);
     }
     return consumed;
+}
+
+template <class Stream>
+uint64_t
+OooCore::runSegmentMulti(std::vector<OooCore> &cores, Stream &stream,
+                         uint64_t max_insts)
+{
+    return runLockstepSegment(cores, stream, max_insts);
 }
 
 template uint64_t
 OooCore::runSegment<vm::PackedStream>(vm::PackedStream &, uint64_t);
 template uint64_t
 OooCore::runSegment<vm::SourceStream>(vm::SourceStream &, uint64_t);
+template uint64_t OooCore::runSegmentMulti<vm::PackedStream>(
+    std::vector<OooCore> &, vm::PackedStream &, uint64_t);
 
 CoreStats
 OooCore::finishRun()

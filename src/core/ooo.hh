@@ -65,6 +65,22 @@ class OooCore : public TimingModel
     template <class Stream>
     uint64_t runSegment(Stream &stream, uint64_t max_insts);
 
+    /**
+     * Lockstep variant of runSegment over M per-config core states:
+     * block-cycles every core's ordinary runSegment over the same
+     * stream range (see core::runLockstepSegment), so solo and
+     * lockstep replay are bit-identical by construction. Instantiated
+     * for vm::PackedStream only (the driver records each block into a
+     * vm::DecodedEvent buffer that followers replay from).
+     * Every core must be mid-run (beginRun() called, same consumed
+     * count).
+     *
+     * @return instructions consumed.
+     */
+    template <class Stream>
+    static uint64_t runSegmentMulti(std::vector<OooCore> &cores,
+                                    Stream &stream, uint64_t max_insts);
+
     /** Close accounting (drains, end cycle) and return the stats. */
     CoreStats finishRun();
     /// @}
@@ -105,8 +121,21 @@ class OooCore : public TimingModel
     };
     std::vector<PendingStore> pendingStores;
     size_t pendingStoreHead = 0;
+    /** How many ring slots have ever been written this run; the
+     *  forwarding scan only visits [0, pendingStoreLive). */
+    size_t pendingStoreLive = 0;
+    /** Latest drainAt of any buffered store; once <= now the whole
+     *  forwarding scan is dead work and is skipped. */
+    uint64_t pendingStoreMaxDrain = 0;
 
     void resetState();
+
+    /** Per-instruction accounting body, shared verbatim by runSegment
+     *  (solo) and runSegmentMulti (lockstep): consume one decoded
+     *  record, advance all scoreboard state. */
+    template <class Stream>
+    void step(const Stream &s);
+
     bool forwardedFromStore(uint64_t addr, unsigned size,
                             uint64_t now) const;
 };

@@ -60,6 +60,17 @@ struct ReplayOptions
     /** Minimum instructions per chunk; traces shorter than this never
      *  partition (the serial-fallback threshold). */
     uint64_t minPartitionInsts = 1ull << 16;
+    /** Requested lockstep config-batch width: how many candidate
+     *  configurations replay side-by-side over ONE stream pass (see
+     *  core/multi_replay.hh). 0 = auto (a sensible default width); 1
+     *  disables lockstep grouping entirely. Whatever is requested is
+     *  auto-capped so the combined per-config micro-architectural
+     *  state of one group stays within configStateBudgetBytes. */
+    unsigned configBatch = 0;
+    /** Cap on the summed approximate state bytes of one lockstep
+     *  group (cache tags + predictor tables + scoreboards per config);
+     *  keeps a group's working set cache-resident. 0 = uncapped. */
+    uint64_t configStateBudgetBytes = 8ull << 20;
 };
 
 /** The resolved decision for one (trace, options) pair. */
@@ -122,6 +133,71 @@ runPackedTrace(Model &model, const vm::PackedTrace &trace,
         current = carrier.get();
     }
     return current->finishRun();
+}
+
+/** Instructions each core replays before the lockstep driver cycles to
+ *  the next core of the group (see runLockstepSegment). Sized so a
+ *  block's DecodedEvent buffer (16 B/inst = 128 KiB) stays L2-hot
+ *  across every core of the group while each core's own tables stay
+ *  hot for the whole block. */
+constexpr uint64_t lockstepBlockInsts = 8192;
+
+/**
+ * Block-cycled lockstep segment driver: replay the same stream range
+ * through M mid-run cores, decoding the trace once per block.
+ *
+ * Per-instruction interleaving of M core states defeats both the
+ * register allocation of the solo segment loop and the L1 residency of
+ * each core's tables, so the driver blocks over the trace instead:
+ * every lockstepBlockInsts instructions, core 0 consumes the block
+ * through a vm::RecordingStream that captures each instruction's fully
+ * decoded form (static index, taken bit, successor, memory address)
+ * into a flat 16-byte-per-event buffer; every remaining core then
+ * replays the identical block through a vm::DecodedBlockStream over
+ * that buffer. Followers therefore skip the stride-delta and
+ * branch-bitfield reconstruction entirely -- their next() is a
+ * bump-and-load from a cache-hot buffer -- which is the "decode once,
+ * simulate M" saving, and each core's micro-architectural state stays
+ * resident for a whole block.
+ *
+ * Bit-identity with solo replay is by construction: every core runs
+ * the exact runSegment loop a solo replay runs, the recorded events
+ * reproduce every accessor value of the PackedStream verbatim
+ * (including the unspecified stale values of flag-unset fields), and
+ * no timing state is shared between cores.
+ *
+ * @param cores mid-run cores (beginRun() called, equal consumed count).
+ * @param stream the group's shared PackedStream; left positioned after
+ *        the consumed range.
+ * @return instructions consumed (same count for every core).
+ */
+template <class Model>
+uint64_t
+runLockstepSegment(std::vector<Model> &cores, vm::PackedStream &stream,
+                   uint64_t max_insts)
+{
+    if (cores.empty())
+        return 0;
+    std::vector<vm::DecodedEvent> events;
+    events.reserve(static_cast<size_t>(
+        lockstepBlockInsts < max_insts ? lockstepBlockInsts : max_insts));
+    uint64_t consumed = 0;
+    while (consumed < max_insts) {
+        uint64_t block = lockstepBlockInsts;
+        if (block > max_insts - consumed)
+            block = max_insts - consumed;
+        events.clear();
+        vm::RecordingStream lead(stream, events);
+        uint64_t did = cores[0].runSegment(lead, block);
+        for (size_t i = 1; i < cores.size(); ++i) {
+            vm::DecodedBlockStream follow(stream.trace(), events);
+            cores[i].runSegment(follow, block);
+        }
+        consumed += did;
+        if (did < block)
+            break; // stream exhausted
+    }
+    return consumed;
 }
 
 } // namespace raceval::core

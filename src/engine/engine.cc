@@ -4,6 +4,7 @@
 
 #include "common/json_writer.hh"
 #include "common/log.hh"
+#include "core/multi_replay.hh"
 #include "core/timing_model.hh"
 #include "obs/trace.hh"
 
@@ -65,6 +66,13 @@ EngineStats::summary() const
         static_cast<unsigned long long>(batches),
         static_cast<unsigned long long>(batchSubmissions),
         static_cast<unsigned long long>(batchDeduplicated));
+    out += strprintf(
+        "\n        lockstep: %llu groups (avg width %.1f), "
+        "%llu configs batched, %llu stream passes saved",
+        static_cast<unsigned long long>(lockstepGroups),
+        lockstepWidthAvg(),
+        static_cast<unsigned long long>(lockstepConfigs),
+        static_cast<unsigned long long>(streamPassesSaved));
     return out;
 }
 
@@ -96,6 +104,9 @@ EngineStats::json() const
         .field("batches", batches)
         .field("batch_submitted", batchSubmissions)
         .field("batch_deduplicated", batchDeduplicated)
+        .field("lockstep_groups", lockstepGroups)
+        .field("lockstep_width_avg", lockstepWidthAvg())
+        .field("stream_passes_saved", streamPassesSaved)
         .endObject();
     return w.str();
 }
@@ -126,6 +137,9 @@ EngineStats::samples() const
         {"batches", n(batches)},
         {"batch_submitted", n(batchSubmissions)},
         {"batch_deduplicated", n(batchDeduplicated)},
+        {"lockstep_groups", n(lockstepGroups)},
+        {"lockstep_width_avg", lockstepWidthAvg()},
+        {"stream_passes_saved", n(streamPassesSaved)},
     };
 }
 
@@ -222,24 +236,45 @@ EvalEngine::programFingerprint(size_t instance) const
     return instanceFps[instance];
 }
 
+bool
+EvalEngine::warmLookup(core::ModelFamily family,
+                       const core::CoreParams &model, size_t instance,
+                       size_t domain, EvalValue &out)
+{
+    // A mapped warm file answers before any simulation runs. Its keys
+    // carry the program fingerprint (not the bank-local id), mirroring
+    // saveCache()/loadCache().
+    if (!warm)
+        return false;
+    EvalKey disk_key{modelKey(family, model, instance, domain).model,
+                     programFingerprint(instance)};
+    if (!warm->lookup(disk_key, out))
+        return false;
+    ++warmFileHitCount;
+    return true;
+}
+
+EvalValue
+EvalEngine::scoreRun(const core::CoreStats &run, size_t instance,
+                     size_t domain)
+{
+    const SimCostFn &cost = domains[domain].fn;
+    EvalValue value;
+    value.simCpi = run.cpi();
+    value.cost = cost ? cost(run, instance) : value.simCpi;
+    ++evaluations;
+    return value;
+}
+
 EvalValue
 EvalEngine::computeFresh(core::ModelFamily family,
                          const core::CoreParams &model, size_t instance,
                          size_t domain)
 {
     RV_SPAN("engine.eval", static_cast<uint64_t>(instance));
-    // A mapped warm file answers before any simulation runs. Its keys
-    // carry the program fingerprint (not the bank-local id), mirroring
-    // saveCache()/loadCache().
-    if (warm) {
-        EvalKey disk_key{modelKey(family, model, instance, domain).model,
-                         programFingerprint(instance)};
-        EvalValue served;
-        if (warm->lookup(disk_key, served)) {
-            ++warmFileHitCount;
-            return served;
-        }
-    }
+    EvalValue served;
+    if (warmLookup(family, model, instance, domain, served))
+        return served;
 
     auto fresh_start = std::chrono::steady_clock::now();
     core::CoreStats run = replayRun(family, model, instance);
@@ -249,12 +284,7 @@ EvalEngine::computeFresh(core::ModelFamily family,
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - fresh_start)
                 .count()));
-    const SimCostFn &cost = domains[domain].fn;
-    EvalValue value;
-    value.simCpi = run.cpi();
-    value.cost = cost ? cost(run, instance) : value.simCpi;
-    ++evaluations;
-    return value;
+    return scoreRun(run, instance, domain);
 }
 
 void
@@ -442,6 +472,9 @@ EvalEngine::stats() const
     out.batches = batches.load();
     out.batchSubmissions = batchSubmissions.load();
     out.batchDeduplicated = batchDeduplicated.load();
+    out.lockstepGroups = lockstepGroupCount.load();
+    out.lockstepConfigs = lockstepConfigCount.load();
+    out.streamPassesSaved = streamPassesSavedCount.load();
     out.evalSeconds = static_cast<double>(evalNanos.load()) / 1e9;
     return out;
 }
@@ -501,6 +534,49 @@ BatchEvaluator::submitModel(core::ModelFamily family,
 }
 
 void
+BatchEvaluator::runSolo(Slot &slot)
+{
+    slot.value = engine.computeFresh(slot.family, slot.model,
+                                     slot.instance, slot.domain);
+    engine.cache.insert(slot.key, slot.value);
+    slot.served = true;
+}
+
+void
+BatchEvaluator::runLockstepGroup(const std::vector<size_t> &pending,
+                                 const core::LockstepGroup &group)
+{
+    const Slot &first = slots[pending[group.members.front()]];
+    // Fetch the packed trace inside the work item (recording it here
+    // on first use, like the solo path); a spilled trace cannot share
+    // a stream pass, so its members fall back to solo replay.
+    std::shared_ptr<const vm::PackedTrace> packed =
+        engine.bank.packed(first.instance);
+    if (!packed) {
+        for (size_t m : group.members)
+            runSolo(slots[pending[m]]);
+        return;
+    }
+
+    std::vector<core::CoreParams> configs;
+    configs.reserve(group.members.size());
+    for (size_t m : group.members)
+        configs.push_back(slots[pending[m]].model);
+    std::vector<core::CoreStats> runs = core::runPackedTraceMultiFamily(
+        first.family, configs, *packed, engine.opts.replay);
+    for (size_t i = 0; i < group.members.size(); ++i) {
+        Slot &slot = slots[pending[group.members[i]]];
+        slot.value =
+            engine.scoreRun(runs[i], slot.instance, slot.domain);
+        engine.cache.insert(slot.key, slot.value);
+        slot.served = true;
+    }
+    ++engine.lockstepGroupCount;
+    engine.lockstepConfigCount += group.members.size();
+    engine.streamPassesSavedCount += group.members.size() - 1;
+}
+
+void
 BatchEvaluator::collect()
 {
     if (collected)
@@ -516,13 +592,48 @@ BatchEvaluator::collect()
         // experimentsPerSecond() reports real throughput rather than
         // summed per-thread time.
         auto start = std::chrono::steady_clock::now();
-        engine.pool.parallelFor(fresh.size(), [&](size_t k) {
-            Slot &slot = slots[fresh[k]];
-            slot.value = engine.computeFresh(slot.family, slot.model,
-                                             slot.instance,
-                                             slot.domain);
-            engine.cache.insert(slot.key, slot.value);
-            slot.served = true;
+
+        // Warm-file pre-pass: mapped-file answers never reach the
+        // lockstep planner (mirrors computeFresh's lookup order).
+        std::vector<size_t> pending;
+        pending.reserve(fresh.size());
+        for (size_t s : fresh) {
+            Slot &slot = slots[s];
+            if (engine.warmLookup(slot.family, slot.model,
+                                  slot.instance, slot.domain,
+                                  slot.value)) {
+                engine.cache.insert(slot.key, slot.value);
+                slot.served = true;
+            } else {
+                pending.push_back(s);
+            }
+        }
+
+        // Plan config-batched lockstep groups: slots of the same
+        // (family, instance) share one PackedStream pass, leftovers
+        // keep the solo path. One group (or singleton) = one pool
+        // work item.
+        std::vector<core::LockstepCandidate> candidates;
+        candidates.reserve(pending.size());
+        for (size_t s : pending) {
+            const Slot &slot = slots[s];
+            candidates.push_back(core::LockstepCandidate{
+                Fingerprinter::mix64(
+                    static_cast<uint64_t>(slot.family)
+                    ^ Fingerprinter::mix64(slot.instance)),
+                core::approxLockstepStateBytes(slot.family,
+                                               slot.model)});
+        }
+        core::LockstepPlan plan = core::planLockstepGroups(
+            candidates, engine.opts.replay);
+
+        size_t items = plan.groups.size() + plan.singles.size();
+        engine.pool.parallelFor(items, [&](size_t k) {
+            if (k < plan.groups.size())
+                runLockstepGroup(pending, plan.groups[k]);
+            else
+                runSolo(slots[pending[
+                    plan.singles[k - plan.groups.size()]]]);
         });
         engine.chargeWall(start);
         RV_HISTOGRAM_RECORD(

@@ -41,6 +41,11 @@
 #include "engine/trace_bank.hh"
 #include "tuner/evaluator.hh"
 
+namespace raceval::core
+{
+struct LockstepGroup;
+}
+
 namespace raceval::engine
 {
 
@@ -77,6 +82,14 @@ struct EngineStats
     uint64_t batches = 0;     //!< collected batches
     uint64_t batchSubmissions = 0; //!< tickets submitted to batches
     uint64_t batchDeduplicated = 0; //!< tickets folded into another
+    /** Lockstep replay groups run (config-batched stream passes; see
+     *  core/multi_replay.hh). */
+    uint64_t lockstepGroups = 0;
+    /** Fresh evaluations served through lockstep groups. */
+    uint64_t lockstepConfigs = 0;
+    /** PackedStream traversals avoided by lockstep batching: each
+     *  group of width M decodes the trace once instead of M times. */
+    uint64_t streamPassesSaved = 0;
     /** Wall time spent evaluating: each batch wave charges its wall
      *  clock once, however many workers ran it. */
     double evalSeconds = 0.0;
@@ -87,6 +100,16 @@ struct EngineStats
     {
         return evalSeconds > 0.0
             ? static_cast<double>(evaluations) / evalSeconds : 0.0;
+    }
+
+    /** @return mean configs per lockstep group (0 when none ran). */
+    double
+    lockstepWidthAvg() const
+    {
+        return lockstepGroups
+            ? static_cast<double>(lockstepConfigs)
+                / static_cast<double>(lockstepGroups)
+            : 0.0;
     }
 
     /** Multi-line human-readable report. */
@@ -358,11 +381,19 @@ class EvalEngine : public tuner::CostEvaluator
     /** Apply the model fn (asserts one is set). */
     core::CoreParams materialize(const tuner::Configuration &config)
         const;
-    /** Record-replay-score one experiment (the only place timing
-     *  models run); consults the mapped warm file first. */
+    /** Record-replay-score one experiment; consults the mapped warm
+     *  file first. Timing models run only here and in the lockstep
+     *  group path (BatchEvaluator::collect). */
     EvalValue computeFresh(core::ModelFamily family,
                            const core::CoreParams &model,
                            size_t instance, size_t domain);
+    /** Consult the mapped warm file. @return true when served. */
+    bool warmLookup(core::ModelFamily family,
+                    const core::CoreParams &model, size_t instance,
+                    size_t domain, EvalValue &out);
+    /** Score a finished replay through a domain's cost metric. */
+    EvalValue scoreRun(const core::CoreStats &run, size_t instance,
+                       size_t domain);
     /** Content fingerprint of an instance's program (memoized; the
      *  instance half of on-disk cache keys). */
     uint64_t programFingerprint(size_t instance) const;
@@ -401,6 +432,9 @@ class EvalEngine : public tuner::CostEvaluator
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> batchSubmissions{0};
     std::atomic<uint64_t> batchDeduplicated{0};
+    std::atomic<uint64_t> lockstepGroupCount{0};
+    std::atomic<uint64_t> lockstepConfigCount{0};
+    std::atomic<uint64_t> streamPassesSavedCount{0};
     std::atomic<uint64_t> evalNanos{0};
 
     /** Registry pull source exporting stats() (released before the
@@ -412,9 +446,13 @@ class EvalEngine : public tuner::CostEvaluator
  * Asynchronous submit/collect over the engine.
  *
  * submit() is cheap and deduplicating: identical keys in one batch
- * share a single slot (and a single simulation). collect() runs every
- * fresh slot over the engine's thread pool as one parallel wave and
- * fills the cache; afterwards cost()/simCpi() answer by ticket.
+ * share a single slot (and a single simulation). collect() plans the
+ * fresh slots into config-batched lockstep groups (slots of the same
+ * (family, instance) share ONE PackedStream pass; see
+ * core/multi_replay.hh), then runs one work item per group plus one
+ * per leftover singleton over the engine's thread pool and fills the
+ * cache; afterwards cost()/simCpi() answer by ticket. Cached and
+ * warm-file-served slots never join a lockstep group.
  */
 class BatchEvaluator
 {
@@ -471,6 +509,15 @@ class BatchEvaluator
         EvalValue value;
         bool served = false; //!< filled from cache at submit time
     };
+
+    /** Solo-replay one fresh slot (the singleton path). */
+    void runSolo(Slot &slot);
+    /** Run one planned lockstep group over a single stream pass (solo
+     *  fallback per member when the trace is spilled); serves and
+     *  caches every member slot. @p pending maps planner candidate
+     *  indices back to slot indices. */
+    void runLockstepGroup(const std::vector<size_t> &pending,
+                          const core::LockstepGroup &group);
 
     EvalEngine &engine;
     std::vector<size_t> tickets; //!< ticket -> slot index

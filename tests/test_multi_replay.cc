@@ -1,0 +1,462 @@
+/** @file Config-batched lockstep replay tests: the bit-identity
+ *  contract of lockstep (M configs over ONE PackedStream pass) vs solo
+ *  replay for every timing family, at every group width, across
+ *  chunked-replay seams; the group planner (width cap, state budget,
+ *  singleton fallback, determinism); and the engine wiring (dedup
+ *  interplay, warm-cache tickets never joining a group, lockstep
+ *  engine results bit-identical to a solo-configured engine). */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/inorder.hh"
+#include "core/interval.hh"
+#include "core/multi_replay.hh"
+#include "core/ooo.hh"
+#include "core/replay.hh"
+#include "core/timing_model.hh"
+#include "engine/engine.hh"
+#include "ubench/ubench.hh"
+#include "vm/functional.hh"
+#include "vm/packed_trace.hh"
+
+using namespace raceval;
+using core::ModelFamily;
+using core::ReplayMode;
+using core::ReplayOptions;
+
+namespace
+{
+
+isa::Program
+smallProgram(const char *name, uint64_t insts = 20000)
+{
+    const ubench::UbenchInfo *info = ubench::find(name);
+    EXPECT_NE(info, nullptr);
+    return info->builder(insts, true);
+}
+
+vm::PackedTrace
+packProgram(const isa::Program &prog)
+{
+    vm::FunctionalCore live(prog);
+    return vm::PackedTrace::build(prog, live);
+}
+
+/** Require every counter of two runs to match exactly. */
+void
+expectBitIdentical(const core::CoreStats &a, const core::CoreStats &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.branch.branches, b.branch.branches) << what;
+    EXPECT_EQ(a.branch.mispredicts, b.branch.mispredicts) << what;
+    EXPECT_EQ(a.branch.directionMispredicts,
+              b.branch.directionMispredicts) << what;
+    EXPECT_EQ(a.branch.targetMispredicts, b.branch.targetMispredicts)
+        << what;
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses) << what;
+    EXPECT_EQ(a.l1dAccesses, b.l1dAccesses) << what;
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses) << what;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << what;
+    EXPECT_EQ(a.dramReads, b.dramReads) << what;
+}
+
+const ModelFamily allFamilies[] = {ModelFamily::InOrder,
+                                   ModelFamily::Ooo,
+                                   ModelFamily::Interval};
+
+/** A distinct-but-valid candidate configuration per index: the knobs
+ *  vary enough that every member of a group takes different timing
+ *  paths (predictor geometry, window, cache size, penalties). */
+core::CoreParams
+variantConfig(unsigned i)
+{
+    core::CoreParams p = core::publicInfoA53();
+    p.mispredictPenalty = 6 + (i % 5);
+    p.robEntries = 64 + 16 * (i % 4);
+    p.storeBufferEntries = 2 + (i % 4);
+    p.bp.tableBits = 10 + (i % 3);
+    p.mem.l1d.sizeBytes = (16ull << 10) << (i % 2);
+    return p;
+}
+
+std::vector<core::CoreParams>
+variantConfigs(unsigned width)
+{
+    std::vector<core::CoreParams> configs;
+    for (unsigned i = 0; i < width; ++i)
+        configs.push_back(variantConfig(i));
+    return configs;
+}
+
+core::CoreStats
+runSolo(ModelFamily family, const core::CoreParams &params,
+        const vm::PackedTrace &trace, const ReplayOptions &opts)
+{
+    return core::makeTimingModel(family, params)->run(trace, opts);
+}
+
+} // namespace
+
+// --------------------------------------------------------- width resolve
+
+TEST(LockstepPlan, ResolveConfigBatch)
+{
+    ReplayOptions opts;
+    opts.configBatch = 0; // auto
+    EXPECT_EQ(core::resolveConfigBatch(opts), core::defaultConfigBatch);
+    opts.configBatch = 1; // lockstep disabled
+    EXPECT_EQ(core::resolveConfigBatch(opts), 1u);
+    opts.configBatch = 5;
+    EXPECT_EQ(core::resolveConfigBatch(opts), 5u);
+}
+
+// ------------------------------------------------------------ planner
+
+TEST(LockstepPlan, PacksSameKeyUpToWidthCap)
+{
+    ReplayOptions opts;
+    opts.configBatch = 4;
+    std::vector<core::LockstepCandidate> candidates(10);
+    for (auto &c : candidates)
+        c = {/*groupKey=*/7, /*stateBytes=*/1};
+    core::LockstepPlan plan =
+        core::planLockstepGroups(candidates, opts);
+    ASSERT_EQ(plan.groups.size(), 3u); // 4 + 4 + 2
+    EXPECT_EQ(plan.groups[0].members.size(), 4u);
+    EXPECT_EQ(plan.groups[1].members.size(), 4u);
+    EXPECT_EQ(plan.groups[2].members.size(), 2u);
+    EXPECT_TRUE(plan.singles.empty());
+    // Submission order preserved inside the groups.
+    EXPECT_EQ(plan.groups[0].members.front(), 0u);
+    EXPECT_EQ(plan.groups[2].members.back(), 9u);
+}
+
+TEST(LockstepPlan, DistinctKeysNeverShareAGroup)
+{
+    ReplayOptions opts;
+    std::vector<core::LockstepCandidate> candidates;
+    for (uint64_t key = 0; key < 5; ++key)
+        candidates.push_back({key, 1});
+    core::LockstepPlan plan =
+        core::planLockstepGroups(candidates, opts);
+    EXPECT_TRUE(plan.groups.empty());
+    EXPECT_EQ(plan.singles.size(), 5u); // singleton fallback
+}
+
+TEST(LockstepPlan, WidthOneDisablesLockstep)
+{
+    ReplayOptions opts;
+    opts.configBatch = 1;
+    std::vector<core::LockstepCandidate> candidates(6);
+    for (auto &c : candidates)
+        c = {3, 1};
+    core::LockstepPlan plan =
+        core::planLockstepGroups(candidates, opts);
+    EXPECT_TRUE(plan.groups.empty());
+    EXPECT_EQ(plan.singles.size(), 6u);
+}
+
+TEST(LockstepPlan, StateBudgetCapsGroupWidth)
+{
+    ReplayOptions opts;
+    opts.configBatch = 8;
+    opts.configStateBudgetBytes = 100;
+    std::vector<core::LockstepCandidate> candidates(4);
+    for (auto &c : candidates)
+        c = {1, 40}; // 3rd member would push a group past 100 bytes
+    core::LockstepPlan plan =
+        core::planLockstepGroups(candidates, opts);
+    ASSERT_EQ(plan.groups.size(), 2u);
+    EXPECT_EQ(plan.groups[0].members.size(), 2u);
+    EXPECT_EQ(plan.groups[1].members.size(), 2u);
+
+    // An oversized single candidate still replays (solo), never drops.
+    candidates.assign(2, {1, 500});
+    plan = core::planLockstepGroups(candidates, opts);
+    EXPECT_TRUE(plan.groups.empty());
+    EXPECT_EQ(plan.singles.size(), 2u);
+
+    // Budget 0 = uncapped.
+    opts.configStateBudgetBytes = 0;
+    candidates.assign(4, {1, 500});
+    plan = core::planLockstepGroups(candidates, opts);
+    ASSERT_EQ(plan.groups.size(), 1u);
+    EXPECT_EQ(plan.groups[0].members.size(), 4u);
+}
+
+TEST(LockstepPlan, StateBytesEstimateTracksTableSizes)
+{
+    core::CoreParams small = core::publicInfoA53();
+    core::CoreParams big = small;
+    big.bp.tableBits = small.bp.tableBits + 4;
+    big.mem.l1d.sizeBytes = small.mem.l1d.sizeBytes * 4;
+    for (ModelFamily family : allFamilies) {
+        uint64_t a = core::approxLockstepStateBytes(family, small);
+        uint64_t b = core::approxLockstepStateBytes(family, big);
+        EXPECT_GT(a, 0u) << core::modelFamilyName(family);
+        EXPECT_GT(b, a) << core::modelFamilyName(family);
+    }
+}
+
+// ---------------------------------------------------------- bit-identity
+
+// The tentpole contract: M configs replayed over one shared stream
+// pass are bit-identical to M solo replays, for every family at every
+// width, because both paths run the same per-instruction step() and
+// all mutable state lives inside the per-config core object.
+TEST(LockstepReplay, BitIdenticalToSoloAllFamiliesAllWidths)
+{
+    isa::Program prog = smallProgram("CCh");
+    vm::PackedTrace trace = packProgram(prog);
+    ReplayOptions serial;
+    serial.mode = ReplayMode::Serial;
+
+    const unsigned widths[] = {1, 2, 3, 7};
+    for (ModelFamily family : allFamilies) {
+        for (unsigned width : widths) {
+            std::vector<core::CoreParams> configs =
+                variantConfigs(width);
+            std::vector<core::CoreStats> lockstep =
+                core::runPackedTraceMultiFamily(family, configs, trace,
+                                                serial);
+            ASSERT_EQ(lockstep.size(), configs.size());
+            for (unsigned i = 0; i < width; ++i) {
+                expectBitIdentical(
+                    runSolo(family, configs[i], trace, serial),
+                    lockstep[i],
+                    std::string(core::modelFamilyName(family))
+                        + " width " + std::to_string(width)
+                        + " config " + std::to_string(i));
+            }
+        }
+    }
+}
+
+// Lockstep composed with chunked (BSP) replay: the seam hands the
+// complete state of ALL group members across; a prime-length trace at
+// 7 partitions puts the seams mid-pattern.
+TEST(LockstepReplay, ChunkedSeamsBitIdenticalAcrossWidths)
+{
+    isa::Program prog = smallProgram("MC", 9973); // prime length
+    vm::PackedTrace trace = packProgram(prog);
+    ReplayOptions serial;
+    serial.mode = ReplayMode::Serial;
+    ReplayOptions chunked;
+    chunked.mode = ReplayMode::Chunked;
+    chunked.partitions = 7;
+    chunked.minPartitionInsts = 1;
+
+    const unsigned widths[] = {2, 3};
+    for (ModelFamily family : allFamilies) {
+        for (unsigned width : widths) {
+            std::vector<core::CoreParams> configs =
+                variantConfigs(width);
+            std::vector<core::CoreStats> lockstep =
+                core::runPackedTraceMultiFamily(family, configs, trace,
+                                                chunked);
+            for (unsigned i = 0; i < width; ++i) {
+                expectBitIdentical(
+                    runSolo(family, configs[i], trace, serial),
+                    lockstep[i],
+                    std::string(core::modelFamilyName(family))
+                        + " chunked width " + std::to_string(width)
+                        + " config " + std::to_string(i));
+            }
+        }
+    }
+}
+
+// A group whose members take different branch-predictor paths: one
+// config predicts with a tiny static scheme, the others with real
+// predictors, so the same decoded branch diverges inside the group.
+TEST(LockstepReplay, MixedPredictorGroupStaysIndependent)
+{
+    isa::Program prog = smallProgram("CCh", 9973);
+    vm::PackedTrace trace = packProgram(prog);
+    ReplayOptions serial;
+    serial.mode = ReplayMode::Serial;
+
+    std::vector<core::CoreParams> configs(3, core::publicInfoA53());
+    configs[0].bp.kind = branch::PredictorKind::NotTaken;
+    configs[1].bp.kind = branch::PredictorKind::GShare;
+    configs[2].bp.kind = branch::PredictorKind::Tournament;
+    configs[2].bp.tableBits = 8;
+
+    for (ModelFamily family : allFamilies) {
+        std::vector<core::CoreStats> lockstep =
+            core::runPackedTraceMultiFamily(family, configs, trace,
+                                            serial);
+        for (size_t i = 0; i < configs.size(); ++i) {
+            expectBitIdentical(
+                runSolo(family, configs[i], trace, serial),
+                lockstep[i],
+                std::string(core::modelFamilyName(family))
+                    + " predictor config " + std::to_string(i));
+        }
+        // The mispredict counts genuinely differ across members --
+        // the group did not leak predictor state sideways.
+        EXPECT_NE(lockstep[0].branch.mispredicts,
+                  lockstep[1].branch.mispredicts)
+            << core::modelFamilyName(family);
+    }
+}
+
+// ---------------------------------------------------------- engine wiring
+
+namespace
+{
+
+/** An engine with every variant instance registered. */
+struct EngineFixture
+{
+    engine::EvalEngine eng;
+    std::vector<size_t> instances;
+
+    explicit EngineFixture(unsigned config_batch,
+                           ModelFamily family = ModelFamily::InOrder)
+        : eng(family,
+              [&] {
+                  engine::EngineOptions o;
+                  o.threads = 1;
+                  o.replay.configBatch = config_batch;
+                  return o;
+              }())
+    {
+        instances.push_back(eng.addInstance(smallProgram("CCh", 6007)));
+        instances.push_back(eng.addInstance(smallProgram("MC", 5003)));
+    }
+};
+
+} // namespace
+
+// A lockstep-batched engine must produce exactly the costs of a
+// solo-configured engine (configBatch = 1), experiment for experiment.
+TEST(LockstepEngine, BatchResultsBitIdenticalToSoloEngine)
+{
+    EngineFixture solo(/*config_batch=*/1);
+    EngineFixture lockstep(/*config_batch=*/4);
+
+    std::vector<double> solo_costs, lockstep_costs;
+    for (auto *fx : {&solo, &lockstep}) {
+        engine::BatchEvaluator batch(fx->eng);
+        std::vector<engine::BatchEvaluator::Ticket> tickets;
+        for (size_t instance : fx->instances) {
+            for (unsigned i = 0; i < 6; ++i)
+                tickets.push_back(batch.submitModel(variantConfig(i),
+                                                    instance));
+        }
+        batch.collect();
+        std::vector<double> &costs =
+            fx == &solo ? solo_costs : lockstep_costs;
+        for (auto ticket : tickets) {
+            costs.push_back(batch.cost(ticket));
+            EXPECT_GT(batch.simCpi(ticket), 0.0);
+        }
+    }
+    ASSERT_EQ(solo_costs.size(), lockstep_costs.size());
+    for (size_t i = 0; i < solo_costs.size(); ++i)
+        EXPECT_EQ(solo_costs[i], lockstep_costs[i]) << "ticket " << i;
+
+    // The solo engine ran no lockstep groups; the batched engine
+    // grouped per (family, instance) and saved stream passes.
+    engine::EngineStats solo_stats = solo.eng.stats();
+    EXPECT_EQ(solo_stats.lockstepGroups, 0u);
+    EXPECT_EQ(solo_stats.streamPassesSaved, 0u);
+    engine::EngineStats ls = lockstep.eng.stats();
+    EXPECT_EQ(ls.lockstepGroups, 4u); // 2 instances x (4 + 2)
+    EXPECT_EQ(ls.lockstepConfigs, 12u);
+    EXPECT_EQ(ls.streamPassesSaved, 8u);
+    EXPECT_DOUBLE_EQ(ls.lockstepWidthAvg(), 3.0);
+    EXPECT_EQ(ls.evaluations, 12u);
+}
+
+// Dedup interplay: tickets folded into an existing slot never inflate
+// a lockstep group -- groups are planned over unique slots only.
+TEST(LockstepEngine, DeduplicatedTicketsDoNotInflateGroups)
+{
+    EngineFixture fx(/*config_batch=*/8);
+    engine::BatchEvaluator batch(fx.eng);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        for (unsigned i = 0; i < 4; ++i)
+            batch.submitModel(variantConfig(i), fx.instances[0]);
+    }
+    EXPECT_EQ(batch.submitted(), 12u);
+    EXPECT_EQ(batch.uniqueSlots(), 4u);
+    batch.collect();
+    engine::EngineStats stats = fx.eng.stats();
+    EXPECT_EQ(stats.lockstepGroups, 1u);
+    EXPECT_EQ(stats.lockstepConfigs, 4u);
+    EXPECT_EQ(stats.evaluations, 4u);
+    EXPECT_EQ(stats.batchDeduplicated, 8u);
+}
+
+// Warm-cache interaction: slots answered by the EvalCache at submit
+// time never reach the planner, and their values are the cached ones.
+TEST(LockstepEngine, CachedTicketsNeverJoinAGroup)
+{
+    EngineFixture fx(/*config_batch=*/8);
+    // Pre-warm two configs through the solo path.
+    engine::EvalValue warm0 =
+        fx.eng.evaluateModel(variantConfig(0), fx.instances[0]);
+    engine::EvalValue warm1 =
+        fx.eng.evaluateModel(variantConfig(1), fx.instances[0]);
+    uint64_t solo_evals = fx.eng.stats().evaluations;
+
+    engine::BatchEvaluator batch(fx.eng);
+    auto t0 = batch.submitModel(variantConfig(0), fx.instances[0]);
+    auto t1 = batch.submitModel(variantConfig(1), fx.instances[0]);
+    auto t2 = batch.submitModel(variantConfig(2), fx.instances[0]);
+    auto t3 = batch.submitModel(variantConfig(3), fx.instances[0]);
+    batch.collect();
+
+    EXPECT_EQ(batch.cost(t0), warm0.cost);
+    EXPECT_EQ(batch.cost(t1), warm1.cost);
+    EXPECT_GT(batch.simCpi(t2), 0.0);
+    EXPECT_GT(batch.simCpi(t3), 0.0);
+
+    engine::EngineStats stats = fx.eng.stats();
+    // Only the two fresh configs were simulated -- as one group of 2.
+    EXPECT_EQ(stats.evaluations, solo_evals + 2);
+    EXPECT_EQ(stats.lockstepGroups, 1u);
+    EXPECT_EQ(stats.lockstepConfigs, 2u);
+    EXPECT_EQ(stats.streamPassesSaved, 1u);
+}
+
+// Different instances (and families) never share a stream pass, and
+// mixed-family batches still come back bit-identical to solo.
+TEST(LockstepEngine, GroupsSplitByInstanceAndFamily)
+{
+    EngineFixture fx(/*config_batch=*/8);
+    engine::BatchEvaluator batch(fx.eng);
+    std::vector<engine::BatchEvaluator::Ticket> tickets;
+    for (unsigned i = 0; i < 2; ++i) {
+        tickets.push_back(batch.submitModel(
+            ModelFamily::InOrder, variantConfig(i), fx.instances[0]));
+        tickets.push_back(batch.submitModel(
+            ModelFamily::Ooo, variantConfig(i), fx.instances[0]));
+        tickets.push_back(batch.submitModel(
+            ModelFamily::InOrder, variantConfig(i), fx.instances[1]));
+    }
+    batch.collect();
+    engine::EngineStats stats = fx.eng.stats();
+    EXPECT_EQ(stats.lockstepGroups, 3u); // one per (family, instance)
+    EXPECT_EQ(stats.lockstepConfigs, 6u);
+
+    for (unsigned i = 0; i < 2; ++i) {
+        EXPECT_EQ(batch.simCpi(tickets[3 * i]),
+                  fx.eng
+                      .replayRun(ModelFamily::InOrder, variantConfig(i),
+                                 fx.instances[0])
+                      .cpi());
+        EXPECT_EQ(batch.simCpi(tickets[3 * i + 1]),
+                  fx.eng
+                      .replayRun(ModelFamily::Ooo, variantConfig(i),
+                                 fx.instances[0])
+                      .cpi());
+    }
+}
