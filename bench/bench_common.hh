@@ -18,6 +18,7 @@
 #include "core/timing_model.hh"
 #include "engine/engine.hh"
 #include "obs/heartbeat.hh"
+#include "obs/step_profiler.hh"
 #include "obs/trace.hh"
 #include "scenario/scenario.hh"
 #include "tuner/strategy.hh"
@@ -200,6 +201,11 @@ metricsPathFor(const std::string &path)
 inline void
 finishTelemetry()
 {
+    if (obs::stepProfilingEnabled()) {
+        std::string report = obs::stepProfileReport();
+        if (!report.empty())
+            std::printf("\n%s", report.c_str());
+    }
     if (obs::heartbeatRunning())
         obs::stopHeartbeat();
     if (obs::tracingActive())
@@ -233,6 +239,8 @@ writeJson(const engine::EngineStats *engine_stats = nullptr)
     w.endObject();
     if (engine_stats)
         w.rawField("engine", engine_stats->json());
+    if (obs::stepProfilingEnabled())
+        w.rawField("step_profile", obs::stepProfileJson());
     w.endObject();
     std::FILE *file = std::fopen(jsonPath().c_str(), "w");
     if (!file) {
@@ -391,7 +399,8 @@ parseDriverArgs(int argc, char **argv, const char *what)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--smoke] [--list] [--json <path>] "
-                        "[--trace <path>] [--strategy <name>] "
+                        "[--trace <path>] [--profile] "
+                        "[--strategy <name>] "
                         "[--target <board>]"
                         "\n\n%s\n\n"
                         "  --smoke        reduced budgets/workloads for "
@@ -403,6 +412,9 @@ parseDriverArgs(int argc, char **argv, const char *what)
                         "result blob\n"
                         "  --trace <path> record a Chrome trace-event "
                         "JSON (chrome://tracing, Perfetto)\n"
+                        "  --profile      sampled per-phase step-cost "
+                        "profile (table on exit; step_profile "
+                        "object in the --json blob)\n"
                         "  --strategy <name>  search strategy for the "
                         "tuning step (default irace)\n"
                         "  --target <board>   validation target board "
@@ -436,6 +448,8 @@ parseDriverArgs(int argc, char **argv, const char *what)
                 std::exit(2);
             }
             tracePath() = argv[++i];
+        } else if (arg == "--profile") {
+            obs::setStepProfiling(true);
         } else if (arg == "--strategy") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: --strategy needs a name\n",
@@ -482,7 +496,8 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--smoke] [--list] [--json <path>] "
-                        "[--trace <path>] [--strategy <name>] "
+                        "[--trace <path>] [--profile] "
+                        "[--strategy <name>] "
                         "[--target <board>] [--benchmark_* flags]"
                         "\n\n%s\n", argv[0], what);
             std::exit(0);
@@ -506,6 +521,8 @@ parseGbenchArgs(int &argc, char **argv, const char *what)
                 std::exit(2);
             }
             tracePath() = argv[++i];
+        } else if (arg == "--profile") {
+            obs::setStepProfiling(true);
         } else if (arg == "--strategy") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: --strategy needs a name\n",

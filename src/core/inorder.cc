@@ -2,11 +2,13 @@
 
 #include "common/log.hh"
 #include "core/replay.hh"
+#include "obs/step_profiler.hh"
 
 namespace raceval::core
 {
 
 using isa::OpClass;
+using isa::OpKind;
 
 InOrderCore::InOrderCore(const CoreParams &params)
     : cparams(params), mem(params.mem), bp(params.bp),
@@ -16,7 +18,9 @@ InOrderCore::InOrderCore(const CoreParams &params)
     regReady.assign(isa::numIntRegs + isa::numFpRegs, 0);
     mshrFree.assign(cparams.mem.l1d.mshrs, 0);
     storeBufFree.assign(cparams.storeBufferEntries, 0);
-    pendingStores.assign(8, PendingStore{});
+    pendingStores.assign(cparams.storeForwardWindowFor(8),
+                         PendingStore{});
+    resetState();
 }
 
 void
@@ -25,35 +29,36 @@ InOrderCore::resetState()
     mem.reset();
     bp.reset();
     contention.reset();
-    cycle = 0;
-    issuedThisCycle = 0;
     frontend.reset();
-    maxDone = 0;
     std::fill(regReady.begin(), regReady.end(), 0);
     std::fill(mshrFree.begin(), mshrFree.end(), 0);
     std::fill(storeBufFree.begin(), storeBufFree.end(), 0);
     std::fill(pendingStores.begin(), pendingStores.end(), PendingStore{});
-    pendingStoreHead = 0;
-    pendingStoreLive = 0;
-    pendingStoreMaxDrain = 0;
-    lastDrain = 0;
+
+    st = StepState{};
+    st.pendingStoreSize = static_cast<uint32_t>(pendingStores.size());
+    st.dispatchWidth = cparams.dispatchWidth;
+    st.mispredictPenalty = cparams.mispredictPenalty;
+    st.takenBranchBubble = cparams.takenBranchBubble;
+    st.forwardLatency = cparams.forwardLatency;
+    st.forwarding = cparams.forwarding ? 1 : 0;
 }
 
 void
 InOrderCore::stallUntil(uint64_t target)
 {
-    if (target > cycle) {
-        cycle = target;
-        issuedThisCycle = 0;
+    if (target > st.cycle) {
+        st.cycle = target;
+        st.issuedThisCycle = 0;
     }
 }
 
 void
 InOrderCore::advanceSlot()
 {
-    if (++issuedThisCycle >= cparams.dispatchWidth) {
-        ++cycle;
-        issuedThisCycle = 0;
+    if (++st.issuedThisCycle >= st.dispatchWidth) {
+        ++st.cycle;
+        st.issuedThisCycle = 0;
     }
 }
 
@@ -61,13 +66,13 @@ bool
 InOrderCore::forwardedFromStore(uint64_t addr, unsigned size,
                                 uint64_t now) const
 {
-    if (pendingStoreMaxDrain <= now)
+    if (st.pendingStoreMaxDrain <= now)
         return false; // every buffered store already drained
-    for (size_t i = 0; i < pendingStoreLive; ++i) {
-        const PendingStore &st = pendingStores[i];
-        if (st.size == 0 || st.drainAt <= now)
+    for (size_t i = 0; i < st.pendingStoreLive; ++i) {
+        const PendingStore &ps = pendingStores[i];
+        if (ps.size == 0 || ps.drainAt <= now)
             continue; // empty slot or already drained to the cache
-        if (addr >= st.addr && addr + size <= st.addr + st.size)
+        if (addr >= ps.addr && addr + size <= ps.addr + ps.size)
             return true;
     }
     return false;
@@ -80,18 +85,27 @@ InOrderCore::beginRun()
     runStats = CoreStats{};
 }
 
-template <class Stream>
+/**
+ * Plain-ALU fast path: the old switch default case only -- fetch,
+ * readiness, FU reservation, writeback. No memory or predictor
+ * machinery is reachable for kind == Alu.
+ */
+template <bool Profiled, class Stream>
 void
-InOrderCore::step(const Stream &s)
+InOrderCore::stepAlu(const Stream &s)
 {
+    obs::StepTimer<Profiled> timer(obs::stepFamilyInOrder);
+
     ++runStats.instructions;
-    frontend.fetch(mem, cparams, s.pc(), cycle);
+    timer.phase(obs::StepPhase::Fetch);
+    frontend.fetch(mem, cparams, s.pc(), st.cycle);
 
     OpClass cls = s.cls();
 
     // Operand readiness (in-order: also bounded by the front end).
+    timer.phase(obs::StepPhase::Issue);
     uint64_t ready =
-        cycle > frontend.readyAt ? cycle : frontend.readyAt;
+        st.cycle > frontend.readyAt ? st.cycle : frontend.readyAt;
     for (unsigned i = 0; i < s.srcCount(); ++i) {
         uint64_t at = regReady[s.srcReg(i)];
         if (at > ready)
@@ -102,22 +116,60 @@ InOrderCore::step(const Stream &s)
     uint64_t start = contention.reserve(cls, ready);
     stallUntil(start);
 
-    uint64_t done = cycle + contention.latencyOf(cls);
+    uint64_t done = st.cycle + contention.latencyOf(cls);
 
-    switch (cls) {
-      case OpClass::Load: {
+    timer.phase(obs::StepPhase::Retire);
+    if (s.hasDst())
+        regReady[s.dstReg()] = done;
+    if (done > st.maxDone)
+        st.maxDone = done;
+    advanceSlot();
+}
+
+template <bool Profiled, class Stream>
+void
+InOrderCore::stepSlow(const Stream &s, OpKind kind)
+{
+    obs::StepTimer<Profiled> timer(obs::stepFamilyInOrder);
+
+    ++runStats.instructions;
+    timer.phase(obs::StepPhase::Fetch);
+    frontend.fetch(mem, cparams, s.pc(), st.cycle);
+
+    OpClass cls = s.cls();
+
+    // Operand readiness (in-order: also bounded by the front end).
+    timer.phase(obs::StepPhase::Issue);
+    uint64_t ready =
+        st.cycle > frontend.readyAt ? st.cycle : frontend.readyAt;
+    for (unsigned i = 0; i < s.srcCount(); ++i) {
+        uint64_t at = regReady[s.srcReg(i)];
+        if (at > ready)
+            ready = at;
+    }
+
+    // Structural hazard: wait for a unit of the right pool.
+    uint64_t start = contention.reserve(cls, ready);
+    stallUntil(start);
+
+    uint64_t done = st.cycle + contention.latencyOf(cls);
+
+    switch (kind) {
+      case OpKind::Load: {
+        timer.phase(obs::StepPhase::Mem);
         unsigned lat;
-        if (cparams.forwarding
-            && forwardedFromStore(s.memAddr(), s.memSize(), cycle)) {
-            lat = cparams.forwardLatency;
+        if (st.forwarding
+            && forwardedFromStore(s.memAddr(), s.memSize(),
+                                  st.cycle)) {
+            lat = st.forwardLatency;
             // The cache still sees the access (tag energy, MSHR
             // pressure are not modeled for forwarded hits).
-            mem.access(s.pc(), s.memAddr(), false, false, cycle);
+            mem.access(s.pc(), s.memAddr(), false, false, st.cycle);
         } else {
             // An L1 miss needs an MSHR before it can leave the
             // core, which also spaces out DRAM arrivals (limited
             // hit-under-miss).
-            uint64_t access_at = cycle;
+            uint64_t access_at = st.cycle;
             size_t slot = mshrFree.size();
             if (!mem.l1d().probe(s.memAddr() / mem.lineBytes())) {
                 slot = 0;
@@ -131,16 +183,17 @@ InOrderCore::step(const Stream &s)
             cache::AccessResult res =
                 mem.access(s.pc(), s.memAddr(), false, false,
                            access_at);
-            lat = static_cast<unsigned>(access_at - cycle)
+            lat = static_cast<unsigned>(access_at - st.cycle)
                 + res.latency;
             if (slot != mshrFree.size())
                 mshrFree[slot] = access_at + res.latency;
         }
-        done = cycle + lat;
+        done = st.cycle + lat;
         break;
       }
 
-      case OpClass::Store: {
+      case OpKind::Store: {
+        timer.phase(obs::StepPhase::Mem);
         // Claim a store buffer slot; a full buffer stalls issue.
         size_t slot = 0;
         for (size_t i = 1; i < storeBufFree.size(); ++i) {
@@ -149,35 +202,32 @@ InOrderCore::step(const Stream &s)
         }
         stallUntil(storeBufFree[slot]);
         cache::AccessResult res =
-            mem.access(s.pc(), s.memAddr(), true, false, cycle);
+            mem.access(s.pc(), s.memAddr(), true, false, st.cycle);
         uint64_t drain_start =
-            cycle > lastDrain ? cycle : lastDrain;
+            st.cycle > st.lastDrain ? st.cycle : st.lastDrain;
         uint64_t drain_done = drain_start + res.latency;
-        lastDrain = drain_done;
+        st.lastDrain = drain_done;
         storeBufFree[slot] = drain_done;
-        pendingStores[pendingStoreHead] =
+        pendingStores[st.pendingStoreHead] =
             PendingStore{s.memAddr(), s.memSize(), drain_done};
-        if (pendingStoreLive <= pendingStoreHead)
-            pendingStoreLive = pendingStoreHead + 1;
-        if (drain_done > pendingStoreMaxDrain)
-            pendingStoreMaxDrain = drain_done;
-        pendingStoreHead =
-            (pendingStoreHead + 1) % pendingStores.size();
-        done = cycle + contention.latencyOf(cls);
+        if (st.pendingStoreLive <= st.pendingStoreHead)
+            st.pendingStoreLive = st.pendingStoreHead + 1;
+        if (drain_done > st.pendingStoreMaxDrain)
+            st.pendingStoreMaxDrain = drain_done;
+        if (++st.pendingStoreHead == st.pendingStoreSize)
+            st.pendingStoreHead = 0;
+        done = st.cycle + contention.latencyOf(cls);
         break;
       }
 
-      case OpClass::BranchCond:
-      case OpClass::BranchUncond:
-      case OpClass::BranchIndirect:
-      case OpClass::BranchCall:
-      case OpClass::BranchRet: {
+      case OpKind::Branch: {
+        timer.phase(obs::StepPhase::Branch);
         bool mispredict =
             bp.predict(s.pc(), cls, s.taken(), s.nextPc());
         if (mispredict)
-            frontend.redirect(done + cparams.mispredictPenalty);
-        else if (s.taken() && cparams.takenBranchBubble)
-            frontend.stallUntil(cycle + cparams.takenBranchBubble);
+            frontend.redirect(done + st.mispredictPenalty);
+        else if (s.taken() && st.takenBranchBubble)
+            frontend.stallUntil(st.cycle + st.takenBranchBubble);
         break;
       }
 
@@ -185,21 +235,55 @@ InOrderCore::step(const Stream &s)
         break;
     }
 
+    timer.phase(obs::StepPhase::Retire);
     if (s.hasDst())
         regReady[s.dstReg()] = done;
-    if (done > maxDone)
-        maxDone = done;
+    if (done > st.maxDone)
+        st.maxDone = done;
     advanceSlot();
+}
+
+template <bool Profiled, class Stream>
+void
+InOrderCore::step(const Stream &s)
+{
+    OpKind kind = s.kind();
+    if (kind == OpKind::Alu) [[likely]] {
+        stepAlu<Profiled>(s);
+        return;
+    }
+    stepSlow<Profiled>(s, kind);
+}
+
+template <bool Profiled, class Stream>
+uint64_t
+InOrderCore::runSegmentImpl(Stream &s, uint64_t max_insts)
+{
+    uint64_t consumed = 0;
+    while (consumed < max_insts && s.next()) {
+        ++consumed;
+        step<Profiled>(s);
+    }
+    return consumed;
 }
 
 template <class Stream>
 uint64_t
 InOrderCore::runSegment(Stream &s, uint64_t max_insts)
 {
+    if (obs::stepProfilingEnabled())
+        return runSegmentImpl<true>(s, max_insts);
+    return runSegmentImpl<false>(s, max_insts);
+}
+
+template <class Stream>
+uint64_t
+InOrderCore::runSegmentGeneric(Stream &s, uint64_t max_insts)
+{
     uint64_t consumed = 0;
     while (consumed < max_insts && s.next()) {
         ++consumed;
-        step(s);
+        stepSlow<false>(s, s.kind());
     }
     return consumed;
 }
@@ -216,15 +300,21 @@ template uint64_t
 InOrderCore::runSegment<vm::PackedStream>(vm::PackedStream &, uint64_t);
 template uint64_t
 InOrderCore::runSegment<vm::SourceStream>(vm::SourceStream &, uint64_t);
+template uint64_t InOrderCore::runSegmentGeneric<vm::PackedStream>(
+    vm::PackedStream &, uint64_t);
+template uint64_t InOrderCore::runSegmentGeneric<vm::SourceStream>(
+    vm::SourceStream &, uint64_t);
+template uint64_t InOrderCore::runSegmentGeneric<vm::DecodedBlockStream>(
+    vm::DecodedBlockStream &, uint64_t);
 template uint64_t InOrderCore::runSegmentMulti<vm::PackedStream>(
     std::vector<InOrderCore> &, vm::PackedStream &, uint64_t);
 
 CoreStats
 InOrderCore::finishRun()
 {
-    uint64_t end = cycle > maxDone ? cycle : maxDone;
-    if (lastDrain > end)
-        end = lastDrain;
+    uint64_t end = st.cycle > st.maxDone ? st.cycle : st.maxDone;
+    if (st.lastDrain > end)
+        end = st.lastDrain;
     runStats.cycles = end;
     runStats.branch = bp.stats();
     runStats.l1iMisses = mem.l1i().stats().misses;

@@ -84,6 +84,16 @@ class InOrderCore : public TimingModel
     static uint64_t runSegmentMulti(std::vector<InOrderCore> &cores,
                                     Stream &stream, uint64_t max_insts);
 
+    /**
+     * Test seam: identical contract to runSegment, but routes every
+     * instruction -- including plain ALU -- through the generic step
+     * body, so bit-identity of the tagged fast path is directly
+     * checkable against the un-specialized accounting (instantiated
+     * for vm::PackedStream, vm::SourceStream, vm::DecodedBlockStream).
+     */
+    template <class Stream>
+    uint64_t runSegmentGeneric(Stream &stream, uint64_t max_insts);
+
     /** Close accounting (drains, end cycle) and return the stats. */
     CoreStats finishRun();
     /// @}
@@ -99,14 +109,42 @@ class InOrderCore : public TimingModel
 
     // --- per-run scoreboard state ---------------------------------------
     CoreStats runStats;
-    uint64_t cycle = 0;
-    unsigned issuedThisCycle = 0;
     FetchFrontEnd frontend;
-    uint64_t maxDone = 0;
+
+    /**
+     * Flat per-run pipeline cursors plus hoisted loop invariants (see
+     * OooCore::StepState for the full rationale): the forwarding ring
+     * cursor wraps on increment instead of a modulo, and the
+     * CoreParams fields the per-instruction loop reads are copied in
+     * by resetState(). Plain members so the BSP seam handoff copies
+     * it verbatim.
+     */
+    struct StepState
+    {
+        uint64_t cycle = 0;
+        uint64_t maxDone = 0;
+        uint64_t lastDrain = 0;
+        /** Latest drainAt of any buffered store; once <= now the
+         *  whole forwarding scan is dead work and is skipped. */
+        uint64_t pendingStoreMaxDrain = 0;
+        uint32_t issuedThisCycle = 0;
+        uint32_t pendingStoreHead = 0;
+        /** How many ring slots have ever been written this run; the
+         *  forwarding scan only visits [0, pendingStoreLive). */
+        uint32_t pendingStoreLive = 0;
+        // loop invariants hoisted from CoreParams / ring sizes
+        uint32_t pendingStoreSize = 1;
+        uint32_t dispatchWidth = 1;
+        uint32_t mispredictPenalty = 0;
+        uint32_t takenBranchBubble = 0;
+        uint32_t forwardLatency = 0;
+        uint8_t forwarding = 0;
+    };
+    StepState st;
+
     std::vector<uint64_t> regReady;
     std::vector<uint64_t> mshrFree;
     std::vector<uint64_t> storeBufFree;
-    uint64_t lastDrain = 0;
 
     /** Recent stores for forwarding checks. */
     struct PendingStore
@@ -116,22 +154,31 @@ class InOrderCore : public TimingModel
         uint64_t drainAt = 0;
     };
     std::vector<PendingStore> pendingStores;
-    size_t pendingStoreHead = 0;
-    /** How many ring slots have ever been written this run; the
-     *  forwarding scan only visits [0, pendingStoreLive). */
-    size_t pendingStoreLive = 0;
-    /** Latest drainAt of any buffered store; once <= now the whole
-     *  forwarding scan is dead work and is skipped. */
-    uint64_t pendingStoreMaxDrain = 0;
 
     void resetState();
     void advanceSlot();
 
-    /** Per-instruction accounting body, shared verbatim by runSegment
-     *  (solo) and runSegmentMulti (lockstep): consume one decoded
-     *  record, advance all scoreboard state. */
-    template <class Stream>
+    /**
+     * Per-instruction accounting, shared verbatim by runSegment (solo)
+     * and runSegmentMulti (lockstep): classify once on the
+     * precomputed 2-bit kind tag, then either take the minimal
+     * plain-ALU fast path (never touches MSHR / store-buffer /
+     * pending-store / predictor machinery) or the generic body.
+     * @tparam Profiled selects the step-cost-profiler instantiation.
+     */
+    template <bool Profiled, class Stream>
     void step(const Stream &s);
+
+    /** Dominant-case fast path: kind == OpKind::Alu only. */
+    template <bool Profiled, class Stream>
+    void stepAlu(const Stream &s);
+
+    /** Generic body handling every kind. */
+    template <bool Profiled, class Stream>
+    void stepSlow(const Stream &s, isa::OpKind kind);
+
+    template <bool Profiled, class Stream>
+    uint64_t runSegmentImpl(Stream &stream, uint64_t max_insts);
 
     /** Stall issue until at least target (resets the slot counter). */
     void stallUntil(uint64_t target);

@@ -2,11 +2,13 @@
 
 #include "common/log.hh"
 #include "core/replay.hh"
+#include "obs/step_profiler.hh"
 
 namespace raceval::core
 {
 
 using isa::OpClass;
+using isa::OpKind;
 
 IntervalCore::IntervalCore(const CoreParams &params)
     : cparams(params), mem(params.mem), bp(params.bp)
@@ -14,6 +16,7 @@ IntervalCore::IntervalCore(const CoreParams &params)
     cparams.validate();
     regReady.assign(isa::numIntRegs + isa::numFpRegs, 0);
     robFreeAt.assign(cparams.robEntries, 0);
+    resetState();
 }
 
 void
@@ -21,13 +24,15 @@ IntervalCore::resetState()
 {
     mem.reset();
     bp.reset();
-    dispatchCycle = 0;
-    dispatchedThisCycle = 0;
     frontend.reset();
-    lastRetire = 0;
-    seq = 0;
     std::fill(regReady.begin(), regReady.end(), 0);
     std::fill(robFreeAt.begin(), robFreeAt.end(), 0);
+
+    st = StepState{};
+    st.robSize = static_cast<uint32_t>(robFreeAt.size());
+    st.dispatchWidth = cparams.dispatchWidth;
+    st.mispredictPenalty = cparams.mispredictPenalty;
+    st.takenBranchBubble = cparams.takenBranchBubble;
 }
 
 void
@@ -37,12 +42,68 @@ IntervalCore::beginRun()
     runStats = CoreStats{};
 }
 
-template <class Stream>
+/**
+ * Plain-ALU fast path: dispatch gating, readiness, table latency,
+ * monotone retire -- no cache access, no predictor. Field-for-field
+ * the ALU slice of stepSlow.
+ */
+template <bool Profiled, class Stream>
 void
-IntervalCore::step(const Stream &s)
+IntervalCore::stepAlu(const Stream &s)
 {
+    obs::StepTimer<Profiled> timer(obs::stepFamilyInterval);
+
     ++runStats.instructions;
-    frontend.fetch(mem, cparams, s.pc(), dispatchCycle);
+    timer.phase(obs::StepPhase::Fetch);
+    frontend.fetch(mem, cparams, s.pc(), st.dispatchCycle);
+
+    timer.phase(obs::StepPhase::Dispatch);
+    uint64_t dready = st.dispatchCycle > frontend.readyAt
+        ? st.dispatchCycle : frontend.readyAt;
+    uint64_t rob_free = robFreeAt[st.robCur];
+    if (rob_free > dready)
+        dready = rob_free;
+    if (dready > st.dispatchCycle) {
+        st.dispatchCycle = dready;
+        st.dispatchedThisCycle = 0;
+    }
+
+    timer.phase(obs::StepPhase::Issue);
+    uint64_t ready = st.dispatchCycle;
+    for (unsigned i = 0; i < s.srcCount(); ++i) {
+        uint64_t at = regReady[s.srcReg(i)];
+        if (at > ready)
+            ready = at;
+    }
+    uint64_t complete =
+        ready + cparams.latency[static_cast<size_t>(s.cls())];
+
+    timer.phase(obs::StepPhase::Retire);
+    uint64_t retire =
+        complete > st.lastRetire ? complete : st.lastRetire;
+    robFreeAt[st.robCur] = retire;
+    if (++st.robCur == st.robSize)
+        st.robCur = 0;
+    st.lastRetire = retire;
+
+    if (s.hasDst())
+        regReady[s.dstReg()] = complete;
+
+    if (++st.dispatchedThisCycle >= st.dispatchWidth) {
+        ++st.dispatchCycle;
+        st.dispatchedThisCycle = 0;
+    }
+}
+
+template <bool Profiled, class Stream>
+void
+IntervalCore::stepSlow(const Stream &s, OpKind kind)
+{
+    obs::StepTimer<Profiled> timer(obs::stepFamilyInterval);
+
+    ++runStats.instructions;
+    timer.phase(obs::StepPhase::Fetch);
+    frontend.fetch(mem, cparams, s.pc(), st.dispatchCycle);
 
     OpClass cls = s.cls();
 
@@ -50,21 +111,23 @@ IntervalCore::step(const Stream &s)
     // and the ROB window. A long-latency instruction opens a stall
     // interval exactly when the window fills behind it; younger
     // misses inside the same window overlap for free (MLP).
-    uint64_t dready = dispatchCycle > frontend.readyAt
-        ? dispatchCycle : frontend.readyAt;
-    uint64_t rob_free = robFreeAt[seq % robFreeAt.size()];
+    timer.phase(obs::StepPhase::Dispatch);
+    uint64_t dready = st.dispatchCycle > frontend.readyAt
+        ? st.dispatchCycle : frontend.readyAt;
+    uint64_t rob_free = robFreeAt[st.robCur];
     if (rob_free > dready)
         dready = rob_free;
-    if (dready > dispatchCycle) {
-        dispatchCycle = dready;
-        dispatchedThisCycle = 0;
+    if (dready > st.dispatchCycle) {
+        st.dispatchCycle = dready;
+        st.dispatchedThisCycle = 0;
     }
 
     // --- completion: true dependencies plus the class latency
     // (read straight off the table). No issue-queue, LSQ, FU or
     // store-drain modeling: inside an interval the core is assumed
     // to sustain full width.
-    uint64_t ready = dispatchCycle;
+    timer.phase(obs::StepPhase::Issue);
+    uint64_t ready = st.dispatchCycle;
     for (unsigned i = 0; i < s.srcCount(); ++i) {
         uint64_t at = regReady[s.srcReg(i)];
         if (at > ready)
@@ -73,50 +136,89 @@ IntervalCore::step(const Stream &s)
     uint64_t complete =
         ready + cparams.latency[static_cast<size_t>(cls)];
 
-    if (cls == OpClass::Load) {
+    if (kind == OpKind::Load) {
+        timer.phase(obs::StepPhase::Mem);
         cache::AccessResult res =
             mem.access(s.pc(), s.memAddr(), false, false, ready);
         complete = ready + res.latency;
-    } else if (cls == OpClass::Store) {
+    } else if (kind == OpKind::Store) {
+        timer.phase(obs::StepPhase::Mem);
         // The cache sees the store (state evolves) but drain cost
         // is assumed hidden behind the window.
         mem.access(s.pc(), s.memAddr(), true, false, ready);
     }
 
-    if (s.isBranch()) {
+    if (kind == OpKind::Branch) {
+        timer.phase(obs::StepPhase::Branch);
         if (bp.predict(s.pc(), cls, s.taken(), s.nextPc())) {
             // The penalty window: resolve + pipeline refill.
-            frontend.redirect(complete + cparams.mispredictPenalty);
-        } else if (s.taken() && cparams.takenBranchBubble) {
-            frontend.stallUntil(dispatchCycle
-                                + cparams.takenBranchBubble);
+            frontend.redirect(complete + st.mispredictPenalty);
+        } else if (s.taken() && st.takenBranchBubble) {
+            frontend.stallUntil(st.dispatchCycle
+                                + st.takenBranchBubble);
         }
     }
 
     // In-order completion ordering for the ROB ring keeps the
     // window accounting monotone.
-    uint64_t retire = complete > lastRetire ? complete : lastRetire;
-    robFreeAt[seq % robFreeAt.size()] = retire;
-    lastRetire = retire;
-    ++seq;
+    timer.phase(obs::StepPhase::Retire);
+    uint64_t retire =
+        complete > st.lastRetire ? complete : st.lastRetire;
+    robFreeAt[st.robCur] = retire;
+    if (++st.robCur == st.robSize)
+        st.robCur = 0;
+    st.lastRetire = retire;
 
     if (s.hasDst())
         regReady[s.dstReg()] = complete;
 
-    if (++dispatchedThisCycle >= cparams.dispatchWidth) {
-        ++dispatchCycle;
-        dispatchedThisCycle = 0;
+    if (++st.dispatchedThisCycle >= st.dispatchWidth) {
+        ++st.dispatchCycle;
+        st.dispatchedThisCycle = 0;
     }
+}
+
+template <bool Profiled, class Stream>
+void
+IntervalCore::step(const Stream &s)
+{
+    OpKind kind = s.kind();
+    if (kind == OpKind::Alu) [[likely]] {
+        stepAlu<Profiled>(s);
+        return;
+    }
+    stepSlow<Profiled>(s, kind);
+}
+
+template <bool Profiled, class Stream>
+uint64_t
+IntervalCore::runSegmentImpl(Stream &s, uint64_t max_insts)
+{
+    uint64_t consumed = 0;
+    while (consumed < max_insts && s.next()) {
+        ++consumed;
+        step<Profiled>(s);
+    }
+    return consumed;
 }
 
 template <class Stream>
 uint64_t
 IntervalCore::runSegment(Stream &s, uint64_t max_insts)
 {
+    if (obs::stepProfilingEnabled())
+        return runSegmentImpl<true>(s, max_insts);
+    return runSegmentImpl<false>(s, max_insts);
+}
+
+template <class Stream>
+uint64_t
+IntervalCore::runSegmentGeneric(Stream &s, uint64_t max_insts)
+{
     uint64_t consumed = 0;
     while (consumed < max_insts && s.next()) {
         ++consumed;
-        step(s);
+        stepSlow<false>(s, s.kind());
     }
     return consumed;
 }
@@ -133,14 +235,20 @@ template uint64_t
 IntervalCore::runSegment<vm::PackedStream>(vm::PackedStream &, uint64_t);
 template uint64_t
 IntervalCore::runSegment<vm::SourceStream>(vm::SourceStream &, uint64_t);
+template uint64_t IntervalCore::runSegmentGeneric<vm::PackedStream>(
+    vm::PackedStream &, uint64_t);
+template uint64_t IntervalCore::runSegmentGeneric<vm::SourceStream>(
+    vm::SourceStream &, uint64_t);
+template uint64_t IntervalCore::runSegmentGeneric<vm::DecodedBlockStream>(
+    vm::DecodedBlockStream &, uint64_t);
 template uint64_t IntervalCore::runSegmentMulti<vm::PackedStream>(
     std::vector<IntervalCore> &, vm::PackedStream &, uint64_t);
 
 CoreStats
 IntervalCore::finishRun()
 {
-    uint64_t end =
-        lastRetire > dispatchCycle ? lastRetire : dispatchCycle;
+    uint64_t end = st.lastRetire > st.dispatchCycle ? st.lastRetire
+                                                    : st.dispatchCycle;
     runStats.cycles = end;
     runStats.branch = bp.stats();
     runStats.l1iMisses = mem.l1i().stats().misses;

@@ -93,6 +93,16 @@ class IntervalCore : public TimingModel
     static uint64_t runSegmentMulti(std::vector<IntervalCore> &cores,
                                     Stream &stream, uint64_t max_insts);
 
+    /**
+     * Test seam: identical contract to runSegment, but routes every
+     * instruction -- including plain ALU -- through the generic step
+     * body, so bit-identity of the tagged fast path is directly
+     * checkable against the un-specialized accounting (instantiated
+     * for vm::PackedStream, vm::SourceStream, vm::DecodedBlockStream).
+     */
+    template <class Stream>
+    uint64_t runSegmentGeneric(Stream &stream, uint64_t max_insts);
+
     /** Close accounting (end cycle) and return the stats. */
     CoreStats finishRun();
     /// @}
@@ -107,11 +117,28 @@ class IntervalCore : public TimingModel
 
     // --- per-run interval state -----------------------------------------
     CoreStats runStats;
-    uint64_t dispatchCycle = 0;
-    unsigned dispatchedThisCycle = 0;
     FetchFrontEnd frontend;
-    uint64_t lastRetire = 0;
-    uint64_t seq = 0; //!< instruction sequence number
+
+    /**
+     * Flat per-run interval cursors plus hoisted loop invariants (see
+     * OooCore::StepState for the full rationale): the ROB ring cursor
+     * wraps on increment instead of the old `seq % robEntries`
+     * division, and the CoreParams fields the loop reads are copied
+     * in by resetState(). Plain members for the BSP seam handoff.
+     */
+    struct StepState
+    {
+        uint64_t dispatchCycle = 0;
+        uint64_t lastRetire = 0;
+        uint32_t dispatchedThisCycle = 0;
+        uint32_t robCur = 0; //!< ROB ring cursor (wrap on increment)
+        // loop invariants hoisted from CoreParams / ring sizes
+        uint32_t robSize = 1;
+        uint32_t dispatchWidth = 1;
+        uint32_t mispredictPenalty = 0;
+        uint32_t takenBranchBubble = 0;
+    };
+    StepState st;
 
     std::vector<uint64_t> regReady;
     /** Completion-time ring of robEntries slots: dispatch of
@@ -122,11 +149,27 @@ class IntervalCore : public TimingModel
 
     void resetState();
 
-    /** Per-instruction accounting body, shared verbatim by runSegment
-     *  (solo) and runSegmentMulti (lockstep): consume one decoded
-     *  record, advance all interval state. */
-    template <class Stream>
+    /**
+     * Per-instruction accounting, shared verbatim by runSegment (solo)
+     * and runSegmentMulti (lockstep): classify once on the
+     * precomputed 2-bit kind tag, then either take the minimal
+     * plain-ALU fast path (no cache access, no predictor) or the
+     * generic body. @tparam Profiled selects the step-cost-profiler
+     * instantiation.
+     */
+    template <bool Profiled, class Stream>
     void step(const Stream &s);
+
+    /** Dominant-case fast path: kind == OpKind::Alu only. */
+    template <bool Profiled, class Stream>
+    void stepAlu(const Stream &s);
+
+    /** Generic body handling every kind. */
+    template <bool Profiled, class Stream>
+    void stepSlow(const Stream &s, isa::OpKind kind);
+
+    template <bool Profiled, class Stream>
+    uint64_t runSegmentImpl(Stream &stream, uint64_t max_insts);
 };
 
 } // namespace raceval::core

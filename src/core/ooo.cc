@@ -2,11 +2,13 @@
 
 #include "common/log.hh"
 #include "core/replay.hh"
+#include "obs/step_profiler.hh"
 
 namespace raceval::core
 {
 
 using isa::OpClass;
+using isa::OpKind;
 
 OooCore::OooCore(const CoreParams &params)
     : cparams(params), mem(params.mem), bp(params.bp), contention(params)
@@ -19,7 +21,9 @@ OooCore::OooCore(const CoreParams &params)
     sqFreeAt.assign(cparams.sqEntries, 0);
     retireRing.assign(cparams.commitWidth, 0);
     mshrFree.assign(cparams.mem.l1d.mshrs, 0);
-    pendingStores.assign(16, PendingStore{});
+    pendingStores.assign(cparams.storeForwardWindowFor(16),
+                         PendingStore{});
+    resetState();
 }
 
 void
@@ -28,14 +32,7 @@ OooCore::resetState()
     mem.reset();
     bp.reset();
     contention.reset();
-    dispatchCycle = 0;
-    dispatchedThisCycle = 0;
     frontend.reset();
-    lastRetire = 0;
-    seq = 0;
-    loadSeq = 0;
-    storeSeq = 0;
-    lastDrain = 0;
     std::fill(regReady.begin(), regReady.end(), 0);
     std::fill(robFreeAt.begin(), robFreeAt.end(), 0);
     std::fill(iqFreeAt.begin(), iqFreeAt.end(), 0);
@@ -44,22 +41,32 @@ OooCore::resetState()
     std::fill(retireRing.begin(), retireRing.end(), 0);
     std::fill(mshrFree.begin(), mshrFree.end(), 0);
     std::fill(pendingStores.begin(), pendingStores.end(), PendingStore{});
-    pendingStoreHead = 0;
-    pendingStoreLive = 0;
-    pendingStoreMaxDrain = 0;
+
+    st = StepState{};
+    st.robSize = static_cast<uint32_t>(robFreeAt.size());
+    st.iqSize = static_cast<uint32_t>(iqFreeAt.size());
+    st.lqSize = static_cast<uint32_t>(lqFreeAt.size());
+    st.sqSize = static_cast<uint32_t>(sqFreeAt.size());
+    st.retireSize = static_cast<uint32_t>(retireRing.size());
+    st.pendingStoreSize = static_cast<uint32_t>(pendingStores.size());
+    st.dispatchWidth = cparams.dispatchWidth;
+    st.mispredictPenalty = cparams.mispredictPenalty;
+    st.takenBranchBubble = cparams.takenBranchBubble;
+    st.forwardLatency = cparams.forwardLatency;
+    st.forwarding = cparams.forwarding ? 1 : 0;
 }
 
 bool
 OooCore::forwardedFromStore(uint64_t addr, unsigned size,
                             uint64_t now) const
 {
-    if (pendingStoreMaxDrain <= now)
+    if (st.pendingStoreMaxDrain <= now)
         return false; // every buffered store already drained
-    for (size_t i = 0; i < pendingStoreLive; ++i) {
-        const PendingStore &st = pendingStores[i];
-        if (st.size == 0 || st.drainAt <= now)
+    for (size_t i = 0; i < st.pendingStoreLive; ++i) {
+        const PendingStore &ps = pendingStores[i];
+        if (ps.size == 0 || ps.drainAt <= now)
             continue;
-        if (addr >= st.addr && addr + size <= st.addr + st.size)
+        if (addr >= ps.addr && addr + size <= ps.addr + ps.size)
             return true;
     }
     return false;
@@ -72,43 +79,119 @@ OooCore::beginRun()
     runStats = CoreStats{};
 }
 
-template <class Stream>
+/**
+ * Plain-ALU fast path: no memory machinery, no predictor, no LQ/SQ
+ * cursors -- just fetch, ROB/IQ gating, operand readiness, FU
+ * reservation and the retire ring. Accounting is field-for-field the
+ * ALU slice of stepSlow (the bit-identity tests compare the two).
+ */
+template <bool Profiled, class Stream>
 void
-OooCore::step(const Stream &s)
+OooCore::stepAlu(const Stream &s)
 {
-    ++runStats.instructions;
-    frontend.fetch(mem, cparams, s.pc(), dispatchCycle);
+    obs::StepTimer<Profiled> timer(obs::stepFamilyOoo);
 
-    OpClass cls = s.cls();
-    bool is_load = cls == OpClass::Load;
-    bool is_store = cls == OpClass::Store;
+    ++runStats.instructions;
+    timer.phase(obs::StepPhase::Fetch);
+    frontend.fetch(mem, cparams, s.pc(), st.dispatchCycle);
 
     // --- dispatch: in-order, gated by window resources -----------------
-    uint64_t dready = dispatchCycle > frontend.readyAt
-        ? dispatchCycle : frontend.readyAt;
-    uint64_t rob_free = robFreeAt[seq % robFreeAt.size()];
+    timer.phase(obs::StepPhase::Dispatch);
+    uint64_t dready = st.dispatchCycle > frontend.readyAt
+        ? st.dispatchCycle : frontend.readyAt;
+    uint64_t rob_free = robFreeAt[st.robCur];
     if (rob_free > dready)
         dready = rob_free;
-    uint64_t iq_free = iqFreeAt[seq % iqFreeAt.size()];
+    uint64_t iq_free = iqFreeAt[st.iqCur];
+    if (iq_free > dready)
+        dready = iq_free;
+    if (dready > st.dispatchCycle) {
+        st.dispatchCycle = dready;
+        st.dispatchedThisCycle = 0;
+    }
+
+    // --- issue: out-of-order on operand readiness + FU -----------------
+    timer.phase(obs::StepPhase::Issue);
+    OpClass cls = s.cls();
+    uint64_t ready = st.dispatchCycle;
+    for (unsigned i = 0; i < s.srcCount(); ++i) {
+        uint64_t at = regReady[s.srcReg(i)];
+        if (at > ready)
+            ready = at;
+    }
+    uint64_t start = contention.reserve(cls, ready);
+    uint64_t complete = start + contention.latencyOf(cls);
+
+    // --- retire: in-order, commitWidth per cycle ------------------------
+    timer.phase(obs::StepPhase::Retire);
+    uint64_t retire = complete;
+    uint64_t window = retireRing[st.retireCur] + 1;
+    if (window > retire)
+        retire = window;
+    if (st.lastRetire > retire)
+        retire = st.lastRetire;
+    retireRing[st.retireCur] = retire;
+    if (++st.retireCur == st.retireSize)
+        st.retireCur = 0;
+    st.lastRetire = retire;
+
+    if (s.hasDst())
+        regReady[s.dstReg()] = complete;
+    robFreeAt[st.robCur] = retire;
+    if (++st.robCur == st.robSize)
+        st.robCur = 0;
+    iqFreeAt[st.iqCur] = start;
+    if (++st.iqCur == st.iqSize)
+        st.iqCur = 0;
+
+    if (++st.dispatchedThisCycle >= st.dispatchWidth) {
+        ++st.dispatchCycle;
+        st.dispatchedThisCycle = 0;
+    }
+}
+
+template <bool Profiled, class Stream>
+void
+OooCore::stepSlow(const Stream &s, OpKind kind)
+{
+    obs::StepTimer<Profiled> timer(obs::stepFamilyOoo);
+
+    ++runStats.instructions;
+    timer.phase(obs::StepPhase::Fetch);
+    frontend.fetch(mem, cparams, s.pc(), st.dispatchCycle);
+
+    OpClass cls = s.cls();
+    bool is_load = kind == OpKind::Load;
+    bool is_store = kind == OpKind::Store;
+
+    // --- dispatch: in-order, gated by window resources -----------------
+    timer.phase(obs::StepPhase::Dispatch);
+    uint64_t dready = st.dispatchCycle > frontend.readyAt
+        ? st.dispatchCycle : frontend.readyAt;
+    uint64_t rob_free = robFreeAt[st.robCur];
+    if (rob_free > dready)
+        dready = rob_free;
+    uint64_t iq_free = iqFreeAt[st.iqCur];
     if (iq_free > dready)
         dready = iq_free;
     if (is_load) {
-        uint64_t lq_free = lqFreeAt[loadSeq % lqFreeAt.size()];
+        uint64_t lq_free = lqFreeAt[st.lqCur];
         if (lq_free > dready)
             dready = lq_free;
     }
     if (is_store) {
-        uint64_t sq_free = sqFreeAt[storeSeq % sqFreeAt.size()];
+        uint64_t sq_free = sqFreeAt[st.sqCur];
         if (sq_free > dready)
             dready = sq_free;
     }
-    if (dready > dispatchCycle) {
-        dispatchCycle = dready;
-        dispatchedThisCycle = 0;
+    if (dready > st.dispatchCycle) {
+        st.dispatchCycle = dready;
+        st.dispatchedThisCycle = 0;
     }
 
     // --- issue: out-of-order on operand readiness + FU -----------------
-    uint64_t ready = dispatchCycle;
+    timer.phase(obs::StepPhase::Issue);
+    uint64_t ready = st.dispatchCycle;
     for (unsigned i = 0; i < s.srcCount(); ++i) {
         uint64_t at = regReady[s.srcReg(i)];
         if (at > ready)
@@ -118,10 +201,11 @@ OooCore::step(const Stream &s)
     uint64_t complete = start + contention.latencyOf(cls);
 
     if (is_load) {
+        timer.phase(obs::StepPhase::Mem);
         unsigned lat;
-        if (cparams.forwarding
+        if (st.forwarding
             && forwardedFromStore(s.memAddr(), s.memSize(), start)) {
-            lat = cparams.forwardLatency;
+            lat = st.forwardLatency;
             mem.access(s.pc(), s.memAddr(), false, false, start);
         } else {
             // Memory-level parallelism is capped by the MSHRs: a
@@ -149,71 +233,115 @@ OooCore::step(const Stream &s)
         complete = start + lat;
     }
 
-    if (s.isBranch()) {
+    if (kind == OpKind::Branch) {
+        timer.phase(obs::StepPhase::Branch);
         if (bp.predict(s.pc(), cls, s.taken(), s.nextPc())) {
             // The front end restarts only once the branch resolves.
-            frontend.redirect(complete + cparams.mispredictPenalty);
-        } else if (s.taken() && cparams.takenBranchBubble) {
-            frontend.stallUntil(dispatchCycle
-                                + cparams.takenBranchBubble);
+            frontend.redirect(complete + st.mispredictPenalty);
+        } else if (s.taken() && st.takenBranchBubble) {
+            frontend.stallUntil(st.dispatchCycle
+                                + st.takenBranchBubble);
         }
     }
 
     // --- retire: in-order, commitWidth per cycle ------------------------
+    timer.phase(obs::StepPhase::Retire);
     uint64_t retire = complete;
-    uint64_t window = retireRing[seq % retireRing.size()] + 1;
+    uint64_t window = retireRing[st.retireCur] + 1;
     if (window > retire)
         retire = window;
-    if (lastRetire > retire)
-        retire = lastRetire;
-    retireRing[seq % retireRing.size()] = retire;
-    lastRetire = retire;
+    if (st.lastRetire > retire)
+        retire = st.lastRetire;
+    retireRing[st.retireCur] = retire;
+    if (++st.retireCur == st.retireSize)
+        st.retireCur = 0;
+    st.lastRetire = retire;
 
     if (is_store) {
+        timer.phase(obs::StepPhase::Mem);
         // Stores drain to the cache after retiring; the SQ entry is
         // pinned until the drain completes.
         cache::AccessResult res =
             mem.access(s.pc(), s.memAddr(), true, false, retire);
         uint64_t drain_start =
-            retire > lastDrain ? retire : lastDrain;
+            retire > st.lastDrain ? retire : st.lastDrain;
         uint64_t drain_done = drain_start + res.latency;
-        lastDrain = drain_done;
-        sqFreeAt[storeSeq % sqFreeAt.size()] = drain_done;
-        pendingStores[pendingStoreHead] =
+        st.lastDrain = drain_done;
+        sqFreeAt[st.sqCur] = drain_done;
+        if (++st.sqCur == st.sqSize)
+            st.sqCur = 0;
+        pendingStores[st.pendingStoreHead] =
             PendingStore{s.memAddr(), s.memSize(), drain_done};
-        if (pendingStoreLive <= pendingStoreHead)
-            pendingStoreLive = pendingStoreHead + 1;
-        if (drain_done > pendingStoreMaxDrain)
-            pendingStoreMaxDrain = drain_done;
-        pendingStoreHead =
-            (pendingStoreHead + 1) % pendingStores.size();
-        ++storeSeq;
+        if (st.pendingStoreLive <= st.pendingStoreHead)
+            st.pendingStoreLive = st.pendingStoreHead + 1;
+        if (drain_done > st.pendingStoreMaxDrain)
+            st.pendingStoreMaxDrain = drain_done;
+        if (++st.pendingStoreHead == st.pendingStoreSize)
+            st.pendingStoreHead = 0;
+        timer.phase(obs::StepPhase::Retire);
     }
     if (is_load) {
-        lqFreeAt[loadSeq % lqFreeAt.size()] = retire;
-        ++loadSeq;
+        lqFreeAt[st.lqCur] = retire;
+        if (++st.lqCur == st.lqSize)
+            st.lqCur = 0;
     }
 
     if (s.hasDst())
         regReady[s.dstReg()] = complete;
-    robFreeAt[seq % robFreeAt.size()] = retire;
-    iqFreeAt[seq % iqFreeAt.size()] = start;
-    ++seq;
+    robFreeAt[st.robCur] = retire;
+    if (++st.robCur == st.robSize)
+        st.robCur = 0;
+    iqFreeAt[st.iqCur] = start;
+    if (++st.iqCur == st.iqSize)
+        st.iqCur = 0;
 
-    if (++dispatchedThisCycle >= cparams.dispatchWidth) {
-        ++dispatchCycle;
-        dispatchedThisCycle = 0;
+    if (++st.dispatchedThisCycle >= st.dispatchWidth) {
+        ++st.dispatchCycle;
+        st.dispatchedThisCycle = 0;
     }
+}
+
+template <bool Profiled, class Stream>
+void
+OooCore::step(const Stream &s)
+{
+    OpKind kind = s.kind();
+    if (kind == OpKind::Alu) [[likely]] {
+        stepAlu<Profiled>(s);
+        return;
+    }
+    stepSlow<Profiled>(s, kind);
+}
+
+template <bool Profiled, class Stream>
+uint64_t
+OooCore::runSegmentImpl(Stream &s, uint64_t max_insts)
+{
+    uint64_t consumed = 0;
+    while (consumed < max_insts && s.next()) {
+        ++consumed;
+        step<Profiled>(s);
+    }
+    return consumed;
 }
 
 template <class Stream>
 uint64_t
 OooCore::runSegment(Stream &s, uint64_t max_insts)
 {
+    if (obs::stepProfilingEnabled())
+        return runSegmentImpl<true>(s, max_insts);
+    return runSegmentImpl<false>(s, max_insts);
+}
+
+template <class Stream>
+uint64_t
+OooCore::runSegmentGeneric(Stream &s, uint64_t max_insts)
+{
     uint64_t consumed = 0;
     while (consumed < max_insts && s.next()) {
         ++consumed;
-        step(s);
+        stepSlow<false>(s, s.kind());
     }
     return consumed;
 }
@@ -230,15 +358,22 @@ template uint64_t
 OooCore::runSegment<vm::PackedStream>(vm::PackedStream &, uint64_t);
 template uint64_t
 OooCore::runSegment<vm::SourceStream>(vm::SourceStream &, uint64_t);
+template uint64_t OooCore::runSegmentGeneric<vm::PackedStream>(
+    vm::PackedStream &, uint64_t);
+template uint64_t OooCore::runSegmentGeneric<vm::SourceStream>(
+    vm::SourceStream &, uint64_t);
+template uint64_t OooCore::runSegmentGeneric<vm::DecodedBlockStream>(
+    vm::DecodedBlockStream &, uint64_t);
 template uint64_t OooCore::runSegmentMulti<vm::PackedStream>(
     std::vector<OooCore> &, vm::PackedStream &, uint64_t);
 
 CoreStats
 OooCore::finishRun()
 {
-    uint64_t end = lastRetire > dispatchCycle ? lastRetire : dispatchCycle;
-    if (lastDrain > end)
-        end = lastDrain;
+    uint64_t end = st.lastRetire > st.dispatchCycle ? st.lastRetire
+                                                    : st.dispatchCycle;
+    if (st.lastDrain > end)
+        end = st.lastDrain;
     runStats.cycles = end;
     runStats.branch = bp.stats();
     runStats.l1iMisses = mem.l1i().stats().misses;

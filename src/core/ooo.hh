@@ -81,6 +81,16 @@ class OooCore : public TimingModel
     static uint64_t runSegmentMulti(std::vector<OooCore> &cores,
                                     Stream &stream, uint64_t max_insts);
 
+    /**
+     * Test seam: identical contract to runSegment, but routes every
+     * instruction -- including plain ALU -- through the generic step
+     * body, so bit-identity of the tagged fast path is directly
+     * checkable against the un-specialized accounting (instantiated
+     * for vm::PackedStream, vm::SourceStream, vm::DecodedBlockStream).
+     */
+    template <class Stream>
+    uint64_t runSegmentGeneric(Stream &stream, uint64_t max_insts);
+
     /** Close accounting (drains, end cycle) and return the stats. */
     CoreStats finishRun();
     /// @}
@@ -96,14 +106,56 @@ class OooCore : public TimingModel
 
     // --- per-run scoreboard state ---------------------------------------
     CoreStats runStats;
-    uint64_t dispatchCycle = 0;
-    unsigned dispatchedThisCycle = 0;
     FetchFrontEnd frontend;
-    uint64_t lastRetire = 0;
-    uint64_t seq = 0;       //!< instruction sequence number
-    uint64_t loadSeq = 0;
-    uint64_t storeSeq = 0;
-    uint64_t lastDrain = 0;
+
+    /**
+     * Flat per-run scoreboard cursors plus hoisted loop invariants:
+     * the one POD the step() hot path reads and writes instead of
+     * scattered wide members and `seq % ring.size()` divisions.
+     *
+     * Every ring below is visited strictly cyclically (the old seq /
+     * loadSeq / storeSeq counters started at 0 and only ever
+     * incremented by one), so a wrap-on-increment cursor produces the
+     * identical index sequence with no division. The trailing fields
+     * are copies of CoreParams/ring sizes refreshed by resetState(),
+     * keeping the per-instruction loop free of cold-struct loads.
+     * Plain members with default copy: the BSP seam handoff
+     * (core/replay.hh) clones cores mid-run and must carry this state
+     * verbatim.
+     */
+    struct StepState
+    {
+        uint64_t dispatchCycle = 0;
+        uint64_t lastRetire = 0;
+        uint64_t lastDrain = 0;
+        /** Latest drainAt of any buffered store; once <= now the
+         *  whole forwarding scan is dead work and is skipped. */
+        uint64_t pendingStoreMaxDrain = 0;
+        uint32_t dispatchedThisCycle = 0;
+        // ring cursors (wrap on increment)
+        uint32_t robCur = 0;
+        uint32_t iqCur = 0;
+        uint32_t lqCur = 0;
+        uint32_t sqCur = 0;
+        uint32_t retireCur = 0;
+        uint32_t pendingStoreHead = 0;
+        /** How many ring slots have ever been written this run; the
+         *  forwarding scan only visits [0, pendingStoreLive). */
+        uint32_t pendingStoreLive = 0;
+        // loop invariants hoisted from CoreParams / ring sizes
+        uint32_t robSize = 1;
+        uint32_t iqSize = 1;
+        uint32_t lqSize = 1;
+        uint32_t sqSize = 1;
+        uint32_t retireSize = 1;
+        uint32_t pendingStoreSize = 1;
+        uint32_t dispatchWidth = 1;
+        uint32_t mispredictPenalty = 0;
+        uint32_t takenBranchBubble = 0;
+        uint32_t forwardLatency = 0;
+        uint8_t forwarding = 0;
+    };
+    StepState st;
 
     std::vector<uint64_t> regReady;
     std::vector<uint64_t> robFreeAt;    //!< retire time ring, robEntries
@@ -120,21 +172,32 @@ class OooCore : public TimingModel
         uint64_t drainAt = 0;
     };
     std::vector<PendingStore> pendingStores;
-    size_t pendingStoreHead = 0;
-    /** How many ring slots have ever been written this run; the
-     *  forwarding scan only visits [0, pendingStoreLive). */
-    size_t pendingStoreLive = 0;
-    /** Latest drainAt of any buffered store; once <= now the whole
-     *  forwarding scan is dead work and is skipped. */
-    uint64_t pendingStoreMaxDrain = 0;
 
     void resetState();
 
-    /** Per-instruction accounting body, shared verbatim by runSegment
-     *  (solo) and runSegmentMulti (lockstep): consume one decoded
-     *  record, advance all scoreboard state. */
-    template <class Stream>
+    /**
+     * Per-instruction accounting, shared verbatim by runSegment (solo)
+     * and runSegmentMulti (lockstep): classify once on the
+     * precomputed 2-bit kind tag, then either take the minimal
+     * plain-ALU fast path (never touches LSQ / MSHR / pending-store /
+     * predictor machinery) or the generic body. @tparam Profiled
+     * selects the step-cost-profiler instantiation (obs/
+     * step_profiler.hh); the segment loop picks it once per segment.
+     */
+    template <bool Profiled, class Stream>
     void step(const Stream &s);
+
+    /** Dominant-case fast path: kind == OpKind::Alu only. */
+    template <bool Profiled, class Stream>
+    void stepAlu(const Stream &s);
+
+    /** Generic body handling every kind (the pre-flattening
+     *  accounting, cursor-indexed). */
+    template <bool Profiled, class Stream>
+    void stepSlow(const Stream &s, isa::OpKind kind);
+
+    template <bool Profiled, class Stream>
+    uint64_t runSegmentImpl(Stream &stream, uint64_t max_insts);
 
     bool forwardedFromStore(uint64_t addr, unsigned size,
                             uint64_t now) const;

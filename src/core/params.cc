@@ -98,6 +98,10 @@ CoreParams::validate() const
         fatal("core %s: zero store buffer", name.c_str());
     if (!robEntries || !iqEntries || !lqEntries || !sqEntries)
         fatal("core %s: zero window resource", name.c_str());
+    if (storeForwardWindow > 4096)
+        fatal("core %s: storeForwardWindow %u is absurd (the "
+              "forwarding check scans the whole window per load)",
+              name.c_str(), storeForwardWindow);
     for (size_t cls = 0; cls < isa::numOpClasses; ++cls) {
         if (cls != static_cast<size_t>(isa::OpClass::Load)
             && latency[cls] == 0)

@@ -88,6 +88,17 @@ struct CoreParams
     unsigned storeBufferEntries = 4; //!< in-order store buffer slots
     bool forwarding = true;          //!< store-to-load forwarding
     unsigned forwardLatency = 1;     //!< forwarded load-to-use cycles
+    /**
+     * Store-to-load forwarding visibility window: how many recent
+     * stores a load's forwarding check scans (the pendingStores ring
+     * in the accounting cores). Deliberately independent of sqEntries
+     * / storeBufferEntries -- it bounds the *search* cost of the
+     * check, not a hardware queue -- and 0 selects the historical
+     * per-family default (16 for the out-of-order model, 8 for the
+     * in-order model), which keeps default fingerprints, warm caches
+     * and goldens unchanged. Excluded from every raced space.
+     */
+    unsigned storeForwardWindow = 0;
     /// @}
 
     /// @name Out-of-order window (ignored by the in-order model)
@@ -106,6 +117,15 @@ struct CoreParams
 
     /** @return FU count for a pool. */
     unsigned poolSize(FuPool pool) const;
+
+    /** @return the effective forwarding window (storeForwardWindow,
+     *  or @p family_default when it is 0). */
+    unsigned
+    storeForwardWindowFor(unsigned family_default) const
+    {
+        return storeForwardWindow ? storeForwardWindow
+                                  : family_default;
+    }
 };
 
 /**

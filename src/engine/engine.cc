@@ -73,6 +73,11 @@ EngineStats::summary() const
         lockstepWidthAvg(),
         static_cast<unsigned long long>(lockstepConfigs),
         static_cast<unsigned long long>(streamPassesSaved));
+    out += strprintf(
+        "\n        step cost: %llu insts simulated, %.1f ns/inst, "
+        "%.1f simulated MIPS",
+        static_cast<unsigned long long>(instsSimulated), nsPerInst(),
+        simulatedMips());
     return out;
 }
 
@@ -107,6 +112,9 @@ EngineStats::json() const
         .field("lockstep_groups", lockstepGroups)
         .field("lockstep_width_avg", lockstepWidthAvg())
         .field("stream_passes_saved", streamPassesSaved)
+        .field("insts_simulated", instsSimulated)
+        .field("ns_per_inst", nsPerInst())
+        .field("simulated_mips", simulatedMips())
         .endObject();
     return w.str();
 }
@@ -140,6 +148,9 @@ EngineStats::samples() const
         {"lockstep_groups", n(lockstepGroups)},
         {"lockstep_width_avg", lockstepWidthAvg()},
         {"stream_passes_saved", n(streamPassesSaved)},
+        {"insts_simulated", n(instsSimulated)},
+        {"ns_per_inst", nsPerInst()},
+        {"simulated_mips", simulatedMips()},
     };
 }
 
@@ -278,6 +289,7 @@ EvalEngine::computeFresh(core::ModelFamily family,
 
     auto fresh_start = std::chrono::steady_clock::now();
     core::CoreStats run = replayRun(family, model, instance);
+    instsSimulatedCount += run.instructions;
     RV_HISTOGRAM_RECORD(
         "engine.eval_ns",
         static_cast<uint64_t>(
@@ -475,6 +487,7 @@ EvalEngine::stats() const
     out.lockstepGroups = lockstepGroupCount.load();
     out.lockstepConfigs = lockstepConfigCount.load();
     out.streamPassesSaved = streamPassesSavedCount.load();
+    out.instsSimulated = instsSimulatedCount.load();
     out.evalSeconds = static_cast<double>(evalNanos.load()) / 1e9;
     return out;
 }
@@ -564,13 +577,16 @@ BatchEvaluator::runLockstepGroup(const std::vector<size_t> &pending,
         configs.push_back(slots[pending[m]].model);
     std::vector<core::CoreStats> runs = core::runPackedTraceMultiFamily(
         first.family, configs, *packed, engine.opts.replay);
+    uint64_t insts = 0;
     for (size_t i = 0; i < group.members.size(); ++i) {
         Slot &slot = slots[pending[group.members[i]]];
         slot.value =
             engine.scoreRun(runs[i], slot.instance, slot.domain);
         engine.cache.insert(slot.key, slot.value);
         slot.served = true;
+        insts += runs[i].instructions;
     }
+    engine.instsSimulatedCount += insts;
     ++engine.lockstepGroupCount;
     engine.lockstepConfigCount += group.members.size();
     engine.streamPassesSavedCount += group.members.size() - 1;

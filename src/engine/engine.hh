@@ -90,6 +90,9 @@ struct EngineStats
     /** PackedStream traversals avoided by lockstep batching: each
      *  group of width M decodes the trace once instead of M times. */
     uint64_t streamPassesSaved = 0;
+    /** Dynamic instructions stepped by fresh simulations (cache and
+     *  warm-file hits replay nothing and add nothing). */
+    uint64_t instsSimulated = 0;
     /** Wall time spent evaluating: each batch wave charges its wall
      *  clock once, however many workers ran it. */
     double evalSeconds = 0.0;
@@ -100,6 +103,26 @@ struct EngineStats
     {
         return evalSeconds > 0.0
             ? static_cast<double>(evaluations) / evalSeconds : 0.0;
+    }
+
+    /** @return evaluation wall nanoseconds per simulated instruction
+     *  (the per-instruction cost the hot-path work targets). */
+    double
+    nsPerInst() const
+    {
+        return instsSimulated
+            ? evalSeconds * 1e9 / static_cast<double>(instsSimulated)
+            : 0.0;
+    }
+
+    /** @return simulated instructions per microsecond of evaluation
+     *  wall time (simulated MIPS, the paper-facing speed number). */
+    double
+    simulatedMips() const
+    {
+        return evalSeconds > 0.0
+            ? static_cast<double>(instsSimulated) / evalSeconds / 1e6
+            : 0.0;
     }
 
     /** @return mean configs per lockstep group (0 when none ran). */
@@ -435,6 +458,7 @@ class EvalEngine : public tuner::CostEvaluator
     std::atomic<uint64_t> lockstepGroupCount{0};
     std::atomic<uint64_t> lockstepConfigCount{0};
     std::atomic<uint64_t> streamPassesSavedCount{0};
+    std::atomic<uint64_t> instsSimulatedCount{0};
     std::atomic<uint64_t> evalNanos{0};
 
     /** Registry pull source exporting stats() (released before the

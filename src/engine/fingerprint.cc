@@ -76,6 +76,11 @@ fingerprint(const core::CoreParams &p)
     // with it every old checkpoint and warm cache file.
     if (!p.mem.l2Present)
         fp.str("no-l2");
+    // Same back-compat rule: 0 means "family default" and is what
+    // every config before the knob existed implicitly used, so only a
+    // non-default window changes the fingerprint.
+    if (p.storeForwardWindow != 0)
+        fp.mix(uint64_t{p.storeForwardWindow});
     fp.mix(static_cast<uint64_t>(p.bp.kind))
         .mix(uint64_t{p.bp.tableBits})
         .mix(uint64_t{p.bp.historyBits})

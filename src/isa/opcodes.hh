@@ -86,6 +86,55 @@ enum class OpClass : uint8_t
 /** Number of timing classes. */
 constexpr size_t numOpClasses = static_cast<size_t>(OpClass::NumClasses);
 
+/**
+ * Coarse replay-dispatch kind: which step() machinery an instruction
+ * needs. Precomputed per static word into the packed trace rows
+ * (vm::PackedStatic) so the timing models branch once on a 2-bit tag
+ * instead of re-deriving OpClass comparisons, isBranch() and memory
+ * checks per dynamic instruction. Alu covers everything that is
+ * neither memory nor control flow -- all int/FP/SIMD compute classes
+ * plus Nop/Halt -- which is the dominant case in every workload.
+ */
+enum class OpKind : uint8_t
+{
+    Alu = 0,
+    Load = 1,
+    Store = 2,
+    Branch = 3,
+};
+
+/** Number of dispatch kinds (the tag is 2 bits by construction). */
+constexpr size_t numOpKinds = 4;
+
+/**
+ * @return the dispatch kind of a timing class.
+ *
+ * Constexpr and branch-free enough to run per dynamic instruction on
+ * the SourceStream path (the packed path reads the precomputed tag
+ * instead). Must stay consistent with the decoder's isLoad / isStore /
+ * isBranch flags: the decoder derives those from the same class
+ * mapping (isLoad iff cls == Load, etc.), and the static-row tag
+ * golden test in tests/test_replay.cc locks the agreement in.
+ */
+constexpr OpKind
+opKindOf(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Load:
+        return OpKind::Load;
+      case OpClass::Store:
+        return OpKind::Store;
+      case OpClass::BranchCond:
+      case OpClass::BranchUncond:
+      case OpClass::BranchIndirect:
+      case OpClass::BranchCall:
+      case OpClass::BranchRet:
+        return OpKind::Branch;
+      default:
+        return OpKind::Alu;
+    }
+}
+
 /** Encoding formats (determines field layout of the low 26 bits). */
 enum class Format : uint8_t
 {
@@ -126,6 +175,9 @@ const char *opcodeName(Opcode op);
 
 /** @return timing-class name, e.g. "IntMul". */
 const char *opClassName(OpClass cls);
+
+/** @return dispatch-kind name, e.g. "load". */
+const char *opKindName(OpKind kind);
 
 /** @return true for any of the five branch classes. */
 bool isBranchClass(OpClass cls);

@@ -50,7 +50,10 @@ PackedTrace::build(const isa::Program &prog, vm::TraceSource &source,
         row.memSize = inst.memSize;
         row.flags = (inst.hasDst() ? flagHasDst : 0)
             | (inst.isBranch ? flagBranch : 0)
-            | (inst.isLoad || inst.isStore ? flagMem : 0);
+            | (inst.isLoad || inst.isStore ? flagMem : 0)
+            | static_cast<uint8_t>(
+                  static_cast<uint8_t>(isa::opKindOf(inst.cls))
+                  << flagKindShift);
     }
 
     source.reset();

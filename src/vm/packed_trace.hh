@@ -68,6 +68,13 @@ class PackedTrace
     static constexpr uint8_t flagHasDst = 1;
     static constexpr uint8_t flagBranch = 2;
     static constexpr uint8_t flagMem = 4;
+    /** Bits [4:3] hold the precomputed isa::OpKind dispatch tag, so
+     *  the segment loops classify an instruction once with one shift
+     *  instead of re-deriving class comparisons per dynamic
+     *  instruction (always consistent with flagBranch/flagMem; the
+     *  static-row tag golden test locks the encoding in). */
+    static constexpr uint8_t flagKindShift = 3;
+    static constexpr uint8_t flagKindMask = 3; //!< post-shift mask
     /// @}
 
     /** Narrow delta slot meaning "read the next wide-table entry". */
@@ -211,6 +218,13 @@ class PackedStream
     uint8_t dstReg() const { return row->dst; }
     unsigned memSize() const { return row->memSize; }
     bool isBranch() const { return row->flags & PackedTrace::flagBranch; }
+    isa::OpKind
+    kind() const
+    {
+        return static_cast<isa::OpKind>(
+            (row->flags >> PackedTrace::flagKindShift)
+            & PackedTrace::flagKindMask);
+    }
     uint64_t memAddr() const { return curMem; }
     bool taken() const { return curTaken; }
     uint64_t nextPc() const { return curNextPc; }
@@ -303,6 +317,7 @@ class RecordingStream
     uint8_t dstReg() const { return ps->dstReg(); }
     unsigned memSize() const { return ps->memSize(); }
     bool isBranch() const { return ps->isBranch(); }
+    isa::OpKind kind() const { return ps->kind(); }
     uint64_t memAddr() const { return ps->memAddr(); }
     bool taken() const { return ps->taken(); }
     uint64_t nextPc() const { return ps->nextPc(); }
@@ -358,6 +373,13 @@ class DecodedBlockStream
     uint8_t dstReg() const { return row->dst; }
     unsigned memSize() const { return row->memSize; }
     bool isBranch() const { return row->flags & PackedTrace::flagBranch; }
+    isa::OpKind
+    kind() const
+    {
+        return static_cast<isa::OpKind>(
+            (row->flags >> PackedTrace::flagKindShift)
+            & PackedTrace::flagKindMask);
+    }
     uint64_t memAddr() const { return e.memAddr; }
     bool taken() const { return e.idx & DecodedEvent::takenBit; }
     uint64_t nextPc() const { return base + 4 * e.nextIdx; }
@@ -394,6 +416,7 @@ class SourceStream
     uint8_t dstReg() const { return dyn.inst.dst; }
     unsigned memSize() const { return dyn.inst.memSize; }
     bool isBranch() const { return dyn.inst.isBranch; }
+    isa::OpKind kind() const { return isa::opKindOf(dyn.inst.cls); }
     uint64_t memAddr() const { return dyn.memAddr; }
     bool taken() const { return dyn.taken; }
     uint64_t nextPc() const { return dyn.nextPc; }

@@ -271,6 +271,70 @@ TEST(LockstepReplay, ChunkedSeamsBitIdenticalAcrossWidths)
     }
 }
 
+namespace
+{
+
+/** Replay every config independently with runSegmentGeneric (no
+ *  kind-tag dispatch, no ALU fast path). */
+template <class Model>
+std::vector<core::CoreStats>
+genericPerConfig(const std::vector<core::CoreParams> &configs,
+                 const vm::PackedTrace &trace)
+{
+    std::vector<core::CoreStats> out;
+    for (const core::CoreParams &params : configs) {
+        Model m(params);
+        m.beginRun();
+        vm::PackedStream s(trace);
+        m.runSegmentGeneric(s, ~uint64_t{0});
+        out.push_back(m.finishRun());
+    }
+    return out;
+}
+
+} // namespace
+
+// The tagged fast path inside lockstep (lead records DecodedEvents,
+// followers replay the block through DecodedBlockStream) must agree
+// with each config replayed fully generically: the classify-once
+// dispatch cannot interact with group membership.
+TEST(LockstepReplay, LockstepMatchesGenericPerConfig)
+{
+    isa::Program prog = smallProgram("CCh", 9973);
+    vm::PackedTrace trace = packProgram(prog);
+    ReplayOptions serial;
+    serial.mode = ReplayMode::Serial;
+    const unsigned width = 3;
+    std::vector<core::CoreParams> configs = variantConfigs(width);
+
+    for (ModelFamily family : allFamilies) {
+        std::vector<core::CoreStats> lockstep =
+            core::runPackedTraceMultiFamily(family, configs, trace,
+                                            serial);
+        std::vector<core::CoreStats> generic;
+        switch (family) {
+          case ModelFamily::InOrder:
+            generic = genericPerConfig<core::InOrderCore>(configs,
+                                                          trace);
+            break;
+          case ModelFamily::Ooo:
+            generic = genericPerConfig<core::OooCore>(configs, trace);
+            break;
+          default:
+            generic = genericPerConfig<core::IntervalCore>(configs,
+                                                           trace);
+            break;
+        }
+        ASSERT_EQ(lockstep.size(), generic.size());
+        for (unsigned i = 0; i < width; ++i) {
+            expectBitIdentical(
+                generic[i], lockstep[i],
+                std::string(core::modelFamilyName(family))
+                    + " generic config " + std::to_string(i));
+        }
+    }
+}
+
 // A group whose members take different branch-predictor paths: one
 // config predicts with a tiny static scheme, the others with real
 // predictors, so the same decoded branch diverges inside the group.

@@ -18,6 +18,7 @@
 #include "engine/engine.hh"
 #include "engine/eval_cache.hh"
 #include "engine/trace_bank.hh"
+#include "isa/assembler.hh"
 #include "ubench/ubench.hh"
 #include "vm/functional.hh"
 #include "vm/packed_trace.hh"
@@ -266,6 +267,169 @@ TEST(PackedReplay, ShortTraceRunsSerialThroughRunEntry)
         expectBitIdentical(runPlanned(family, params, trace, serial),
                            runPlanned(family, params, trace, chunked),
                            core::modelFamilyName(family));
+    }
+}
+
+// ---------------------------------------- classify-once dispatch identity
+
+namespace
+{
+
+/**
+ * Drive every stream type through runSegmentGeneric (every
+ * instruction through the generic step body, no kind-tag dispatch)
+ * and require exact agreement with the tagged fast path, including
+ * across manual seam handoffs at awkward splits.
+ */
+template <class Model>
+void
+fastVsGenericCheck(const core::CoreParams &params,
+                   const isa::Program &prog,
+                   const vm::PackedTrace &trace, const std::string &what)
+{
+    ReplayOptions serial;
+    serial.mode = ReplayMode::Serial;
+    Model fast(params);
+    core::CoreStats want = core::runPackedTrace(fast, trace, serial);
+
+    {
+        Model m(params);
+        m.beginRun();
+        vm::PackedStream s(trace);
+        m.runSegmentGeneric(s, ~uint64_t{0});
+        expectBitIdentical(want, m.finishRun(),
+                           what + " generic/packed");
+    }
+    {
+        Model m(params);
+        m.beginRun();
+        vm::FunctionalCore live(prog);
+        vm::SourceStream s(live);
+        m.runSegmentGeneric(s, ~uint64_t{0});
+        expectBitIdentical(want, m.finishRun(),
+                           what + " generic/source");
+    }
+    {
+        // The lockstep follower view: record the whole trace into
+        // DecodedEvents, then replay it generically from the buffer.
+        std::vector<vm::DecodedEvent> events;
+        vm::PackedStream ps(trace);
+        vm::RecordingStream rec(ps, events);
+        while (rec.next()) {
+        }
+        Model m(params);
+        m.beginRun();
+        vm::DecodedBlockStream s(trace, events);
+        m.runSegmentGeneric(s, ~uint64_t{0});
+        expectBitIdentical(want, m.finishRun(),
+                           what + " generic/decoded-block");
+    }
+    {
+        // Generic segments with seam handoffs (copy mid-run) must
+        // agree with the fast chunked entry point.
+        ReplayOptions chunked;
+        chunked.mode = ReplayMode::Chunked;
+        chunked.partitions = 7;
+        chunked.minPartitionInsts = 1;
+        Model fast_model(params);
+        core::CoreStats fast_chunked =
+            core::runPackedTrace(fast_model, trace, chunked);
+        Model a(params);
+        a.beginRun();
+        vm::PackedStream s(trace);
+        uint64_t split = trace.instCount() / 3 + 1;
+        a.runSegmentGeneric(s, split);
+        Model b(a); // the seam handoff
+        b.runSegmentGeneric(s, split);
+        Model c(b);
+        c.runSegmentGeneric(s, ~uint64_t{0});
+        expectBitIdentical(fast_chunked, c.finishRun(),
+                           what + " generic seams vs fast chunked");
+    }
+}
+
+} // namespace
+
+// Every family x every stream type x seam handoffs: the minimal
+// plain-ALU fast path and the kind-tag dispatch must be pure
+// optimizations, invisible in every counter. Workloads cover the
+// branchy, load-dominated and store-dominated dynamic mixes so every
+// stepSlow arm is exercised.
+TEST(StepDispatch, FastVsGenericAllStreamsAllFamilies)
+{
+    core::CoreParams params = core::publicInfoA53();
+    const char *benches[] = {"CCh", "MC", "STc"};
+    for (const char *name : benches) {
+        const ubench::UbenchInfo *info = ubench::find(name);
+        if (!info)
+            continue; // suite membership varies; cover what exists
+        isa::Program prog = info->builder(9973, true);
+        vm::PackedTrace trace = packProgram(prog);
+        std::string tag(name);
+        fastVsGenericCheck<core::InOrderCore>(params, prog, trace,
+                                              tag + "/inorder");
+        fastVsGenericCheck<core::OooCore>(params, prog, trace,
+                                          tag + "/ooo");
+        fastVsGenericCheck<core::IntervalCore>(params, prog, trace,
+                                               tag + "/interval");
+    }
+}
+
+// Golden check of the precomputed 2-bit kind tag in the packed static
+// rows: a hand-assembled program pins one row per kind, and every row
+// of the image must agree with opKindOf(cls) (the invariant the
+// classify-once dispatch rests on).
+TEST(StepDispatch, StaticRowKindTagsGolden)
+{
+    isa::Assembler a("kinds");
+    a.loadImm(10, 0x20000);
+    size_t add_at = a.here();
+    a.add(1, 2, 3);
+    size_t ldr_at = a.here();
+    a.ldr(5, 10, 0, 8);
+    size_t str_at = a.here();
+    a.str(5, 10, 8, 8);
+    size_t beq_at = a.here();
+    a.beq(1, 1, "out"); // always taken
+    a.add(6, 6, 6);     // never executed; still gets a static row
+    a.label("out");
+    a.halt();
+    isa::Program prog = a.finish();
+    vm::PackedTrace trace = packProgram(prog);
+
+    auto kindOf = [&](size_t i) {
+        return static_cast<isa::OpKind>(
+            (trace.staticRow(i).flags >> vm::PackedTrace::flagKindShift)
+            & vm::PackedTrace::flagKindMask);
+    };
+
+    const vm::PackedStatic &add_row = trace.staticRow(add_at);
+    EXPECT_EQ(kindOf(add_at), isa::OpKind::Alu);
+    EXPECT_TRUE(add_row.flags & vm::PackedTrace::flagHasDst);
+    EXPECT_FALSE(add_row.flags & vm::PackedTrace::flagMem);
+    EXPECT_FALSE(add_row.flags & vm::PackedTrace::flagBranch);
+    EXPECT_EQ(add_row.numSrcs, 2);
+
+    const vm::PackedStatic &ldr_row = trace.staticRow(ldr_at);
+    EXPECT_EQ(kindOf(ldr_at), isa::OpKind::Load);
+    EXPECT_TRUE(ldr_row.flags & vm::PackedTrace::flagMem);
+    EXPECT_TRUE(ldr_row.flags & vm::PackedTrace::flagHasDst);
+
+    const vm::PackedStatic &str_row = trace.staticRow(str_at);
+    EXPECT_EQ(kindOf(str_at), isa::OpKind::Store);
+    EXPECT_TRUE(str_row.flags & vm::PackedTrace::flagMem);
+    EXPECT_FALSE(str_row.flags & vm::PackedTrace::flagHasDst);
+
+    const vm::PackedStatic &beq_row = trace.staticRow(beq_at);
+    EXPECT_EQ(kindOf(beq_at), isa::OpKind::Branch);
+    EXPECT_TRUE(beq_row.flags & vm::PackedTrace::flagBranch);
+    EXPECT_FALSE(beq_row.flags & vm::PackedTrace::flagMem);
+
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const vm::PackedStatic &row = trace.staticRow(i);
+        EXPECT_EQ(kindOf(i),
+                  isa::opKindOf(static_cast<isa::OpClass>(row.cls)))
+            << "static row " << i;
     }
 }
 
